@@ -1,0 +1,42 @@
+// Command atomicbench runs the §7.2 std::atomic<struct> benchmarks
+// (Figures 2a and 2b): a shared 5×int32 struct made atomic through an
+// address-hashed stripe of locks, hammered with exchange or
+// compare-exchange loops.
+//
+// Usage:
+//
+//	atomicbench -mode=exchange|cas [-duration=200ms] [-runs=3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	mode := flag.String("mode", "exchange", "operation: exchange (Fig 2a) or cas (Fig 2b)")
+	duration := flag.Duration("duration", 0, "measurement interval per configuration")
+	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var cas bool
+	switch *mode {
+	case "exchange":
+	case "cas":
+		cas = true
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -mode; want exchange or cas")
+		os.Exit(2)
+	}
+	fmt.Println(experiments.TrackANote)
+	t := experiments.Fig2(cas, *duration, *runs)
+	if *csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,65 @@
+// Command cohsim runs the Track B coherence-simulator experiments:
+// the Table 1 invalidation and remote-miss columns and the Figure 1
+// modeled-throughput curves.
+//
+// Usage:
+//
+//	cohsim -mode=table1 [-threads=10]
+//	cohsim -mode=remote [-threads=8]
+//	cohsim -mode=fig1 [-arch=intel|arm] [-contention=max|moderate]
+//	cohsim -mode=table2 [-threads=5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	mode := flag.String("mode", "table1", "experiment: table1, remote, fig1, table2, padding, tally, segments")
+	arch := flag.String("arch", "intel", "modeled machine for fig1: intel or arm")
+	contention := flag.String("contention", "max", "fig1 contention: max or moderate")
+	threads := flag.Int("threads", 0, "thread count (table1/remote/table2; 0 = paper default)")
+	episodes := flag.Int("episodes", 0, "episodes per thread (0 = default)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	emit := func(t *table.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	switch *mode {
+	case "table1":
+		emit(experiments.Table1Invalidations(*threads, *episodes))
+	case "remote":
+		emit(experiments.Table1RemoteMisses(*threads, *episodes))
+	case "fig1":
+		a, ok := experiments.ArchByName(*arch)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "unknown -arch; want intel or arm")
+			os.Exit(2)
+		}
+		emit(experiments.Fig1Sim(a, *contention == "moderate", *episodes))
+	case "table2":
+		res, t := experiments.Table2(*threads, *episodes)
+		emit(t)
+		fmt.Printf("\nsteady-state cycle: %v\n", res.Cycle)
+	case "padding":
+		emit(experiments.PaddingAblationSim(*threads, *episodes))
+	case "tally":
+		emit(experiments.Section8Tally(*threads, *episodes))
+	case "segments":
+		emit(experiments.SegmentScaling(*episodes))
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -mode; want table1, remote, fig1, table2, padding, tally, or segments")
+		os.Exit(2)
+	}
+}

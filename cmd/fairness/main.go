@@ -1,0 +1,73 @@
+// Command fairness runs the §9 / Appendix C experiments: the Table 2
+// palindromic admission schedule, long-term admission fairness, the
+// §9.4 Bernoulli-deferral mitigation, the Appendix C LLC residency
+// model, and the Appendix G retrograde-equivalence check.
+//
+// Usage:
+//
+//	fairness -mode=table2|longterm|mitigate|llc|retrograde|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	mode := flag.String("mode", "all", "experiment: table2, longterm, mitigate, llc, bypass, tradeoff, latency, retrograde, all")
+	duration := flag.Duration("duration", 400*time.Millisecond, "Track A measurement interval (mitigate)")
+	flag.Parse()
+
+	run := func(m string) bool { return *mode == m || *mode == "all" }
+	any := false
+	if run("table2") {
+		res, t := experiments.Table2(0, 0)
+		t.Render(os.Stdout)
+		fmt.Printf("\nsteady-state cycle: %v\n\n", res.Cycle)
+		any = true
+	}
+	if run("longterm") {
+		experiments.LongTermFairnessSim(0, 0).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("mitigate") {
+		fmt.Println(experiments.TrackANote)
+		experiments.MitigationFairness(*duration).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("llc") {
+		experiments.LLCResidency(0).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("bypass") {
+		fmt.Println(experiments.TrackANote)
+		experiments.BypassBound(0, 0).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("tradeoff") {
+		experiments.FairnessThroughputTradeoff(0, 0).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("latency") {
+		experiments.AcquireLatencyDistribution(0, 0).Render(os.Stdout)
+		fmt.Println()
+		any = true
+	}
+	if run("retrograde") {
+		experiments.RetrogradeEquivalence(0).Render(os.Stdout)
+		any = true
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "unknown -mode")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,107 @@
+// Command figures regenerates every table and figure from the paper's
+// evaluation in one shot, writing one text file per experiment into
+// -out (default ./results). This is the single entry point behind
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	outDir := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "shrink Track A durations for a fast smoke pass")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dur := 300 * time.Millisecond
+	runs := 3
+	keys := 50_000
+	if *quick {
+		dur = 20 * time.Millisecond
+		runs = 1
+		keys = 5_000
+	}
+
+	write := func(name, note string, tables ...*table.Table) {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if note != "" {
+			fmt.Fprintln(f, note)
+			fmt.Fprintln(f)
+		}
+		for i, t := range tables {
+			if i > 0 {
+				fmt.Fprintln(f)
+			}
+			t.Render(f)
+		}
+		f.Close()
+		fmt.Println("wrote", path)
+	}
+
+	// Table 1: static properties + simulated dynamic columns.
+	write("table1.txt", experiments.Table1Notes,
+		experiments.Table1Properties(),
+		experiments.Table1Invalidations(0, 0),
+		experiments.Table1RemoteMisses(0, 0))
+
+	// Figure 1: simulator shape curves (both architectures, both
+	// contention levels) plus the real-execution Track A sweep.
+	write("fig1_sim_intel.txt", "",
+		experiments.Fig1Sim(experiments.ArchIntel, false, 0),
+		experiments.Fig1Sim(experiments.ArchIntel, true, 0))
+	write("fig1_sim_arm.txt", "",
+		experiments.Fig1Sim(experiments.ArchARM, false, 0),
+		experiments.Fig1Sim(experiments.ArchARM, true, 0))
+	write("fig1_real.txt", experiments.TrackANote,
+		experiments.Fig1Real(false, dur, runs),
+		experiments.Fig1Real(true, dur, runs))
+
+	// Figure 2: lock-striped atomic struct.
+	write("fig2.txt", experiments.TrackANote,
+		experiments.Fig2(false, dur, runs),
+		experiments.Fig2(true, dur, runs))
+
+	// Figure 3: KV readrandom.
+	write("fig3.txt", experiments.TrackANote,
+		experiments.Fig3(dur, keys, runs))
+
+	// Table 2 + §9 fairness + Appendix C + Appendix G.
+	_, t2 := experiments.Table2(0, 0)
+	write("table2.txt", "", t2)
+	write("fairness.txt", experiments.TrackANote,
+		experiments.LongTermFairnessSim(0, 0),
+		experiments.MitigationFairness(dur))
+	write("llc_model.txt", "", experiments.LLCResidency(0))
+	write("latency.txt", "", experiments.AcquireLatencyDistribution(0, 0))
+	write("bypass.txt", experiments.TrackANote, experiments.BypassBound(0, 0))
+	write("padding.txt", "", experiments.PaddingAblationSim(0, 0))
+	write("section8_tally.txt", "", experiments.Section8Tally(0, 0))
+	write("tradeoff.txt", "", experiments.FairnessThroughputTradeoff(0, 0))
+	write("segments.txt", "", experiments.SegmentScaling(0))
+	write("retrograde.txt", "", experiments.RetrogradeEquivalence(0))
+
+	// Uncontended latency (Figure 1 at T=1).
+	iters := 2_000_000
+	if *quick {
+		iters = 50_000
+	}
+	write("uncontended.txt", experiments.TrackANote,
+		experiments.UncontendedLatency(iters))
+}

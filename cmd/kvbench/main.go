@@ -1,0 +1,67 @@
+// Command kvbench runs the §7.3 experiment (Figure 3): the readrandom
+// workload against the LSM-lite key-value store, whose single coarse
+// central mutex — the DBImpl::Mutex analog — is instantiated with each
+// lock algorithm in turn.
+//
+// Usage:
+//
+//	kvbench [-keys=50000] [-duration=300ms] [-runs=3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/kvstore"
+	"repro/internal/mutexbench"
+	"repro/internal/table"
+)
+
+func main() {
+	mode := flag.String("mode", "readrandom", "workload: readrandom (Figure 3) or readwhilewriting")
+	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
+	duration := flag.Duration("duration", 0, "measurement interval")
+	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
+	threads := flag.Int("threads", 4, "reader threads (readwhilewriting)")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	fmt.Println(experiments.TrackANote)
+	switch *mode {
+	case "readrandom":
+		t := experiments.Fig3(*duration, *keys, *runs)
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	case "readwhilewriting":
+		d := *duration
+		if d <= 0 {
+			d = 300 * time.Millisecond
+		}
+		t := table.New(fmt.Sprintf("KV readwhilewriting — %d readers + 1 writer over %d keys", *threads, *keys),
+			"Lock", "Read Mops/s", "Write ops")
+		for _, lf := range mutexbench.PaperSet() {
+			db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 256 << 10})
+			kvstore.FillSeq(db, *keys, 100)
+			res, wops := kvstore.ReadWhileWriting(db, kvstore.ReadRandomConfig{
+				Threads:  *threads,
+				Keyspace: *keys,
+				Duration: d,
+			}, 100)
+			t.Add(lf.Name, table.F(res.Mops, 3), table.U(wops))
+		}
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -mode")
+		os.Exit(2)
+	}
+}

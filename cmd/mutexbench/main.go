@@ -1,0 +1,108 @@
+// Command mutexbench runs the §7.1 MutexBench microbenchmark on real
+// goroutines (Track A): T workers loop acquire / critical section /
+// release / non-critical section over a central lock, reporting
+// aggregate throughput.
+//
+// Usage:
+//
+//	mutexbench -mode=max|moderate [-locks=TKT,MCS,...] [-threads=1,2,4]
+//	           [-duration=300ms] [-runs=3] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mutexbench"
+	"repro/internal/table"
+)
+
+func main() {
+	mode := flag.String("mode", "max", "contention mode: max or moderate")
+	lockList := flag.String("locks", "", "comma-separated lock names (default: the Figure 1 set; 'all' for every lock)")
+	threadList := flag.String("threads", "1,2,4,8,16,32", "comma-separated goroutine counts")
+	duration := flag.Duration("duration", 300*time.Millisecond, "measurement interval per configuration")
+	runs := flag.Int("runs", 3, "independent runs per configuration (median reported)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	ncs := 0
+	if *mode == "moderate" {
+		ncs = 250
+	} else if *mode != "max" {
+		fmt.Fprintln(os.Stderr, "unknown -mode; want max or moderate")
+		os.Exit(2)
+	}
+
+	lfs := mutexbench.PaperSet()
+	if *lockList == "all" {
+		lfs = mutexbench.AllSet()
+	} else if *lockList != "" {
+		lfs = nil
+		for _, name := range strings.Split(*lockList, ",") {
+			lf, ok := mutexbench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown lock %q; known: %v\n", name, names())
+				os.Exit(2)
+			}
+			lfs = append(lfs, lf)
+		}
+	}
+
+	threads, err := parseInts(*threadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println(experiments.TrackANote)
+	headers := []string{"Lock"}
+	for _, tc := range threads {
+		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	}
+	t := table.New(fmt.Sprintf("MutexBench (%s contention) — aggregate Mops/s, median of %d", *mode, *runs), headers...)
+	for _, lf := range lfs {
+		row := []string{lf.Name}
+		for _, tc := range threads {
+			res := mutexbench.Run(lf, mutexbench.Config{
+				Threads:     tc,
+				Duration:    *duration,
+				CSSteps:     1,
+				NCSMaxSteps: ncs,
+				Runs:        *runs,
+			})
+			row = append(row, table.F(res.Mops, 3))
+		}
+		t.Add(row...)
+	}
+	if *csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, lf := range mutexbench.AllSet() {
+		out = append(out, lf.Name)
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

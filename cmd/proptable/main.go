@@ -1,0 +1,26 @@
+// Command proptable prints the full Table 1 reproduction: the static
+// property matrix (§6) plus the dynamic columns measured on the
+// coherence simulator (coherence events and NUMA remote misses per
+// episode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+import "repro/internal/experiments"
+
+func main() {
+	threads := flag.Int("threads", 10, "simulated threads for the dynamic columns")
+	flag.Parse()
+
+	experiments.Table1Properties().Render(os.Stdout)
+	fmt.Println()
+	fmt.Println(experiments.Table1Notes)
+	fmt.Println()
+	experiments.Table1Invalidations(*threads, 0).Render(os.Stdout)
+	fmt.Println()
+	experiments.Table1RemoteMisses(0, 0).Render(os.Stdout)
+}

@@ -1,0 +1,159 @@
+// Command torture runs a randomized multi-lock stress against every
+// lock implementation in the repository: worker goroutines acquire
+// random subsets of a lock table in canonical order (plural locking),
+// mutate lock-protected counters, release in imbalanced order, and
+// randomly churn (exit and get replaced). Invariant violations —
+// mutual exclusion breaches or lost updates — abort with a report.
+//
+// Usage:
+//
+//	torture [-duration=10s] [-locks=all] [-workers=8] [-table=16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mutexbench"
+	"repro/internal/xrand"
+)
+
+type guarded struct {
+	mu     sync.Locker
+	inside int32
+	count  int64
+}
+
+func main() {
+	duration := flag.Duration("duration", 10*time.Second, "total stress time (split across lock types)")
+	lockList := flag.String("locks", "all", "comma-separated lock names or 'all'")
+	workers := flag.Int("workers", 8, "concurrent workers")
+	tableSize := flag.Int("table", 16, "locks per table")
+	flag.Parse()
+
+	lfs := mutexbench.AllSet()
+	if *lockList != "all" {
+		lfs = nil
+		for _, name := range strings.Split(*lockList, ",") {
+			lf, ok := mutexbench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown lock %q\n", name)
+				os.Exit(2)
+			}
+			lfs = append(lfs, lf)
+		}
+	}
+
+	per := *duration / time.Duration(len(lfs))
+	for _, lf := range lfs {
+		fmt.Printf("%-12s ", lf.Name)
+		ops, acquires := torture(lf, per, *workers, *tableSize)
+		fmt.Printf("ok: %d multi-lock ops, %d acquisitions\n", ops, acquires)
+	}
+	fmt.Println("all lock types survived")
+}
+
+func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int) (uint64, uint64) {
+	locks := make([]*guarded, tableSize)
+	for i := range locks {
+		locks[i] = &guarded{mu: lf.New()}
+	}
+	var stop atomic.Bool
+	var totalOps, totalAcq atomic.Uint64
+	var expected atomic.Int64
+	var wg sync.WaitGroup
+
+	// worker performs random multi-lock episodes; maxOps == 0 means
+	// "until stopped" (long-lived workers), otherwise the worker
+	// retires after maxOps episodes (churn lane).
+	worker := func(seed uint64, maxOps uint64) {
+		defer wg.Done()
+		rng := xrand.NewXorShift64(seed)
+		var ops, acq uint64
+		for !stop.Load() && (maxOps == 0 || ops < maxOps) {
+			// Pick a random subset (1..4 locks), acquire in
+			// canonical index order, release in a rotated order.
+			n := 1 + rng.Intn(4)
+			var idx [4]int
+			last := -1
+			k := 0
+			for j := 0; j < n && last < tableSize-1; j++ {
+				next := last + 1 + rng.Intn(tableSize-last-1)
+				idx[k] = next
+				k++
+				last = next
+			}
+			held := idx[:k]
+			for _, i := range held {
+				locks[i].mu.Lock()
+				if atomic.AddInt32(&locks[i].inside, 1) != 1 {
+					panic(fmt.Sprintf("%s: mutual exclusion violated on lock %d", lf.Name, i))
+				}
+			}
+			for _, i := range held {
+				locks[i].count++
+				expected.Add(1)
+			}
+			if ops%64 == 0 {
+				runtime.Gosched() // force queueing on 1 CPU
+			}
+			rot := rng.Intn(k)
+			for j := 0; j < k; j++ {
+				i := held[(j+rot)%k]
+				atomic.AddInt32(&locks[i].inside, -1)
+				locks[i].mu.Unlock()
+			}
+			acq += uint64(k)
+			ops++
+		}
+		totalOps.Add(ops)
+		totalAcq.Add(acq)
+	}
+
+	// Fixed long-lived workers plus a churn lane: short-lived workers
+	// are spawned back to back, exercising dynamic goroutine arrival
+	// and departure (§5: threads created and destroyed dynamically).
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker(uint64(w)+1, 0)
+	}
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		seed := uint64(1000)
+		for !stop.Load() {
+			var cwg sync.WaitGroup
+			cwg.Add(1)
+			wg.Add(1)
+			go func(s uint64) {
+				defer cwg.Done()
+				worker(s, 200)
+			}(seed)
+			seed++
+			cwg.Wait()
+		}
+	}()
+
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	<-churnDone
+
+	// Verify lost-update freedom.
+	var got int64
+	for _, g := range locks {
+		g.mu.Lock()
+		got += g.count
+		g.mu.Unlock()
+	}
+	if got != expected.Load() {
+		panic(fmt.Sprintf("%s: lost updates: counted %d, expected %d", lf.Name, got, expected.Load()))
+	}
+	return totalOps.Load(), totalAcq.Load()
+}

@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+// The zero value is ready: Reciprocating Locks need no constructors or
+// destructors, so they can be embedded, copied-before-use, and
+// abandoned freely.
+func ExampleLock() {
+	var mu repro.Lock
+	var wg sync.WaitGroup
+	counter := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+	// Output: 8000
+}
+
+// The explicit API is allocation-free: one WaitElement per worker
+// serves any number of locks, because a worker waits on at most one
+// lock at a time (§2).
+func ExampleLock_acquire() {
+	var a, b repro.Lock
+	e := new(repro.WaitElement)
+
+	tok := a.Acquire(e)
+	// ... critical section under a ...
+	a.Release(tok)
+
+	tok = b.Acquire(e) // same element, different lock
+	// ... critical section under b ...
+	b.Release(tok)
+
+	fmt.Println(a.Locked(), b.Locked())
+	// Output: false false
+}
+
+// TryLock never waits.
+func ExampleLock_tryLock() {
+	var mu repro.Lock
+	fmt.Println(mu.TryLock()) // free: succeeds
+	fmt.Println(mu.TryLock()) // held: fails
+	mu.Unlock()
+	// Output:
+	// true
+	// false
+}
+
+// FairLock adds the §9.4 Bernoulli deferral that breaks palindromic
+// admission cycles; DeferProb tunes fairness against throughput.
+func ExampleFairLock() {
+	l := &repro.FairLock{DeferProb: 32} // 32/256 = 1/8 deferral rate
+	l.Lock()
+	l.Unlock()
+	fmt.Println(l.Deferrals()) // uncontended episodes never defer
+	// Output: 0
+}
+
+// All variants are drop-in sync.Locker implementations.
+func ExampleSimplifiedLock() {
+	locks := []sync.Locker{
+		new(repro.SimplifiedLock), // Listing 2
+		new(repro.RelayLock),      // Listing 3
+		new(repro.FetchAddLock),   // Listing 4
+		new(repro.CombinedLock),   // Listing 6
+		new(repro.GatedLock),      // Appendix H
+		new(repro.TwoLaneLock),    // Appendix I
+	}
+	for _, l := range locks {
+		l.Lock()
+		l.Unlock()
+	}
+	fmt.Println("all variants cycled")
+	// Output: all variants cycled
+}

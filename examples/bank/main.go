@@ -1,0 +1,100 @@
+// Bank: plural locking under contention. Transfer operations lock two
+// account locks at once and release them in non-LIFO order — the §5
+// requirement profile (many locks held simultaneously, imbalanced
+// release) — while auditors repeatedly sum all balances for a
+// consistent snapshot by holding every lock.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/xrand"
+)
+
+const accounts = 64
+
+type bank struct {
+	locks    [accounts]repro.Lock
+	balances [accounts]int64
+}
+
+// transfer moves amount between two accounts, locking in index order
+// to avoid deadlock and releasing in acquisition (non-LIFO) order.
+func (b *bank) transfer(from, to int, amount int64) {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	b.locks[lo].Lock()
+	b.locks[hi].Lock()
+	b.balances[from] -= amount
+	b.balances[to] += amount
+	b.locks[lo].Unlock() // imbalanced: first-acquired released first
+	b.locks[hi].Unlock()
+}
+
+// audit sums every balance under all locks: the total must always be
+// conserved.
+func (b *bank) audit() int64 {
+	for i := range b.locks {
+		b.locks[i].Lock()
+	}
+	var total int64
+	for i := range b.balances {
+		total += b.balances[i]
+	}
+	for i := range b.locks {
+		b.locks[i].Unlock()
+	}
+	return total
+}
+
+func main() {
+	var b bank
+	for i := range b.balances {
+		b.balances[i] = 1000
+	}
+	const initial = accounts * 1000
+
+	var transfers atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(uint64(w) + 1)
+			for i := 0; i < 20_000; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				b.transfer(from, to, int64(rng.Intn(100)))
+				transfers.Add(1)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if got := b.audit(); got != initial {
+				panic(fmt.Sprintf("audit mismatch: %d != %d", got, initial))
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	fmt.Printf("completed %d transfers across %d accounts\n", transfers.Load(), accounts)
+	fmt.Printf("final audit: %d (expected %d)\n", b.audit(), initial)
+}

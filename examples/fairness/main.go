@@ -1,0 +1,63 @@
+// Fairness: observing §9 live — the long-term admission disparity of
+// the plain Reciprocating Lock under sustained contention, and how the
+// §9.4 Bernoulli-deferral FairLock and the Appendix I TwoLaneLock
+// restore statistical fairness.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func measure(name string, l sync.Locker, workers int, d time.Duration) {
+	counts := make([]atomic.Int64, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				l.Lock()
+				counts[w].Add(1)
+				l.Unlock()
+			}
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	vals := make([]int64, workers)
+	f := make([]float64, workers)
+	var total int64
+	for i := range counts {
+		vals[i] = counts[i].Load()
+		f[i] = float64(vals[i])
+		total += vals[i]
+	}
+	fmt.Printf("%-12s total=%-9d jain=%.4f max/min=%.2f per-worker=%v\n",
+		name, total, stats.JainIndex(f), stats.DisparityRatio(vals), vals)
+}
+
+func main() {
+	const workers = 6
+	const d = 300 * time.Millisecond
+	fmt.Printf("%d workers hammering one lock for %v each:\n\n", workers, d)
+
+	measure("Recipro", new(repro.Lock), workers, d)
+	measure("Fair(1/16)", new(repro.FairLock), workers, d)
+	measure("Fair(1/4)", &repro.FairLock{DeferProb: 64}, workers, d)
+	measure("TwoLane", new(repro.TwoLaneLock), workers, d)
+
+	fmt.Println("\nThe paper's §9.2 bound: lock-induced long-term disparity is at")
+	fmt.Println("most 2x for the plain lock; the mitigations push Jain's index")
+	fmt.Println("toward 1.0. (Under a 1-CPU Go scheduler, observed disparity also")
+	fmt.Println("reflects scheduling; see EXPERIMENTS.md for the simulator view.)")
+}

@@ -1,0 +1,231 @@
+// Package admission analyzes lock admission schedules: repeating-cycle
+// detection, palindromic-structure recognition, per-cycle fairness
+// accounting, and bounded-bypass verification — the machinery behind
+// the paper's §9 (Table 2) palindromic-schedule experiments and the §2
+// bounded-bypass claim.
+package admission
+
+import (
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Counts tallies admissions per thread for an n-thread schedule.
+func Counts(schedule []int, n int) []int64 {
+	out := make([]int64, n)
+	for _, t := range schedule {
+		if t >= 0 && t < n {
+			out[t]++
+		}
+	}
+	return out
+}
+
+// FindCycle locates the shortest period p such that the tail of the
+// schedule repeats with period p for at least minReps repetitions.
+// It returns the cycle (one period, taken from the very end) and true
+// on success. Lock schedules settle into cycles only after an onset
+// transient, which examining the tail skips automatically.
+func FindCycle(schedule []int, minReps int) ([]int, bool) {
+	if minReps < 2 {
+		minReps = 2
+	}
+	n := len(schedule)
+	for p := 1; p*minReps <= n; p++ {
+		ok := true
+		// Compare the last (minReps-1)*p entries against their
+		// predecessors one period earlier.
+		for i := n - (minReps-1)*p; i < n; i++ {
+			if schedule[i] != schedule[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return append([]int(nil), schedule[n-p:]...), true
+		}
+	}
+	return nil, false
+}
+
+// IsPalindromic reports whether a cyclic schedule has the paper's
+// palindromic structure: some rotation of the cycle can be written as
+// a forward walk followed by the reverse of its interior — e.g.
+// A B C D E D C B (§9.1's Table 2 cycle, period 8 for 5 threads).
+// Trivial cycles (length < 3 or a single thread) are not palindromic.
+func IsPalindromic(cycle []int) bool {
+	l := len(cycle)
+	if l < 3 {
+		return false
+	}
+	distinct := map[int]bool{}
+	for _, x := range cycle {
+		distinct[x] = true
+	}
+	// Require at least 3 distinct participants so ABAB-style
+	// alternation is not misclassified.
+	if len(distinct) < 3 || l%2 != 0 {
+		return false
+	}
+	m := l / 2
+	for rot := 0; rot < l; rot++ {
+		c := make([]int, l)
+		for i := range c {
+			c[i] = cycle[(rot+i)%l]
+		}
+		// Reciprocating style (§9.1): a0..am then reverse of the
+		// interior a1..a_{m-1} — single endpoints (A B C D E D C B).
+		okInterior := true
+		for k := 1; k < m; k++ {
+			if c[m+k] != c[m-k] {
+				okInterior = false
+				break
+			}
+		}
+		if okInterior {
+			return true
+		}
+		// True-palindrome style (Appendix C): the rotation reads the
+		// same forward and backward — doubled endpoints
+		// (A B C D E E D C B A).
+		okMirror := true
+		for i := 0; i < m; i++ {
+			if c[i] != c[l-1-i] {
+				okMirror = false
+				break
+			}
+		}
+		if okMirror {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleDisparity computes the max/min per-thread admission ratio
+// within one cycle, for the n threads that appear at all. The paper's
+// §9.2 bound for reciprocating schedules is 2.
+func CycleDisparity(cycle []int, n int) float64 {
+	counts := Counts(cycle, n)
+	present := counts[:0:0]
+	for _, c := range counts {
+		if c > 0 {
+			present = append(present, c)
+		}
+	}
+	return stats.DisparityRatio(present)
+}
+
+// MaxBypass computes the empirical bypass bound: for every pair of
+// consecutive admissions of each thread, the maximum number of times
+// any single other thread was admitted in between. Reciprocating
+// Locks' thread-specific bounded bypass guarantees this never exceeds
+// 2 (§2, §9.2): an overtaking thread can be admitted at most twice —
+// once ahead on the current segment and once by pushing onto the next
+// — before the waiter is granted.
+func MaxBypass(schedule []int, n int) int {
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -1
+	}
+	max := 0
+	between := make([]int, n)
+	for i, t := range schedule {
+		if t < 0 || t >= n {
+			continue
+		}
+		if last[t] >= 0 {
+			for j := range between {
+				between[j] = 0
+			}
+			for k := last[t] + 1; k < i; k++ {
+				o := schedule[k]
+				if o >= 0 && o < n && o != t {
+					between[o]++
+					if between[o] > max {
+						max = between[o]
+					}
+				}
+			}
+		}
+		last[t] = i
+	}
+	return max
+}
+
+// LongRunFairness summarizes a schedule: per-thread counts, Jain
+// index, and disparity ratio.
+type LongRunFairness struct {
+	Counts    []int64
+	Jain      float64
+	Disparity float64
+}
+
+// Fairness computes long-run fairness metrics over a schedule.
+func Fairness(schedule []int, n int) LongRunFairness {
+	counts := Counts(schedule, n)
+	f := make([]float64, n)
+	for i, c := range counts {
+		f[i] = float64(c)
+	}
+	return LongRunFairness{
+		Counts:    counts,
+		Jain:      stats.JainIndex(f),
+		Disparity: stats.DisparityRatio(counts),
+	}
+}
+
+// FIFOSchedule generates reps rounds of round-robin admission over n
+// threads (the classic FIFO baseline of Appendix C).
+func FIFOSchedule(n, reps int) []int {
+	out := make([]int, 0, n*reps)
+	for r := 0; r < reps; r++ {
+		for t := 0; t < n; t++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// PalindromeSchedule generates reps repetitions of the true palindrome
+// A..E E..A described in Appendix C.
+func PalindromeSchedule(n, reps int) []int {
+	out := make([]int, 0, 2*n*reps)
+	for r := 0; r < reps; r++ {
+		for t := 0; t < n; t++ {
+			out = append(out, t)
+		}
+		for t := n - 1; t >= 0; t-- {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ReciprocatingCycleSchedule generates reps repetitions of the §9.1
+// Table 2 cycle (A B C D E D C B for n=5): a forward walk followed by
+// the reverse of its interior.
+func ReciprocatingCycleSchedule(n, reps int) []int {
+	out := make([]int, 0, (2*n-2)*reps)
+	for r := 0; r < reps; r++ {
+		for t := 0; t < n; t++ {
+			out = append(out, t)
+		}
+		for t := n - 2; t >= 1; t-- {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RandomSchedule draws length admissions uniformly over n threads
+// with a seeded generator (the statistically fair baseline §9.4
+// mentions).
+func RandomSchedule(n, length int, seed uint64) []int {
+	rng := xrand.NewXorShift64(seed | 1)
+	out := make([]int, length)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package admission
+
+import "testing"
+
+// FuzzFindCycle: any schedule formed by repeating a base pattern must
+// yield a detected period that genuinely tiles the tail, and the
+// analysis functions must never panic on arbitrary schedules.
+func FuzzFindCycle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 3, 2, 1}, uint8(5))
+	f.Add([]byte{1}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, base []byte, reps uint8) {
+		const n = 6
+		var sched []int
+		r := int(reps%6) + 3
+		for i := 0; i < r; i++ {
+			for _, b := range base {
+				sched = append(sched, int(b%n))
+			}
+		}
+		// Analyses must be total.
+		Counts(sched, n)
+		Fairness(sched, n)
+		MaxBypass(sched, n)
+		cyc, ok := FindCycle(sched, 3)
+		if len(base) > 0 && len(base) <= len(sched)/3 && !ok {
+			t.Fatalf("repeated base %v (x%d) yielded no cycle", base, r)
+		}
+		if ok {
+			p := len(cyc)
+			if p == 0 || p > len(sched) {
+				t.Fatalf("bogus period %d", p)
+			}
+			for i := len(sched) - p; i < len(sched); i++ {
+				if i-p >= 0 && sched[i] != sched[i-p] {
+					t.Fatalf("period %d does not tile the tail", p)
+				}
+			}
+			IsPalindromic(cyc)
+			CycleDisparity(cyc, n)
+		}
+	})
+}

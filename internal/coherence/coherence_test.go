@@ -1,0 +1,318 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func twoCPU() *System { return NewSystem(Config{CPUs: 2}) }
+
+func TestLoadStoreBasics(t *testing.T) {
+	s := twoCPU()
+	a := s.Alloc("x")
+	if v := s.Load(0, a); v != 0 {
+		t.Fatalf("fresh load = %d", v)
+	}
+	if s.StateOf(0, a) != Exclusive {
+		t.Fatalf("sole reader state = %v, want E", s.StateOf(0, a))
+	}
+	s.Store(0, a, 7)
+	if s.StateOf(0, a) != Modified {
+		t.Fatalf("writer state = %v, want M (silent E→M)", s.StateOf(0, a))
+	}
+	if s.Stats(0).Upgrades != 0 {
+		t.Fatal("E→M must be a silent (free) upgrade")
+	}
+	if v := s.Load(1, a); v != 7 {
+		t.Fatalf("remote load = %d, want 7", v)
+	}
+	if s.StateOf(0, a) != Shared || s.StateOf(1, a) != Shared {
+		t.Fatal("both caches should hold Shared after remote read of M line")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	s := NewSystem(Config{CPUs: 4})
+	a := s.Alloc("x")
+	for c := 0; c < 4; c++ {
+		s.Load(c, a)
+	}
+	s.Store(0, a, 1)
+	if s.Stats(0).Upgrades != 1 {
+		t.Fatalf("S→M upgrades = %d, want 1", s.Stats(0).Upgrades)
+	}
+	for c := 1; c < 4; c++ {
+		if s.StateOf(c, a) != Invalid {
+			t.Fatalf("cpu %d state = %v, want I", c, s.StateOf(c, a))
+		}
+		if s.Stats(c).Invalidated != 1 {
+			t.Fatalf("cpu %d invalidated = %d, want 1", c, s.Stats(c).Invalidated)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMWSemantics(t *testing.T) {
+	s := twoCPU()
+	a := s.Alloc("x")
+	if old := s.Swap(0, a, 5); old != 0 {
+		t.Fatalf("Swap old = %d", old)
+	}
+	if !s.CAS(1, a, 5, 9) {
+		t.Fatal("CAS should succeed")
+	}
+	if s.CAS(0, a, 5, 1) {
+		t.Fatal("CAS should fail on stale expected value")
+	}
+	if s.Peek(a) != 9 {
+		t.Fatalf("mem = %d, want 9", s.Peek(a))
+	}
+	if old := s.FetchAdd(0, a, 3); old != 9 {
+		t.Fatalf("FetchAdd old = %d, want 9", old)
+	}
+	if s.Peek(a) != 12 {
+		t.Fatalf("mem = %d, want 12", s.Peek(a))
+	}
+	// A failed CAS still acquired the line exclusively.
+	if s.StateOf(1, a) != Invalid {
+		t.Fatal("failed CAS holder should have been invalidated by cpu0's RMWs")
+	}
+}
+
+// Global spinning cost model: T spinners on one line each miss once
+// per write — the Ticket-lock pathology of Table 1.
+func TestGlobalSpinInvalidationStorm(t *testing.T) {
+	const cpus = 10
+	s := NewSystem(Config{CPUs: cpus})
+	a := s.Alloc("grant")
+	for c := 1; c < cpus; c++ {
+		s.Load(c, a)
+	}
+	s.ResetStats()
+	s.Store(0, a, 1) // release: invalidates all 9 spinners
+	invalidated := uint64(0)
+	for c := 1; c < cpus; c++ {
+		invalidated += s.Stats(c).Invalidated
+	}
+	if invalidated != cpus-1 {
+		t.Fatalf("one grant store invalidated %d caches, want %d", invalidated, cpus-1)
+	}
+	// Each spinner re-reads: one load miss apiece.
+	for c := 1; c < cpus; c++ {
+		s.Load(c, a)
+		if s.Stats(c).LoadMisses != 1 {
+			t.Fatalf("cpu %d load misses = %d, want 1", c, s.Stats(c).LoadMisses)
+		}
+	}
+}
+
+func TestRemoteMissAccounting(t *testing.T) {
+	s := NewSystem(Config{
+		CPUs:   2,
+		NodeOf: func(cpu int) int { return cpu }, // one CPU per node
+		HomeOf: func(a Addr) int { return 0 },    // all lines homed on node 0
+	})
+	a := s.Alloc("x")
+	s.Load(0, a)
+	if s.Stats(0).RemoteMiss != 0 {
+		t.Fatal("node-local miss miscounted as remote")
+	}
+	s.Load(1, a)
+	if s.Stats(1).RemoteMiss != 1 {
+		t.Fatalf("remote miss = %d, want 1", s.Stats(1).RemoteMiss)
+	}
+}
+
+// Property: after any op sequence, MESI invariants hold and memory
+// equals a sequential model replay (the bus serializes everything).
+func TestRandomOpsMatchSequentialModel(t *testing.T) {
+	type op struct {
+		CPU  uint8
+		Kind uint8
+		A    uint8
+		V    uint8
+	}
+	err := quick.Check(func(ops []op) bool {
+		const cpus = 3
+		const addrs = 4
+		s := NewSystem(Config{CPUs: cpus})
+		var as [addrs]Addr
+		for i := range as {
+			as[i] = s.Alloc("a")
+		}
+		model := map[Addr]uint64{}
+		for _, o := range ops {
+			cpu := int(o.CPU) % cpus
+			a := as[int(o.A)%addrs]
+			v := uint64(o.V)
+			switch o.Kind % 5 {
+			case 0:
+				if s.Load(cpu, a) != model[a] {
+					return false
+				}
+			case 1:
+				s.Store(cpu, a, v)
+				model[a] = v
+			case 2:
+				if s.Swap(cpu, a, v) != model[a] {
+					return false
+				}
+				model[a] = v
+			case 3:
+				want := model[a] == v
+				if s.CAS(cpu, a, v, v+1) != want {
+					return false
+				}
+				if want {
+					model[a] = v + 1
+				}
+			case 4:
+				if s.FetchAdd(cpu, a, v) != model[a] {
+					return false
+				}
+				model[a] += v
+			}
+			if err := s.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scheduler: round-robin mode is deterministic and every thread's ops
+// interleave one at a time.
+func TestSchedulerRoundRobinDeterministic(t *testing.T) {
+	run := func() []int {
+		s := NewSystem(Config{CPUs: 3})
+		a := s.Alloc("x")
+		sched := NewScheduler(s, RoundRobin, DefaultCosts, 1, 0)
+		res := sched.Run(func(c *Ctx) {
+			for i := 0; i < 5; i++ {
+				c.FetchAdd(a, 1)
+				c.Admit()
+				c.Episode()
+			}
+		})
+		return res.Admissions
+	}
+	a1, a2 := run(), run()
+	if len(a1) != 15 {
+		t.Fatalf("admissions = %d, want 15", len(a1))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("round-robin runs diverged")
+		}
+	}
+}
+
+func TestSchedulerRandomSeedStable(t *testing.T) {
+	run := func(seed uint64) []int {
+		s := NewSystem(Config{CPUs: 3})
+		a := s.Alloc("x")
+		sched := NewScheduler(s, Random, DefaultCosts, seed, 0)
+		res := sched.Run(func(c *Ctx) {
+			for i := 0; i < 10; i++ {
+				c.FetchAdd(a, 1)
+				c.Admit()
+			}
+		})
+		return res.Admissions
+	}
+	a1, a2 := run(42), run(42)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same-seed random runs diverged")
+		}
+	}
+	b := run(43)
+	diff := false
+	for i := range a1 {
+		if a1[i] != b[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Log("different seeds produced identical schedules (possible but unlikely)")
+	}
+}
+
+// Timed mode: a thread doing expensive (missing) ops accumulates clock
+// faster and therefore runs fewer ops per unit time than a hitting
+// thread.
+func TestTimedModeFavorsCheapThreads(t *testing.T) {
+	s := NewSystem(Config{CPUs: 2})
+	shared := s.Alloc("shared")
+	priv := s.Alloc("private")
+	sched := NewScheduler(s, Timed, DefaultCosts, 1, 0)
+	res := sched.Run(func(c *Ctx) {
+		for i := 0; i < 200; i++ {
+			if c.CPU == 0 {
+				c.Load(priv) // always hits after first touch
+			} else {
+				c.Store(shared, uint64(i)) // contended-ish writes
+			}
+			c.Episode()
+		}
+	})
+	if res.Episodes[0] != 200 || res.Episodes[1] != 200 {
+		t.Fatalf("episodes = %v", res.Episodes)
+	}
+	if res.Clock == 0 {
+		t.Fatal("timed mode produced zero clock")
+	}
+}
+
+// Mutual exclusion built on the sim must hold: a sim ticket lock
+// protects a sim counter.
+func TestSimTicketLockExclusion(t *testing.T) {
+	s := NewSystem(Config{CPUs: 4})
+	ticket := s.Alloc("ticket")
+	grant := s.Alloc("grant")
+	counter := s.Alloc("counter")
+	sched := NewScheduler(s, Random, DefaultCosts, 99, 0)
+	const iters = 50
+	sched.Run(func(c *Ctx) {
+		for i := 0; i < iters; i++ {
+			tx := c.FetchAdd(ticket, 1)
+			for c.Load(grant) != tx {
+			}
+			c.Admit()
+			// Unprotected RMW expressed as load+store: any mutual
+			// exclusion failure loses increments.
+			v := c.Load(counter)
+			c.Store(counter, v+1)
+			c.Episode()
+			c.Store(grant, tx+1)
+		}
+	})
+	if got := s.Peek(counter); got != 4*iters {
+		t.Fatalf("counter = %d, want %d (exclusion violated)", got, 4*iters)
+	}
+}
+
+func TestSchedulerLivelockGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected livelock panic")
+		}
+	}()
+	s := NewSystem(Config{CPUs: 1})
+	a := s.Alloc("x")
+	sched := NewScheduler(s, RoundRobin, DefaultCosts, 1, 100)
+	sched.Run(func(c *Ctx) {
+		for {
+			c.Load(a) // spins forever
+		}
+	})
+}

@@ -1,0 +1,482 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// CostModel assigns cycle costs to memory events for the timed
+// scheduling mode. The defaults approximate the relative costs the
+// paper reasons with: local hits are cheap, coherence misses dominate,
+// misses homed on a remote NUMA node cost more still (§6 "Maximum
+// Remote Misses", Intel UPI discussion), and S→M upgrades fall in
+// between.
+type CostModel struct {
+	Hit        uint64
+	Miss       uint64
+	RemoteMiss uint64
+	Upgrade    uint64
+	// BusOccupancy is the interconnect serialization cost of one
+	// coherence transaction (miss or upgrade) in timed mode. Every
+	// transaction holds the bus for this long, so invalidation storms
+	// — e.g. T spinners re-reading a granted ticket word — delay the
+	// critical-path handoff miss behind them. This bandwidth term is
+	// what makes global-spinning locks collapse under contention, the
+	// central phenomenon of Figure 1.
+	BusOccupancy uint64
+}
+
+// DefaultCosts is a reasonable commodity-server cost model. Note the
+// S→M upgrade is priced close to a full miss: with remote sharers an
+// upgrade still pays the invalidation round trip; the data-free
+// discount is small (truly private upgrades go E→M silently and cost
+// a hit).
+var DefaultCosts = CostModel{Hit: 1, Miss: 40, RemoteMiss: 90, Upgrade: 34, BusOccupancy: 16}
+
+// Mode selects how the scheduler interleaves threads.
+type Mode int
+
+const (
+	// RoundRobin grants one operation to each runnable thread in
+	// turn: fully deterministic, used for admission-schedule and
+	// invalidation-count experiments.
+	RoundRobin Mode = iota
+	// Timed is a discrete-event mode: the thread with the smallest
+	// local clock runs next and its clock advances by the cost of the
+	// event it performed. Used for throughput-shape experiments.
+	Timed
+	// Random picks the next thread with a seeded PRNG: a determinism-
+	// preserving way to explore interleavings in stress tests.
+	Random
+)
+
+// Ctx is a simulated thread's handle onto the system. All memory
+// operations yield to the scheduler, so every interleaving decision is
+// the scheduler's.
+type Ctx struct {
+	CPU   int
+	sched *Scheduler
+	t     *thread
+}
+
+// eventKind classifies one operation for the cost model.
+type eventKind uint8
+
+const (
+	evHit eventKind = iota
+	evMiss
+	evRemoteMiss
+	evUpgrade
+	evWork
+)
+
+type opResult struct {
+	kind   eventKind
+	cycles uint64 // used by evWork
+	wrote  Addr   // nonzero if the op wrote this line (wake trigger)
+	block  Addr   // nonzero: park until this line is next written
+	// blockUnless, if set, is evaluated against the line's current
+	// value at registration time (atomically with the scheduling
+	// step): when it reports true the park is skipped. This closes
+	// the monitor-arming race — a write landing between a caller's
+	// last observation and the park cannot be missed.
+	blockUnless func(uint64) bool
+	finished    bool
+}
+
+type thread struct {
+	id        int
+	resume    chan struct{}
+	yield     chan opResult
+	finished  bool
+	blockedOn Addr // nonzero: parked until this line is written
+}
+
+// Scheduler coordinates simulated threads over a System.
+type Scheduler struct {
+	sys      *System
+	mode     Mode
+	costs    CostModel
+	seed     uint64
+	maxSteps uint64
+
+	clocks     []uint64
+	busFreeAt  uint64
+	episodes   []uint64
+	admissions []int
+	steps      uint64
+
+	// Trace, when non-nil, receives every memory operation as it
+	// executes (deterministically ordered). Used by the §4 scenario
+	// narrator and for debugging simulated locks.
+	Trace func(cpu int, op string, a Addr, value uint64)
+
+	// guide carries the decision sequence for Guided mode (set by the
+	// exploration driver in explore.go).
+	guide *guidance
+}
+
+// NewScheduler creates a scheduler over sys. maxSteps bounds the total
+// operation count (0 selects a large default); exceeding it panics,
+// which converts livelock bugs into test failures.
+func NewScheduler(sys *System, mode Mode, costs CostModel, seed uint64, maxSteps uint64) *Scheduler {
+	if maxSteps == 0 {
+		maxSteps = 200_000_000
+	}
+	return &Scheduler{
+		sys:      sys,
+		mode:     mode,
+		costs:    costs,
+		seed:     seed,
+		maxSteps: maxSteps,
+		clocks:   make([]uint64, sys.CPUs()),
+		episodes: make([]uint64, sys.CPUs()),
+	}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Episodes counts completed lock episodes per thread.
+	Episodes []uint64
+	// Admissions is the order in which threads acquired the lock.
+	Admissions []int
+	// Clock is the final global clock (timed mode: max thread clock).
+	Clock uint64
+	// Steps is the total number of operations performed.
+	Steps uint64
+	// Stats holds final per-CPU coherence counters.
+	Stats []CPUStats
+}
+
+// Throughput returns episodes per kilocycle (timed mode).
+func (r Result) Throughput() float64 {
+	if r.Clock == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for _, e := range r.Episodes {
+		total += e
+	}
+	return float64(total) / float64(r.Clock) * 1000
+}
+
+// TotalEpisodes sums per-thread episode counts.
+func (r Result) TotalEpisodes() uint64 {
+	total := uint64(0)
+	for _, e := range r.Episodes {
+		total += e
+	}
+	return total
+}
+
+// Run executes body once per CPU as a simulated thread and returns the
+// aggregated result. It is deterministic for a given (mode, seed,
+// body).
+func (s *Scheduler) Run(body func(c *Ctx)) Result {
+	n := s.sys.CPUs()
+	threads := make([]*thread, n)
+	for i := 0; i < n; i++ {
+		t := &thread{id: i, resume: make(chan struct{}), yield: make(chan opResult)}
+		threads[i] = t
+		ctx := &Ctx{CPU: i, sched: s, t: t}
+		go func() {
+			<-t.resume
+			body(ctx)
+			t.yield <- opResult{finished: true}
+		}()
+	}
+
+	rng := xrand.NewXorShift64(s.seed | 1)
+	live := n
+	rr := 0
+	runnable := func(t *thread) bool { return !t.finished && t.blockedOn == 0 }
+	for live > 0 {
+		pick := -1
+		switch s.mode {
+		case Guided:
+			pick = s.pickGuided(threads)
+		case Timed:
+			var best uint64
+			for i, t := range threads {
+				if !runnable(t) {
+					continue
+				}
+				if pick < 0 || s.clocks[i] < best {
+					pick, best = i, s.clocks[i]
+				}
+			}
+		case Random:
+			anyRunnable := false
+			for _, t := range threads {
+				if runnable(t) {
+					anyRunnable = true
+					break
+				}
+			}
+			if anyRunnable {
+				for {
+					pick = rng.Intn(n)
+					if runnable(threads[pick]) {
+						break
+					}
+				}
+			}
+		default: // RoundRobin
+			for i := 0; i < n; i++ {
+				cand := (rr + i) % n
+				if runnable(threads[cand]) {
+					pick = cand
+					rr = cand + 1
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			// Every live thread is parked on a line nobody will
+			// write: the simulated lock has deadlocked.
+			blocked := []string{}
+			for _, t := range threads {
+				if !t.finished {
+					blocked = append(blocked,
+						fmt.Sprintf("cpu%d on %q", t.id, s.sys.Name(t.blockedOn)))
+				}
+			}
+			panic(fmt.Sprintf("coherence: deadlock — all live threads parked (%v)", blocked))
+		}
+
+		t := threads[pick]
+		t.resume <- struct{}{}
+		res := <-t.yield
+		if res.finished {
+			t.finished = true
+			live--
+			continue
+		}
+		s.steps++
+		if s.steps > s.maxSteps {
+			panic(fmt.Sprintf("coherence: exceeded %d steps — livelock?", s.maxSteps))
+		}
+		s.advanceClock(pick, res)
+		if res.block != 0 {
+			if res.blockUnless == nil || !res.blockUnless(s.sys.Peek(res.block)) {
+				t.blockedOn = res.block
+			}
+		}
+		if res.wrote != 0 {
+			// Wake every thread parked on the written *line* — a
+			// write to any word of the line invalidates a spinner's
+			// copy, forcing a re-read even when the watched word is
+			// untouched (false sharing). Re-reads cannot begin before
+			// the writer's op completed.
+			wroteLine := s.sys.lineOf(res.wrote)
+			for _, w := range threads {
+				if w.blockedOn != 0 && s.sys.lineOf(w.blockedOn) == wroteLine {
+					w.blockedOn = 0
+					if s.mode == Timed && s.clocks[w.id] < s.clocks[pick] {
+						s.clocks[w.id] = s.clocks[pick]
+					}
+				}
+			}
+		}
+	}
+
+	clock := uint64(0)
+	for _, c := range s.clocks {
+		if c > clock {
+			clock = c
+		}
+	}
+	stats := make([]CPUStats, n)
+	for i := range stats {
+		stats[i] = s.sys.Stats(i)
+	}
+	return Result{
+		Episodes:   append([]uint64(nil), s.episodes...),
+		Admissions: append([]int(nil), s.admissions...),
+		Clock:      clock,
+		Steps:      s.steps,
+		Stats:      stats,
+	}
+}
+
+// advanceClock applies the cost model to one event in timed mode
+// (round-robin and random modes keep clocks for reporting but use
+// uniform unit costs).
+func (s *Scheduler) advanceClock(cpu int, res opResult) {
+	if s.mode != Timed {
+		s.clocks[cpu]++
+		return
+	}
+	m := s.costs
+	switch res.kind {
+	case evWork:
+		s.clocks[cpu] += res.cycles
+	case evHit:
+		s.clocks[cpu] += m.Hit
+	default:
+		// Coherence transaction: serialize on the bus, then pay the
+		// latency.
+		var lat uint64
+		switch res.kind {
+		case evRemoteMiss:
+			lat = m.RemoteMiss
+		case evUpgrade:
+			lat = m.Upgrade
+		default:
+			lat = m.Miss
+		}
+		start := s.clocks[cpu]
+		if s.busFreeAt > start {
+			start = s.busFreeAt
+		}
+		s.busFreeAt = start + m.BusOccupancy
+		s.clocks[cpu] = start + lat
+	}
+}
+
+// yieldOp hands the turn back to the scheduler, reporting the event
+// class of the operation just performed.
+func (c *Ctx) yieldOp(kind eventKind, cycles uint64) {
+	c.t.yield <- opResult{kind: kind, cycles: cycles}
+	<-c.t.resume
+}
+
+// yieldWrite is yieldOp for write-class ops, which additionally wake
+// any threads parked on the written line.
+func (c *Ctx) yieldWrite(kind eventKind, a Addr) {
+	c.t.yield <- opResult{kind: kind, wrote: a}
+	<-c.t.resume
+}
+
+// classify converts the delta of the CPU's counters across one
+// operation into an event class.
+func (c *Ctx) classify(before CPUStats) eventKind {
+	after := c.sched.sys.Stats(c.CPU)
+	switch {
+	case after.RemoteMiss > before.RemoteMiss:
+		return evRemoteMiss
+	case after.LoadMisses > before.LoadMisses || after.StoreMisses > before.StoreMisses:
+		return evMiss
+	case after.Upgrades > before.Upgrades:
+		return evUpgrade
+	default:
+		return evHit
+	}
+}
+
+func (c *Ctx) trace(op string, a Addr, v uint64) {
+	if c.sched.Trace != nil {
+		c.sched.Trace(c.CPU, op, a, v)
+	}
+}
+
+// Load performs a coherent read.
+func (c *Ctx) Load(a Addr) uint64 {
+	before := c.sched.sys.Stats(c.CPU)
+	v := c.sched.sys.Load(c.CPU, a)
+	c.trace("load", a, v)
+	c.yieldOp(c.classify(before), 0)
+	return v
+}
+
+// Store performs a coherent write.
+func (c *Ctx) Store(a Addr, v uint64) {
+	before := c.sched.sys.Stats(c.CPU)
+	c.sched.sys.Store(c.CPU, a, v)
+	c.trace("store", a, v)
+	c.yieldWrite(c.classify(before), a)
+}
+
+// Swap performs an atomic exchange.
+func (c *Ctx) Swap(a Addr, v uint64) uint64 {
+	before := c.sched.sys.Stats(c.CPU)
+	old := c.sched.sys.Swap(c.CPU, a, v)
+	c.trace("swap", a, v)
+	c.yieldWrite(c.classify(before), a)
+	return old
+}
+
+// CAS performs an atomic compare-and-swap.
+func (c *Ctx) CAS(a Addr, old, new uint64) bool {
+	before := c.sched.sys.Stats(c.CPU)
+	ok := c.sched.sys.CAS(c.CPU, a, old, new)
+	if ok {
+		c.trace("cas-ok", a, new)
+	} else {
+		c.trace("cas-fail", a, old)
+	}
+	c.yieldWrite(c.classify(before), a)
+	return ok
+}
+
+// FetchAdd performs an atomic fetch-and-add.
+func (c *Ctx) FetchAdd(a Addr, d uint64) uint64 {
+	before := c.sched.sys.Stats(c.CPU)
+	old := c.sched.sys.FetchAdd(c.CPU, a, d)
+	c.trace("fetchadd", a, old)
+	c.yieldWrite(c.classify(before), a)
+	return old
+}
+
+// Work consumes local computation cycles without touching memory
+// (critical/non-critical section bodies).
+func (c *Ctx) Work(cycles uint64) {
+	c.yieldOp(evWork, cycles)
+}
+
+// AwaitWrite parks the thread until line a is next written, without
+// reading the line — the MONITOR/MWAIT (Intel) / WFE (ARM) idiom the
+// paper's §10 discusses: arm a monitor on the line and sleep until its
+// invalidation arrives. ready is evaluated against the line's current
+// value atomically with arming: if it already holds, the park is
+// skipped (the hardware analog: MWAIT falls through when the armed
+// line was touched since MONITOR). No coherence event is charged for
+// the wait itself; callers typically follow with an atomic exchange to
+// claim the value, avoiding the load+upgrade pair of a classic spin.
+func (c *Ctx) AwaitWrite(a Addr, ready func(uint64) bool) {
+	c.t.yield <- opResult{kind: evHit, block: a, blockUnless: ready}
+	<-c.t.resume
+}
+
+// SpinUntil busy-waits on line a until pred holds for its value, and
+// returns the satisfying value. Semantically it is a polite spin loop:
+// while the line stays valid in our cache the spin costs nothing; when
+// the value disappoints, the thread parks and is woken by the next
+// write to the line, paying one coherence re-read per wakeup — exactly
+// the cost pattern of hardware spinning, without simulating millions
+// of idle loop iterations. A park with no future writer is reported as
+// a deadlock by the scheduler, converting lost-wakeup bugs in
+// simulated locks into immediate failures.
+func (c *Ctx) SpinUntil(a Addr, pred func(uint64) bool) uint64 {
+	for {
+		before := c.sched.sys.Stats(c.CPU)
+		v := c.sched.sys.Load(c.CPU, a)
+		kind := c.classify(before)
+		if pred(v) {
+			c.yieldOp(kind, 0)
+			return v
+		}
+		// Park until the line is next written.
+		c.t.yield <- opResult{kind: kind, block: a}
+		<-c.t.resume
+	}
+}
+
+// Admit records that this thread just acquired the lock (admission-
+// order tracing for the §9 experiments).
+func (c *Ctx) Admit() {
+	c.sched.admissions = append(c.sched.admissions, c.CPU)
+}
+
+// Episode records completion of one acquire/CS/release episode.
+func (c *Ctx) Episode() {
+	c.sched.episodes[c.CPU]++
+}
+
+// Clock reports this thread's local clock (timed mode).
+func (c *Ctx) Clock() uint64 { return c.sched.clocks[c.CPU] }
+
+// System exposes the underlying system (for allocation in lock
+// constructors).
+func (s *Scheduler) System() *System { return s.sys }

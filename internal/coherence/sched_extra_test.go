@@ -1,0 +1,85 @@
+package coherence
+
+import "testing"
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", State(9): "?"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+// A small timed end-to-end run touching the full Ctx surface: Swap,
+// CAS, FetchAdd, Work, AwaitWrite, Clock, trace hook, and the derived
+// result accessors.
+func TestTimedEndToEndSurface(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 2})
+	word := sys.Alloc("word")
+	sys.InitValue(word, 5)
+	if sys.Peek(word) != 5 {
+		t.Fatal("InitValue not visible")
+	}
+	sched := NewScheduler(sys, Timed, DefaultCosts, 1, 0)
+	traced := 0
+	sched.Trace = func(cpu int, op string, a Addr, v uint64) { traced++ }
+	res := sched.Run(func(c *Ctx) {
+		if c.CPU == 0 {
+			// Consumer: monitor-wait for the producer's signal, then
+			// claim it with an exchange.
+			c.AwaitWrite(word, func(v uint64) bool { return v == 99 })
+			if got := c.Swap(word, 0); got != 99 {
+				panic("claimed wrong value")
+			}
+			if !c.CAS(word, 0, 7) {
+				panic("CAS failed")
+			}
+			c.Episode()
+		} else {
+			c.Work(25)
+			if c.Clock() < 25 {
+				panic("Work did not advance clock")
+			}
+			c.FetchAdd(word, 94) // 5 + 94 = 99: wakes the consumer
+			c.Episode()
+		}
+	})
+	if res.TotalEpisodes() != 2 {
+		t.Fatalf("TotalEpisodes = %d", res.TotalEpisodes())
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("Throughput not positive")
+	}
+	if traced == 0 {
+		t.Fatal("trace hook never fired")
+	}
+	if sys.Peek(word) != 7 {
+		t.Fatalf("final word = %d, want 7", sys.Peek(word))
+	}
+	bd := sys.LineBreakdown()
+	if bd["word"].Events() == 0 {
+		t.Fatal("line breakdown recorded no events for the contended word")
+	}
+	if sys.Stats(0).CoherenceEvents() == 0 {
+		t.Fatal("cpu0 saw no coherence events")
+	}
+	if sched.System() != sys {
+		t.Fatal("System accessor mismatch")
+	}
+}
+
+// AwaitWrite's ready check must prevent a missed wakeup when the write
+// precedes the park.
+func TestAwaitWriteReadyShortCircuit(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 1})
+	a := sys.Alloc("a")
+	sys.InitValue(a, 1)
+	sched := NewScheduler(sys, RoundRobin, DefaultCosts, 1, 1000)
+	sched.Run(func(c *Ctx) {
+		// Value already satisfies the predicate: must not park (a
+		// park here would deadlock, since no writer exists).
+		c.AwaitWrite(a, func(v uint64) bool { return v == 1 })
+		c.Episode()
+	})
+}

@@ -1,0 +1,73 @@
+// Package core implements Reciprocating Locks (Dice & Kogan, PPoPP
+// 2025) — the paper's primary contribution — together with every
+// published variant:
+//
+//	Lock            Listing 1: the canonical algorithm; the end-of-
+//	                segment (eos) address is conveyed through the wait
+//	                elements' Gate fields, CNA-style, so the lock body
+//	                stays a single word.
+//	SimplifiedLock  Listing 2 (Appendix E): the recommended starting
+//	                point; eos lives in a sequestered field of the lock
+//	                body and Gate is a plain flag.
+//	RelayLock       Listing 3 (Appendix F): double-swap arrival; on an
+//	                arrival race the owner abdicates and relays
+//	                ownership to the head of the freshly detached
+//	                segment. No eos anywhere.
+//	FetchAddLock    Listing 4: tagged-pointer arrival word driven by
+//	                fetch-add; a single atomic in the Release path.
+//	SimplifiedEOSLock Listing 5: tagged-pointer arrival word, per-
+//	                element eos field used only at contention onset.
+//	CombinedLock    Listing 6: Listings 3+5 combined — double swap,
+//	                per-element eos, no fetch-add, no tagged pointers.
+//	GatedLock       Appendix H: concurrent pop-stack + a LeaderGate
+//	                interlock separating segment generations.
+//	TwoLaneLock     Appendix I: two pop-stack lanes with randomized
+//	                lane selection under a ticket-lock leader gate;
+//	                imposes long-term statistical admission fairness.
+//	FairLock        §9.4: Listing 1 plus a Bernoulli-trial deferral
+//	                that breaks repeating palindromic admission cycles
+//	                while preserving the bounded-bypass guarantee.
+//
+// # Algorithm recap
+//
+// A lock instance is one word, the arrival word. nil encodes unlocked;
+// a distinguished sentinel ("LOCKEDEMPTY") encodes locked with an empty
+// arrival segment; any other value is the top of a stack of recently
+// arrived waiters (the arrival segment). Arriving threads push
+// themselves with a single wait-free atomic exchange and learn their
+// admission-order successor from the exchange's return value — the
+// stack is implicit, with no next pointers in memory. The releasing
+// owner first grants any successor on the detached entry segment;
+// when the entry segment is exhausted it detaches the whole arrival
+// segment with one exchange, which becomes the next entry segment.
+// Admission is therefore LIFO within a segment and FIFO between
+// segments, giving population-bounded bypass and starvation freedom.
+//
+// # Go-specific adaptations
+//
+// Go has no thread-local storage and no stable thread identity, so the
+// paper's TLS-singleton wait element becomes either (a) an explicit
+// per-worker Handle for allocation-free hot paths, or (b) an internal
+// recycling pool used by the plain Lock/Unlock methods. Recycled
+// elements are returned to the pool only when the corresponding
+// Release completes; that timing reproduces the TLS lifecycle rule
+// (an element address may be re-pushed only after the episode that
+// used it has fully released), which the paper's zombie end-of-segment
+// analysis requires. Returning elements any earlier is unsound: the
+// address could be re-pushed while still being the release CAS's
+// expected value, and the CAS would then unlock the lock out from
+// under a live waiter.
+//
+// The C++ listings compare possibly-dangling addresses ("zombie"
+// end-of-segment markers), which Appendix B concedes is undefined
+// behavior in C++. In Go the conveyed marker is a real *WaitElement
+// reference, so the garbage collector keeps the address unique for as
+// long as anyone could compare against it — the technique is fully
+// defined here.
+//
+// Context that the paper passes from Acquire to Release (succ, eos) is
+// stored in extra owner-owned words of the lock body, exactly the
+// strategy §7 uses for its pthread_mutex implementations; the
+// allocation-free Token API passes the same context through the caller
+// instead.
+package core

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Gated: the leader (first pusher onto an empty tail) must close the
+// gate, and the segment's terminal follower must reopen it.
+func TestGatedLeaderGateProtocol(t *testing.T) {
+	var l GatedLock
+	// Leader acquires: empty tail → leader role, gate closes.
+	e1 := getGElement()
+	t1 := l.Acquire(e1)
+	if !t1.leader {
+		t.Fatal("first acquirer should be the leader")
+	}
+	if l.leaderGate.Load() != 1 {
+		t.Fatal("leader did not close the gate")
+	}
+
+	// A follower enqueues while the leader holds.
+	done := make(chan gToken, 1)
+	e2 := getGElement()
+	go func() { done <- l.Acquire(e2) }()
+	for l.tail.Load() != e2 {
+		runtime.Gosched()
+	}
+
+	// Leader releases: detaches [e2, buried e1], relays to e2 with e1
+	// as the conveyed terminus.
+	l.Release(t1)
+	t2 := <-done
+	if t2.leader {
+		t.Fatal("follower misidentified as leader")
+	}
+	if t2.eos != e1 {
+		t.Fatal("follower did not receive the leader's buried element as terminus")
+	}
+	if l.leaderGate.Load() != 1 {
+		t.Fatal("gate must stay closed while the segment drains")
+	}
+	// Terminal follower (prv == eos) reopens the gate.
+	l.Release(t2)
+	if l.leaderGate.Load() != 0 {
+		t.Fatal("terminal follower did not reopen the gate")
+	}
+	putGElement(e1)
+	putGElement(e2)
+}
+
+// TwoLane: lane selection must spread arrivals across both lanes.
+func TestTwoLaneSelectionSpreads(t *testing.T) {
+	var l TwoLaneLock
+	lanes := [2]int{}
+	for i := 0; i < 2000; i++ {
+		l.Lock()
+		lanes[l.lane]++
+		l.Unlock()
+	}
+	for i, n := range lanes {
+		if n < 2000*35/100 {
+			t.Fatalf("lane %d chosen only %d/2000 times (biased selection)", i, n)
+		}
+	}
+}
+
+// TwoLane under a two-phase workload: leaders from both lanes must
+// arbitrate correctly through the ticket leader lock.
+func TestTwoLaneCrossLaneArbitration(t *testing.T) {
+	var l TwoLaneLock
+	var inCS int32
+	var wg sync.WaitGroup
+	stop := time.Now().Add(300 * time.Millisecond)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				l.Lock()
+				inCS++
+				if inCS != 1 {
+					panic("two owners")
+				}
+				inCS--
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.LeaderLocked() {
+		t.Fatal("leader lock left held")
+	}
+}
+
+// The pools must never hand out an element that is still in use:
+// sustained churn across every pool-backed variant with -race enabled
+// gives the detector a chance at any aliasing bug.
+func TestPoolsUnderCrossVariantChurn(t *testing.T) {
+	var a Lock
+	var b SimplifiedLock
+	var c CTRLock
+	var d GatedLock
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				a.Lock()
+				a.Unlock()
+				b.Lock()
+				b.Unlock()
+				c.Lock()
+				c.Unlock()
+				d.Lock()
+				d.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Under the
+// race detector sync.Pool intentionally drops items to shake out
+// lifecycle bugs, which perturbs pool-recycling expectations in tests.
+const raceEnabled = true

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/waiter"
+)
+
+// Lock is the canonical Reciprocating Lock of Listing 1.
+//
+// The lock consists of a single arrival word. Context passed from the
+// acquire phase to the matching release (the successor on the entry
+// segment and the end-of-segment marker) is kept in owner-owned words
+// of the lock body, as in the paper's pthread implementation; the
+// Token API variants keep that context with the caller instead, making
+// the lock body effectively one word.
+//
+// The zero value is an unlocked lock ready for use; no constructor or
+// destructor is required (§5, §6 "Explicit CTOR/DTOR Required").
+type Lock struct {
+	arrivals atomic.Pointer[WaitElement]
+
+	// Owner-owned context (protected by the lock itself): the entry-
+	// segment successor and end-of-segment marker for the current
+	// holder, plus the pool element to recycle at Unlock.
+	succ *WaitElement
+	eos  *WaitElement
+	cur  *WaitElement
+
+	// Policy selects the busy-wait strategy; the zero value is the
+	// adaptive spin-then-yield policy.
+	Policy waiter.Policy
+
+	// PoliteRelease conditions the release-path CAS on an immediate
+	// prior load, reducing futile CAS attempts when new arrivals are
+	// already visible. The paper measured this optimization and found
+	// no observable benefit (§4), leaving it off by default; it is
+	// kept here for the ablation benchmarks.
+	PoliteRelease bool
+}
+
+// Token carries acquire-to-release context for the allocation-free
+// API, mirroring the succ/eos locals that Listing 1 threads through
+// its critical-section lambda.
+type Token struct {
+	succ *WaitElement
+	eos  *WaitElement
+	elem *WaitElement
+}
+
+// Acquire enters the lock using the caller-supplied wait element e and
+// returns the context token that must be passed to Release. The
+// element may be reused for another Acquire (on any lock) only after
+// the corresponding Release has returned.
+func (l *Lock) Acquire(e *WaitElement) Token {
+	// Listing 1 line 17: re-arm the gate before publication.
+	e.gate.Store(nil)
+	var succ *WaitElement
+	eos := e // anticipate uncontended fast path (line 19)
+
+	tail := l.arrivals.Swap(e) // the doorway: one wait-free exchange
+	if tail != nil {
+		// Contention. Coerce LOCKEDEMPTY to nil (line 25): the
+		// sentinel means "no successor precedes us on this segment".
+		if tail != &lockedEmptySentinel {
+			succ = tail
+		}
+
+		// Waiting phase: local spinning on our own element. The
+		// eventual non-nil Gate value both grants ownership and
+		// conveys the end-of-segment address.
+		w := waiter.New(l.Policy)
+		for {
+			eos = e.gate.Load()
+			if eos != nil {
+				break
+			}
+			w.Pause()
+		}
+
+		// Detect the logical end-of-segment sentinel (line 37): if
+		// our successor is the segment terminus — possibly a zombie
+		// element buried on the arrival stack — the entry segment is
+		// exhausted after us.
+		if succ == eos {
+			succ = nil
+			eos = &lockedEmptySentinel
+		}
+	}
+	return Token{succ: succ, eos: eos, elem: e}
+}
+
+// Release exits the lock using the context produced by Acquire.
+func (l *Lock) Release(t Token) {
+	if t.succ != nil {
+		// Entry segment populated: grant the successor, propagating
+		// the end-of-segment identity toward the tail (line 58).
+		t.succ.gate.Store(t.eos)
+		return
+	}
+
+	// Entry segment empty. Try the uncontended fast-path unlock: the
+	// arrival word still holds our own element (fast-path acquire) or
+	// LOCKEDEMPTY (we were granted at a segment end), and reverting
+	// it to nil unlocks (line 66).
+	if !l.PoliteRelease || l.arrivals.Load() == t.eos {
+		if l.arrivals.CompareAndSwap(t.eos, nil) {
+			return
+		}
+	}
+
+	// New threads arrived and pushed onto the arrival stack. Detach
+	// the whole segment — it becomes the next entry segment — and
+	// grant its head, conveying the end-of-segment marker (lines
+	// 73-76). Only the lock holder ever detaches, which is what makes
+	// the pop-stack A-B-A immune.
+	w := l.arrivals.Swap(&lockedEmptySentinel)
+	w.gate.Store(t.eos)
+}
+
+// Lock acquires l, drawing a wait element from the internal pool. It
+// implements sync.Locker together with Unlock.
+func (l *Lock) Lock() {
+	e := getElement()
+	t := l.Acquire(e)
+	// Owner-owned context: safe to store in plain fields; successive
+	// owners are ordered by the Gate/arrival-word atomics.
+	l.succ, l.eos, l.cur = t.succ, t.eos, t.elem
+}
+
+// Unlock releases l. It must be called by the holder.
+func (l *Lock) Unlock() {
+	t := Token{succ: l.succ, eos: l.eos, elem: l.cur}
+	l.succ, l.eos, l.cur = nil, nil, nil
+	l.Release(t)
+	// Recycle only after Release completes: the element's address may
+	// have been live context (CAS expectation or eos marker) until
+	// just now. TryLock acquisitions have no element.
+	if t.elem != nil {
+		putElement(t.elem)
+	}
+}
+
+// TryLock attempts to acquire the lock without waiting and reports
+// whether it succeeded. A successful TryLock leaves the arrival word
+// in the LOCKEDEMPTY state, which the normal Release path reverts.
+func (l *Lock) TryLock() bool {
+	if l.arrivals.CompareAndSwap(nil, &lockedEmptySentinel) {
+		l.succ, l.eos, l.cur = nil, &lockedEmptySentinel, nil
+		return true
+	}
+	return false
+}
+
+// Locked reports whether the lock was held at the instant of the
+// load. Intended for tests and diagnostics only.
+func (l *Lock) Locked() bool { return l.arrivals.Load() != nil }
+
+// Do runs fn while holding the lock, mirroring the paper's
+// critical-section-as-lambda interface (Listing 1's operator+). The
+// caller supplies the wait element, enabling allocation-free episodes.
+func (l *Lock) Do(e *WaitElement, fn func()) {
+	t := l.Acquire(e)
+	fn()
+	l.Release(t)
+}

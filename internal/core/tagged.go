@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// The Listing 4/5 variants encode the arrival word as a tagged
+// pointer whose two low-order bits drive a state machine advanced by
+// fetch-add:
+//
+//	E:00  locked, arrival stack populated, E = most recent arrival
+//	E:01  locked, arrival segment logically detached and empty
+//	*:10  unlocked (upper bits stale and meaningless)
+//	*:11  illegal
+//
+// fetch_add(1) transitions arrived→detached→unlocked in one atomic.
+//
+// C++ packs the element's address into the upper bits. Doing that in
+// Go would hide heap pointers from the garbage collector inside a
+// uintptr, so we instead pack a small element ID assigned by an
+// append-only registry: the encoding, atomicity, and state machine are
+// identical, the registry lookup is one slice index, and every element
+// reachable from a lock word is pinned by the registry for the life of
+// the process. The zero value of the word (id 0, tag 00) is treated as
+// unlocked so that zero-value locks work without constructors.
+
+// taggedElement is the wait element for FetchAddLock and
+// SimplifiedEOSLock. Elements are created via the internal pool and
+// registered once; their IDs are stable for the process lifetime.
+type taggedElement struct {
+	gate atomic.Uint32
+	_    [pad.CacheLineSize - 4]byte
+	eos  atomic.Pointer[taggedElement] // Listing 5 only
+	id   uint64
+	_    [pad.CacheLineSize - 16]byte
+}
+
+const (
+	tagLockedStack    = 0 // E:00
+	tagLockedDetached = 1 // E:01
+	tagUnlocked       = 2 // *:10
+	tagMask           = 3
+)
+
+// encode packs an element ID with the locked-populated tag.
+func encode(e *taggedElement) uint64 { return e.id << 2 }
+
+// taggedRegistry maps IDs to elements with lock-free lookups and
+// mutex-guarded growth.
+type taggedRegistry struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[[]*taggedElement]
+}
+
+var taggedReg = func() *taggedRegistry {
+	r := &taggedRegistry{}
+	initial := []*taggedElement{nil} // ID 0 reserved: "no element"
+	r.snap.Store(&initial)
+	return r
+}()
+
+// register assigns e a fresh ID and pins it for the process lifetime.
+func (r *taggedRegistry) register(e *taggedElement) {
+	r.mu.Lock()
+	old := *r.snap.Load()
+	next := make([]*taggedElement, len(old)+1)
+	copy(next, old)
+	e.id = uint64(len(old))
+	next[len(old)] = e
+	r.snap.Store(&next)
+	r.mu.Unlock()
+}
+
+// lookup resolves an ID to its element. IDs embedded in lock words are
+// always valid because registration precedes any publication.
+func (r *taggedRegistry) lookup(id uint64) *taggedElement {
+	return (*r.snap.Load())[id]
+}
+
+// Size reports how many elements have ever been registered
+// (diagnostics; bounded by peak element churn, not workload length,
+// because the pool recycles elements).
+func (r *taggedRegistry) size() int { return len(*r.snap.Load()) - 1 }
+
+var taggedPool = sync.Pool{New: func() any {
+	e := new(taggedElement)
+	taggedReg.register(e)
+	return e
+}}
+
+func getTaggedElement() *taggedElement  { return taggedPool.Get().(*taggedElement) }
+func putTaggedElement(e *taggedElement) { taggedPool.Put(e) }
+
+// annulMarked reproduces Listing 4's AnnulMarked: a word tagged
+// "detached" (low bit set) carries no successor; otherwise the word
+// names the predecessor element. The caller guarantees the tag is
+// 00 or 01.
+func annulMarked(word uint64) *taggedElement {
+	if word&tagLockedDetached != 0 {
+		return nil
+	}
+	return taggedReg.lookup(word >> 2)
+}
+
+// TaggedRegistrySize is exposed for tests.
+func TaggedRegistrySize() int { return taggedReg.size() }

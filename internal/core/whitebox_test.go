@@ -1,0 +1,398 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForArrivalTop spins until the lock's arrival word equals want,
+// letting tests build deterministic arrival stacks.
+func waitForArrivalTop(t *testing.T, l *Lock, want *WaitElement) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for l.arrivals.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatal("arrival word never reached expected state")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Reproduces §4 "Onset of contention": T1 fast-path acquires, T2 and
+// T3 push, T1's release CAS fails, the segment [E3, E2, zombie E1] is
+// detached, and admission proceeds T3 then T2 with E1 acting as the
+// conveyed end-of-segment zombie.
+func TestOnsetOfContentionScenario(t *testing.T) {
+	var l Lock
+	e1, e2, e3 := new(WaitElement), new(WaitElement), new(WaitElement)
+
+	// Step 1-2: T1 acquires uncontended.
+	t1 := l.Acquire(e1)
+	if t1.succ != nil || t1.eos != e1 {
+		t.Fatalf("fast path token: succ=%v eos==e1:%v", t1.succ, t1.eos == e1)
+	}
+	if l.arrivals.Load() != e1 {
+		t.Fatal("arrival word should hold E1")
+	}
+
+	order := make(chan string, 3)
+	var wg sync.WaitGroup
+
+	// Step 3: T2 arrives and waits; its successor is T1's element.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tok := l.Acquire(e2)
+		order <- "T2"
+		// T2 must detect the zombie end-of-segment: its successor E1
+		// equals the conveyed eos, so succ is quashed.
+		if tok.succ != nil {
+			panic("T2 should have quashed its zombie successor")
+		}
+		if tok.eos != &lockedEmptySentinel {
+			panic("T2's eos should be LOCKEDEMPTY after quash")
+		}
+		l.Release(tok)
+	}()
+	waitForArrivalTop(t, &l, e2)
+
+	// Step 4: T3 arrives and waits; its successor is E2.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tok := l.Acquire(e3)
+		order <- "T3"
+		if tok.succ != e2 {
+			panic("T3's successor should be E2")
+		}
+		if tok.eos != e1 {
+			panic("T3 should have received E1 as end-of-segment")
+		}
+		l.Release(tok)
+	}()
+	waitForArrivalTop(t, &l, e3)
+
+	// Steps 5-6: T1 releases; CAS fails (arrivals == E3), segment is
+	// detached and T3 granted with eos = E1.
+	l.Release(t1)
+	wg.Wait()
+	close(order)
+
+	var got []string
+	for s := range order {
+		got = append(got, s)
+	}
+	if len(got) != 2 || got[0] != "T3" || got[1] != "T2" {
+		t.Fatalf("admission order %v, want [T3 T2] (LIFO within segment)", got)
+	}
+	if l.arrivals.Load() != nil {
+		t.Fatal("lock should be fully unlocked at the end")
+	}
+}
+
+// Admission is LIFO within a segment but FIFO between segments: build
+// two generations of waiters and verify group ordering (§2). Waiters
+// 0,1,2 enqueue while the holder runs (generation 1); waiter 2 — the
+// head of the detached segment, hence first admitted — enqueues 3,4,5
+// from inside its critical section (generation 2). Expected admission:
+// 2,1,0 (LIFO within gen 1), then 5,4,3 (LIFO within gen 2).
+func TestSegmentFIFOBetweenLIFOWithin(t *testing.T) {
+	var l Lock
+	holder := l.Acquire(new(WaitElement))
+
+	var order []int
+	var mu sync.Mutex
+	record := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	// spawn launches waiter i and returns only once its push has
+	// landed on the arrival stack, serializing arrival order. inCS
+	// runs inside the waiter's critical section.
+	var spawn func(i int, inCS func())
+	spawn = func(i int, inCS func()) {
+		e := new(WaitElement)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tok := l.Acquire(e)
+			record(i)
+			if inCS != nil {
+				inCS()
+			}
+			l.Release(tok)
+		}()
+		deadline := time.Now().Add(30 * time.Second)
+		for l.arrivals.Load() != e {
+			if time.Now().After(deadline) {
+				panic("push never observed")
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	spawn(0, nil)
+	spawn(1, nil)
+	spawn(2, func() {
+		spawn(3, nil)
+		spawn(4, nil)
+		spawn(5, nil)
+	})
+
+	l.Release(holder) // detach generation 1: admission 2,1,0
+	wg.Wait()
+
+	want := []int{2, 1, 0, 5, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+}
+
+// §4 "Simple uncontended Acquire and Release": the CAS reverts the
+// arrival word to unlocked.
+func TestUncontendedScenario(t *testing.T) {
+	var l Lock
+	e := new(WaitElement)
+	tok := l.Acquire(e)
+	if l.arrivals.Load() != e {
+		t.Fatal("arrival word should hold our element while locked")
+	}
+	l.Release(tok)
+	if l.arrivals.Load() != nil {
+		t.Fatal("arrival word should revert to nil")
+	}
+}
+
+// The explicit-element API must be allocation-free on both paths.
+func TestAcquireReleaseAllocFree(t *testing.T) {
+	var l Lock
+	e := new(WaitElement)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tok := l.Acquire(e)
+		l.Release(tok)
+	})
+	if allocs != 0 {
+		t.Fatalf("Acquire/Release allocated %v per op, want 0", allocs)
+	}
+}
+
+// Prompt lock "destruction": after a full quiesce the lock word is nil
+// and the memory can be reused as a fresh lock (Go analog of §5's
+// prompt-destruction safety — no release-side accesses follow the
+// store that surrenders ownership on the uncontended path).
+func TestQuiescentStateIsZeroValue(t *testing.T) {
+	var l Lock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.arrivals.Load() != nil || l.succ != nil || l.eos != nil || l.cur != nil {
+		t.Fatal("quiesced lock is not back to its zero state")
+	}
+}
+
+// FairLock with deterministic always-defer policy: every contended
+// acquisition defers exactly once and the lock still drains. Verifies
+// the §9.4 mitigation cannot deadlock or strand the deferred element.
+func TestFairLockAlwaysDeferDrains(t *testing.T) {
+	l := &FairLock{DeferProb: 256}
+	l.seedRNG(42)
+	var wg sync.WaitGroup
+	counter := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				counter++
+				if i%8 == 0 {
+					// Yield while holding so other goroutines pile
+					// up behind the lock even on one processor.
+					runtime.Gosched()
+				}
+				l.Unlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("always-defer FairLock deadlocked")
+	}
+	if counter != 8*2000 {
+		t.Fatalf("counter = %d, want %d", counter, 8*2000)
+	}
+	if l.Deferrals() == 0 {
+		t.Fatal("always-defer policy recorded no deferrals")
+	}
+}
+
+// FairLock with deferral disabled must never defer.
+func TestFairLockDisabledNeverDefers(t *testing.T) {
+	l := &FairLock{DeferProb: -1}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Deferrals() != 0 {
+		t.Fatalf("disabled FairLock deferred %d times", l.Deferrals())
+	}
+}
+
+// Deterministic FairLock deferral scenario: holder + two waiters, the
+// new owner always defers; admission must still include everyone
+// exactly once per acquisition.
+func TestFairLockDeferralAdmission(t *testing.T) {
+	l := &FairLock{DeferProb: 256}
+	l.seedRNG(7)
+	hold := l.Acquire(new(WaitElement))
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := new(WaitElement)
+			tok := l.Acquire(e)
+			admitted.Add(1)
+			l.Release(tok)
+		}()
+	}
+	// Let them enqueue.
+	time.Sleep(20 * time.Millisecond)
+	l.Release(hold)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("deferral stranded waiters: admitted %d/5", admitted.Load())
+	}
+	if admitted.Load() != 5 {
+		t.Fatalf("admitted %d, want 5", admitted.Load())
+	}
+}
+
+// The tagged-element registry must stay bounded under churn: pool
+// recycling means IDs are reused, not re-registered per acquisition.
+func TestTaggedRegistryBounded(t *testing.T) {
+	if raceEnabled {
+		// The race detector makes sync.Pool drop items randomly to
+		// stress lifecycles, so pool-recycling bounds don't hold.
+		t.Skip("pool recycling is intentionally defeated under -race")
+	}
+	before := TaggedRegistrySize()
+	var l FetchAddLock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	grown := TaggedRegistrySize() - before
+	// The pool may miss across GCs, but growth must be nowhere near
+	// the 16000 acquisitions performed.
+	if grown > 1000 {
+		t.Fatalf("registry grew by %d entries over 16000 episodes", grown)
+	}
+}
+
+// Gated: after full quiesce the gate must be open and the tail empty.
+func TestGatedQuiescentState(t *testing.T) {
+	var l GatedLock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.leaderGate.Load() != 0 {
+		t.Fatal("leader gate left closed")
+	}
+	if l.tail.Load() != nil {
+		t.Fatal("tail not empty after quiesce")
+	}
+}
+
+// TwoLane: ticket and grant must match after quiesce (leader lock
+// free) and both lanes must be empty.
+func TestTwoLaneQuiescentState(t *testing.T) {
+	var l TwoLaneLock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.LeaderLocked() {
+		t.Fatal("leader ticket lock left held")
+	}
+	for i := range l.lanes {
+		if l.lanes[i].tail.Load() != nil {
+			t.Fatalf("lane %d not empty after quiesce", i)
+		}
+	}
+}
+
+// The Do (critical-section-as-lambda) interface mirrors Listing 1's
+// operator+.
+func TestDoLambdaInterface(t *testing.T) {
+	var l Lock
+	e := new(WaitElement)
+	v := 5
+	l.Do(e, func() { v += 2 })
+	if v != 7 {
+		t.Fatalf("v = %d, want 7", v)
+	}
+	if l.Locked() {
+		t.Fatal("lock held after Do")
+	}
+}

@@ -1,0 +1,55 @@
+// Package experiments encodes the regeneration of every table and
+// figure in the paper's evaluation. Each experiment returns rendered
+// tables; the cmd/ tools and the root benchmark suite are thin
+// wrappers over this package, so `go run ./cmd/figures` and the
+// individual tools always agree.
+package experiments
+
+import "repro/internal/table"
+
+// Table1Properties renders the static half of Table 1: the structural
+// properties of each lock algorithm as cataloged in §6. The dynamic
+// columns (invalidations and remote misses per episode) come from the
+// coherence simulator (Table1Invalidations, Table1RemoteMisses).
+//
+// "Path atomics" substitutes for the paper's LLVM-IR instruction
+// counts (a toolchain artifact unavailable here): the worst-case
+// atomic RMW operations on the Acquire and Release paths, which is the
+// architecturally meaningful component of path complexity.
+func Table1Properties() *table.Table {
+	t := table.New("Table 1 — lock algorithm properties (static)",
+		"Lock", "Spinning", "ConstTimeUnlock", "FIFO", "ContextFree",
+		"NodesCirculate", "CtorDtorRequired", "PathAtomics(Acq/Rel)", "Space")
+	t.Add("TKT", "global", "yes", "yes", "yes", "no-nodes", "no", "1/0", "2L")
+	t.Add("ABQL", "local", "yes", "yes", "no", "no", "yes(array)", "1/0", "2L+T*L")
+	t.Add("TWA", "semi-global", "yes", "yes", "yes", "no-nodes", "no", "1/1", "2L+4096")
+	t.Add("MCS", "local", "no", "yes", "no", "no", "no", "1/1", "2L+A*E")
+	t.Add("CLH", "local", "yes", "yes", "no", "yes", "yes", "1/0", "2L+(T+L)*E")
+	t.Add("HemLock", "semi-local", "no(ack)", "yes", "yes", "no", "no", "1/1", "1L+T*E")
+	t.Add("Chen", "global", "yes", "no(bounded)", "no", "no", "no", "1/2", "3L+T*E")
+	t.Add("Recipro", "local", "yes", "no(bounded)", "no", "no", "no", "1/2", "2L+T*E")
+	return t
+}
+
+// Table1Notes explains the property columns and the paper
+// correspondences.
+const Table1Notes = `Legend (per §6):
+  Spinning          local = each waiter on a private line; global = all
+                    waiters on one line; semi-local = private line shared
+                    across the locks a thread uses (HemLock); semi-global =
+                    hashed shared waiting array (TWA).
+  ConstTimeUnlock   MCS may wait for a mid-enqueue successor; HemLock is
+                    constant-time only up to ownership transfer, then waits
+                    for the successor's acknowledgement.
+  FIFO              Chen and Reciprocating provide LIFO-within-segment /
+                    FIFO-between-segments with population-bounded bypass.
+  ContextFree       whether data must pass from Acquire to the matching
+                    Release (stored in owner-owned lock-body words here,
+                    as in the paper's pthread implementations; S=2).
+  NodesCirculate    CLH queue nodes migrate between threads (NUMA-hostile,
+                    forces ctor/dtor); Reciprocating/HemLock use a
+                    per-thread singleton.
+  PathAtomics       worst-case atomic RMWs on Acquire/Release (substitute
+                    for the paper's LLVM-IR path-complexity counts).
+  Space             L = locks, T = threads, A = held locks + waiting
+                    threads, E = element size (ABQL's array is per lock).`

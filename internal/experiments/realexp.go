@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicstruct"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/locks"
+	"repro/internal/mutexbench"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// TrackANote is prepended to all real-execution (Track A) reports.
+var TrackANote = fmt.Sprintf(
+	`Track A: real goroutine execution on this host (GOMAXPROCS=%d).
+Contended numbers are scheduler-influenced; the coherence simulator
+(Track B) owns the contended-shape claims. See EXPERIMENTS.md.`,
+	runtime.GOMAXPROCS(0))
+
+// defaultThreads is the Track A sweep (goroutines, not processors).
+func defaultThreads() []int { return []int{1, 2, 4, 8, 16, 32} }
+
+// Fig1Real runs MutexBench (§7.1) for real: the Figure 1 lock set
+// across a goroutine sweep. moderate selects the Figure 1b non-
+// critical section (private MT19937 advanced uniform [0,250) steps).
+func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
+	if dur <= 0 {
+		dur = 300 * time.Millisecond
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	ncs := 0
+	label := "max contention"
+	if moderate {
+		ncs = 250
+		label = "moderate contention"
+	}
+	threads := defaultThreads()
+	headers := []string{"Lock"}
+	for _, tc := range threads {
+		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	}
+	t := table.New(fmt.Sprintf("Figure 1 (%s) — MutexBench aggregate Mops/s (median of %d)", label, runs), headers...)
+	for _, lf := range mutexbench.PaperSet() {
+		row := []string{lf.Name}
+		for _, tc := range threads {
+			res := mutexbench.Run(lf, mutexbench.Config{
+				Threads:     tc,
+				Duration:    dur,
+				CSSteps:     1,
+				NCSMaxSteps: ncs,
+				Runs:        runs,
+			})
+			row = append(row, table.F(res.Mops, 3))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig2 reproduces §7.2: a shared lock-striped Atomic[S] hammered by T
+// threads with exchange (Figure 2a) or a load/modify/CAS-retry loop
+// (Figure 2b), per lock algorithm.
+func Fig2(cas bool, dur time.Duration, runs int) *table.Table {
+	if dur <= 0 {
+		dur = 200 * time.Millisecond
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	op := "exchange"
+	if cas {
+		op = "compare_exchange_strong"
+	}
+	threads := defaultThreads()
+	headers := []string{"Lock"}
+	for _, tc := range threads {
+		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	}
+	t := table.New(fmt.Sprintf("Figure 2 (%s) — std::atomic<S> ops Mops/s (median of %d)", op, runs), headers...)
+	for _, lf := range mutexbench.PaperSet() {
+		row := []string{lf.Name}
+		for _, tc := range threads {
+			scores := make([]float64, 0, runs)
+			for r := 0; r < runs; r++ {
+				scores = append(scores, fig2Once(lf, tc, cas, dur))
+			}
+			row = append(row, table.F(stats.Median(scores), 3))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+func fig2Once(lf mutexbench.LockFactory, threads int, cas bool, dur time.Duration) float64 {
+	stripe := atomicstruct.NewStripe(64, lf.New)
+	shared := atomicstruct.New[atomicstruct.S](stripe)
+	var stopFlag stopper
+	var done sync.WaitGroup
+	ops := make([]uint64, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		t := t
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			local := atomicstruct.S{A: int32(t)}
+			var n uint64
+			for !stopFlag.stopped() {
+				if cas {
+					// Figure 2b: load, bump first field, CAS-retry.
+					cur := shared.Load()
+					for {
+						next := cur
+						next.A++
+						wit, ok := shared.CompareExchange(cur, next)
+						if ok {
+							break
+						}
+						cur = wit
+					}
+				} else {
+					// Figure 2a: swap local and shared.
+					local = shared.Exchange(local)
+				}
+				n++
+			}
+			ops[t] = n
+		}()
+	}
+	time.Sleep(dur)
+	stopFlag.stop()
+	done.Wait()
+	el := time.Since(start)
+	var total uint64
+	for _, v := range ops {
+		total += v
+	}
+	return float64(total) / el.Seconds() / 1e6
+}
+
+// Fig3 reproduces §7.3: readrandom over the LSM-lite store guarded by
+// each lock algorithm.
+func Fig3(dur time.Duration, keys int, runs int) *table.Table {
+	if dur <= 0 {
+		dur = 300 * time.Millisecond
+	}
+	if keys <= 0 {
+		keys = 50_000
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	threads := defaultThreads()
+	headers := []string{"Lock"}
+	for _, tc := range threads {
+		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	}
+	t := table.New(fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", keys, runs), headers...)
+	for _, lf := range mutexbench.PaperSet() {
+		row := []string{lf.Name}
+		for _, tc := range threads {
+			scores := make([]float64, 0, runs)
+			for r := 0; r < runs; r++ {
+				db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 256 << 10})
+				kvstore.FillSeq(db, keys, 100)
+				res := kvstore.ReadRandom(db, kvstore.ReadRandomConfig{
+					Threads:  tc,
+					Keyspace: keys,
+					Duration: dur,
+					Seed:     uint64(r),
+				})
+				scores = append(scores, res.Mops)
+			}
+			row = append(row, table.F(stats.Median(scores), 3))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// UncontendedLatency measures single-thread acquire+release latency
+// for every lock in the repository (the T=1 point of Figure 1, where
+// the paper reports Ticket fastest, then HemLock, Reciprocating, CLH,
+// MCS).
+func UncontendedLatency(iters int) *table.Table {
+	if iters <= 0 {
+		iters = 2_000_000
+	}
+	t := table.New("Uncontended latency — single-thread Lock+Unlock", "Lock", "ns/op")
+	for _, lf := range mutexbench.AllSet() {
+		l := lf.New()
+		// Warmup.
+		for i := 0; i < 10_000; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		el := time.Since(start)
+		t.Add(lf.Name, table.F(float64(el.Nanoseconds())/float64(iters), 1))
+	}
+	return t
+}
+
+// MitigationFairness contrasts long-term per-thread admission fairness
+// (§9.2, §9.4) across the plain Reciprocating lock, the Bernoulli-
+// deferral FairLock, the TwoLane formulation, the randomized
+// retrograde ticket lock, and FIFO baselines, using real execution.
+func MitigationFairness(dur time.Duration) *table.Table {
+	if dur <= 0 {
+		dur = 400 * time.Millisecond
+	}
+	t := table.New("§9.4 mitigation — long-term admission fairness (8 goroutines, Track A)",
+		"Lock", "Jain", "Max/Min", "Mops")
+	set := []mutexbench.LockFactory{
+		{Name: "Recipro", New: func() sync.Locker { return new(core.Lock) }},
+		{Name: "Fair(1/16)", New: func() sync.Locker { return new(core.FairLock) }},
+		{Name: "Fair(1/4)", New: func() sync.Locker { return &core.FairLock{DeferProb: 64} }},
+		{Name: "TwoLane", New: func() sync.Locker { return new(core.TwoLaneLock) }},
+		{Name: "RetroRand", New: func() sync.Locker { return new(locks.RetrogradeRandLock) }},
+		{Name: "Retrograde", New: func() sync.Locker { return new(locks.RetrogradeLock) }},
+		{Name: "TKT(FIFO)", New: func() sync.Locker { return new(locks.TicketLock) }},
+	}
+	for _, lf := range set {
+		res := mutexbench.Run(lf, mutexbench.Config{
+			Threads:  8,
+			Duration: dur,
+			CSSteps:  1,
+			Runs:     1,
+		})
+		t.Add(lf.Name, table.F(res.Jain, 4), table.F(res.Disparity, 2), table.F(res.Mops, 3))
+	}
+	return t
+}
+
+// stopper is a tiny atomic stop flag.
+type stopper struct {
+	flag atomic.Bool
+}
+
+func (s *stopper) stop()         { s.flag.Store(true) }
+func (s *stopper) stopped() bool { return s.flag.Load() }

@@ -1,0 +1,96 @@
+package interpose
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaultSelection(t *testing.T) {
+	resetForTesting()
+	t.Setenv(EnvVar, "")
+	name, err := Implementation()
+	if err != nil || name != DefaultLock {
+		t.Fatalf("Implementation() = %q, %v", name, err)
+	}
+}
+
+func TestEnvSelection(t *testing.T) {
+	for _, name := range []string{"MCS", "CLH", "TKT", "Recipro-L4", "GoMutex"} {
+		resetForTesting()
+		t.Setenv(EnvVar, name)
+		got, err := Implementation()
+		if err != nil || got != name {
+			t.Fatalf("selected %q, got %q (%v)", name, got, err)
+		}
+		var m Mutex
+		counter := 0
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					m.Lock()
+					counter++
+					m.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 4000 {
+			t.Fatalf("%s: counter = %d", name, counter)
+		}
+	}
+}
+
+func TestUnknownSelection(t *testing.T) {
+	resetForTesting()
+	t.Setenv(EnvVar, "NoSuchLock")
+	if _, err := Implementation(); err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+	defer func() {
+		resetForTesting()
+		if recover() == nil {
+			t.Fatal("Mutex.Lock should panic on unknown selection")
+		}
+	}()
+	var m Mutex
+	m.Lock()
+}
+
+func TestLazyInitRace(t *testing.T) {
+	resetForTesting()
+	t.Setenv(EnvVar, "Recipro")
+	for round := 0; round < 100; round++ {
+		var m Mutex
+		var wg sync.WaitGroup
+		n := 0
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m.Lock()
+				n++
+				m.Unlock()
+			}()
+		}
+		wg.Wait()
+		if n != 8 {
+			t.Fatalf("round %d: lazy-init race lost updates (%d)", round, n)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	resetForTesting()
+	t.Setenv(EnvVar, "Recipro")
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+}

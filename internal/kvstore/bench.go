@@ -1,0 +1,153 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Key renders i as a fixed-width big-endian key, matching db_bench's
+// dense sequential keyspace.
+func Key(i uint64) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[8:], i)
+	return b[:]
+}
+
+// FillSeq populates db with n sequential keys carrying valueSize-byte
+// values — the paper's population step
+// (db_bench --benchmarks=fillseq).
+func FillSeq(db *DB, n int, valueSize int) {
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := 0; i < n; i++ {
+		db.Put(Key(uint64(i)), val)
+	}
+}
+
+// ReadRandomConfig shapes the §7.3 readrandom benchmark.
+type ReadRandomConfig struct {
+	Threads  int
+	Keyspace int
+	// Duration bounds the run; if zero, OpsPerThread bounds it
+	// deterministically.
+	Duration     time.Duration
+	OpsPerThread int
+	Seed         uint64
+}
+
+// ReadRandomResult reports aggregate throughput.
+type ReadRandomResult struct {
+	Ops       uint64
+	Mops      float64
+	Hits      uint64
+	PerThread []uint64
+	Jain      float64
+	Elapsed   time.Duration
+}
+
+// ReadWhileWriting mirrors db_bench's readwhilewriting workload: the
+// configured reader threads run the readrandom loop while one
+// dedicated writer continuously overwrites random keys. The writer
+// rate is reported alongside; this leans on the central mutex from
+// both sides, including the freeze/compaction paths.
+func ReadWhileWriting(db *DB, cfg ReadRandomConfig, valueSize int) (ReadRandomResult, uint64) {
+	var writerOps uint64
+	stopW := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := xrand.NewXorShift64(cfg.Seed | 1)
+		val := make([]byte, valueSize)
+		for {
+			select {
+			case <-stopW:
+				return
+			default:
+			}
+			db.Put(Key(uint64(rng.Intn(cfg.Keyspace))), val)
+			writerOps++
+		}
+	}()
+	res := ReadRandom(db, cfg)
+	close(stopW)
+	wg.Wait()
+	return res, writerOps
+}
+
+// ReadRandom runs T reader threads, each looping: generate a random
+// key, read it from the database (db_bench --benchmarks=readrandom
+// with a fixed duration, as modified in §7.3).
+func ReadRandom(db *DB, cfg ReadRandomConfig) ReadRandomResult {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Keyspace <= 0 {
+		cfg.Keyspace = 1
+	}
+	perThread := make([]uint64, cfg.Threads)
+	var hits atomic.Uint64
+	var stop atomic.Bool
+
+	var begin, done sync.WaitGroup
+	begin.Add(1)
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			rng := xrand.NewXorShift64(uint64(t)*0x9e3779b97f4a7c15 + cfg.Seed + 1)
+			var ops, myHits uint64
+			begin.Wait()
+			for {
+				if cfg.OpsPerThread > 0 && ops >= uint64(cfg.OpsPerThread) {
+					break
+				}
+				if cfg.OpsPerThread == 0 && stop.Load() {
+					break
+				}
+				k := Key(uint64(rng.Intn(cfg.Keyspace)))
+				if _, ok := db.Get(k); ok {
+					myHits++
+				}
+				ops++
+			}
+			perThread[t] = ops
+			hits.Add(myHits)
+		}()
+	}
+	begin.Done()
+	if cfg.OpsPerThread == 0 {
+		d := cfg.Duration
+		if d <= 0 {
+			d = time.Second
+		}
+		time.Sleep(d)
+		stop.Store(true)
+	}
+	done.Wait()
+	el := time.Since(start)
+
+	var total uint64
+	perF := make([]float64, cfg.Threads)
+	for i, v := range perThread {
+		total += v
+		perF[i] = float64(v)
+	}
+	return ReadRandomResult{
+		Ops:       total,
+		Mops:      float64(total) / el.Seconds() / 1e6,
+		Hits:      hits.Load(),
+		PerThread: perThread,
+		Jain:      stats.JainIndex(perF),
+		Elapsed:   el,
+	}
+}

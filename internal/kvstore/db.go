@@ -1,0 +1,156 @@
+// Package kvstore is an LSM-lite in-memory key-value store built as
+// the Figure 3 substrate: like LevelDB, the entire database is
+// guarded by one coarse central mutex (DBImpl::Mutex), acquired
+// briefly to snapshot state on the read path and for the whole write
+// path. The lock guarding the store is pluggable, so the §7.3
+// readrandom experiment can vary the lock algorithm under an
+// unmodified application, just as the paper's LD_PRELOAD interposition
+// does.
+//
+// Structure: an active memtable (concurrent-read skiplist), a stack of
+// frozen sorted runs (SSTable stand-ins), and a full merge when the
+// run count exceeds a threshold. Reads consult memtable then runs
+// newest-first; deletion uses tombstones.
+package kvstore
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Lock guards the database; nil selects the Reciprocating Lock.
+	Lock sync.Locker
+	// MemTableBytes is the freeze threshold (default 1 MiB).
+	MemTableBytes int
+	// MaxRuns triggers a full merge when exceeded (default 4).
+	MaxRuns int
+}
+
+// Stats counts DB activity (all owner-guarded).
+type Stats struct {
+	Gets, Puts, Deletes  uint64
+	Hits, Misses         uint64
+	Freezes, Compactions uint64
+}
+
+// DB is the database.
+type DB struct {
+	mu   sync.Locker
+	opts Options
+
+	// Guarded by mu; Get snapshots mem+runs under mu and searches
+	// outside it (LevelDB's Get pattern).
+	mem   *SkipList
+	runs  []*Run
+	stats Stats
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.Lock == nil {
+		opts.Lock = new(core.Lock)
+	}
+	if opts.MemTableBytes <= 0 {
+		opts.MemTableBytes = 1 << 20
+	}
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 4
+	}
+	return &DB{mu: opts.Lock, opts: opts, mem: NewSkipList()}
+}
+
+// Put inserts or updates a key.
+func (db *DB) Put(key, value []byte) {
+	db.mu.Lock()
+	db.mem.Put(key, value)
+	db.stats.Puts++
+	db.maybeFreezeLocked()
+	db.mu.Unlock()
+}
+
+// Delete removes a key (tombstone).
+func (db *DB) Delete(key []byte) {
+	db.mu.Lock()
+	db.mem.Delete(key)
+	db.stats.Deletes++
+	db.maybeFreezeLocked()
+	db.mu.Unlock()
+}
+
+// maybeFreezeLocked freezes a full memtable into a run and compacts
+// when the run stack grows too tall. Caller holds mu.
+func (db *DB) maybeFreezeLocked() {
+	if db.mem.Bytes() < db.opts.MemTableBytes {
+		return
+	}
+	frozen := buildRun(db.mem)
+	// Newest first; replace the slice wholesale so concurrent readers
+	// holding the previous snapshot stay consistent.
+	db.runs = append([]*Run{frozen}, db.runs...)
+	db.mem = NewSkipList()
+	db.stats.Freezes++
+	if len(db.runs) > db.opts.MaxRuns {
+		db.runs = []*Run{mergeRuns(db.runs)}
+		db.stats.Compactions++
+	}
+}
+
+// Get looks up a key, mirroring leveldb::DBImpl::Get's locking
+// pattern: take the central mutex to snapshot references, drop it for
+// the actual search, and retake it to update statistics.
+func (db *DB) Get(key []byte) ([]byte, bool) {
+	db.mu.Lock()
+	mem := db.mem
+	runs := db.runs
+	db.mu.Unlock()
+
+	val, found := get(mem, runs, key)
+
+	db.mu.Lock()
+	db.stats.Gets++
+	if found {
+		db.stats.Hits++
+	} else {
+		db.stats.Misses++
+	}
+	db.mu.Unlock()
+	return val, found
+}
+
+// get searches a snapshot (memtable, then runs newest-first).
+func get(mem *SkipList, runs []*Run, key []byte) ([]byte, bool) {
+	if v, ok, tomb := mem.Get(key); ok {
+		if tomb {
+			return nil, false
+		}
+		return v, true
+	}
+	for _, r := range runs {
+		if v, tomb, ok := r.Get(key); ok {
+			if tomb {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	s := db.stats
+	db.mu.Unlock()
+	return s
+}
+
+// Runs reports the current number of frozen runs (diagnostics).
+func (db *DB) Runs() int {
+	db.mu.Lock()
+	n := len(db.runs)
+	db.mu.Unlock()
+	return n
+}

@@ -1,0 +1,72 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzDBAgainstMap drives the DB through an op stream decoded from
+// fuzz input and cross-checks every read against a map model. Freezes
+// and compactions are forced by a tiny memtable.
+func FuzzDBAgainstMap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 90, 17})
+	f.Add([]byte("put/get/delete soup"))
+	f.Add(bytes.Repeat([]byte{7, 3}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := Open(Options{MemTableBytes: 512, MaxRuns: 2})
+		model := map[string]string{}
+		for i := 0; i+1 < len(data); i += 2 {
+			key := string(Key(uint64(data[i] % 64)))
+			switch data[i+1] % 4 {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", i)
+				db.Put([]byte(key), []byte(v))
+				model[key] = v
+			case 2:
+				db.Delete([]byte(key))
+				delete(model, key)
+			case 3:
+				got, ok := db.Get([]byte(key))
+				want, wok := model[key]
+				if ok != wok || (ok && string(got) != want) {
+					t.Fatalf("Get(%x) = %q,%v; model %q,%v", key, got, ok, want, wok)
+				}
+			}
+		}
+		for k, want := range model {
+			got, ok := db.Get([]byte(k))
+			if !ok || string(got) != want {
+				t.Fatalf("final Get(%x) = %q,%v; want %q", k, got, ok, want)
+			}
+		}
+	})
+}
+
+// FuzzSkipListOrdering: arbitrary insertions keep Ascend sorted and
+// Get consistent.
+func FuzzSkipListOrdering(f *testing.F) {
+	f.Add([]byte{5, 1, 9, 1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sl := NewSkipList()
+		for _, b := range data {
+			sl.Put([]byte{b}, []byte{b ^ 0xff})
+		}
+		var prev []byte
+		sl.Ascend(func(k, v []byte, tomb bool) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("out of order: %x then %x", prev, k)
+			}
+			if len(v) != 1 || v[0] != k[0]^0xff {
+				t.Fatalf("value mismatch for %x", k)
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		for _, b := range data {
+			if v, ok, _ := sl.Get([]byte{b}); !ok || v[0] != b^0xff {
+				t.Fatalf("Get(%x) inconsistent", b)
+			}
+		}
+	})
+}

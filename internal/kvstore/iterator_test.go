@@ -1,0 +1,152 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIteratorOrderedAcrossGenerations(t *testing.T) {
+	db := Open(Options{MemTableBytes: 2 << 10, MaxRuns: 2})
+	const n = 500
+	// Insert in a scrambled order so entries span memtable + several
+	// frozen/merged runs.
+	for i := 0; i < n; i++ {
+		k := (i * 7919) % n // 7919 prime, bijective mod n? ensure unique below
+		db.Put(Key(uint64(k)), []byte(fmt.Sprintf("v%d", k)))
+	}
+	seen := map[string]bool{}
+	it := db.NewIterator()
+	var prev []byte
+	count := 0
+	for it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("iterator out of order: %x then %x", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		seen[string(it.Key())] = true
+		count++
+	}
+	_ = seen
+	if count == 0 {
+		t.Fatal("iterator yielded nothing")
+	}
+	// Every distinct inserted key appears exactly once.
+	distinct := map[int]bool{}
+	for i := 0; i < n; i++ {
+		distinct[(i*7919)%n] = true
+	}
+	if count != len(distinct) {
+		t.Fatalf("iterator yielded %d keys, want %d", count, len(distinct))
+	}
+}
+
+func TestIteratorNewestWinsAndTombstones(t *testing.T) {
+	db := Open(Options{MemTableBytes: 1 << 10, MaxRuns: 3})
+	for i := 0; i < 100; i++ {
+		db.Put(Key(uint64(i)), []byte("old"))
+	}
+	// Overwrite some, delete others — spanning freezes.
+	for i := 0; i < 100; i += 4 {
+		db.Put(Key(uint64(i)), []byte("new"))
+	}
+	for i := 2; i < 100; i += 4 {
+		db.Delete(Key(uint64(i)))
+	}
+	got := map[uint64]string{}
+	it := db.NewIterator()
+	for it.Next() {
+		var id uint64
+		for _, b := range it.Key() {
+			id = id<<8 | uint64(b)
+		}
+		got[id] = string(it.Value())
+	}
+	for i := uint64(0); i < 100; i++ {
+		want, present := "old", true
+		switch i % 4 {
+		case 0:
+			want = "new"
+		case 2:
+			present = false
+		}
+		v, ok := got[i]
+		if ok != present || (present && v != want) {
+			t.Fatalf("key %d: got %q,%v want %q,%v", i, v, ok, want, present)
+		}
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	db := Open(Options{MemTableBytes: 1 << 10})
+	for i := 0; i < 200; i += 2 { // even keys only
+		db.Put(Key(uint64(i)), []byte("x"))
+	}
+	it := db.NewIterator()
+	it.Seek(Key(101)) // odd: next live is 102
+	if !it.Next() {
+		t.Fatal("Seek exhausted iterator")
+	}
+	if !bytes.Equal(it.Key(), Key(102)) {
+		t.Fatalf("Seek(101) → %x, want key 102", it.Key())
+	}
+	// Seek beyond the end.
+	it.Seek(Key(10_000))
+	if it.Next() {
+		t.Fatal("Seek past end still yields entries")
+	}
+}
+
+func TestIteratorEmptyDB(t *testing.T) {
+	db := Open(Options{})
+	if db.NewIterator().Next() {
+		t.Fatal("empty DB iterator yielded an entry")
+	}
+}
+
+// Property: the iterator agrees with a map model after arbitrary
+// put/delete sequences.
+func TestIteratorMatchesModel(t *testing.T) {
+	err := quick.Check(func(ops []uint32) bool {
+		db := Open(Options{MemTableBytes: 512, MaxRuns: 2})
+		model := map[string]string{}
+		for _, op := range ops {
+			k := string(Key(uint64(op % 50)))
+			if (op>>16)%4 == 3 {
+				db.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", op)
+				db.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		var wantKeys []string
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		it := db.NewIterator()
+		var gotKeys []string
+		for it.Next() {
+			gotKeys = append(gotKeys, string(it.Key()))
+			if model[string(it.Key())] != string(it.Value()) {
+				return false
+			}
+		}
+		if len(gotKeys) != len(wantKeys) {
+			return false
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

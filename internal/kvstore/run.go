@@ -1,0 +1,81 @@
+package kvstore
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Run is an immutable sorted run — the in-memory stand-in for an
+// SSTable: a frozen memtable or the product of merging older runs.
+// Immutability makes concurrent reads trivially safe.
+type Run struct {
+	keys  [][]byte
+	vals  [][]byte
+	tombs []bool
+}
+
+// buildRun freezes a memtable into a sorted run.
+func buildRun(sl *SkipList) *Run {
+	r := &Run{
+		keys:  make([][]byte, 0, sl.Len()),
+		vals:  make([][]byte, 0, sl.Len()),
+		tombs: make([]bool, 0, sl.Len()),
+	}
+	sl.Ascend(func(k, v []byte, tomb bool) bool {
+		r.keys = append(r.keys, k)
+		r.vals = append(r.vals, v)
+		r.tombs = append(r.tombs, tomb)
+		return true
+	})
+	return r
+}
+
+// Get binary-searches the run.
+func (r *Run) Get(key []byte) (val []byte, tombstone, found bool) {
+	i := sort.Search(len(r.keys), func(i int) bool {
+		return bytes.Compare(r.keys[i], key) >= 0
+	})
+	if i < len(r.keys) && bytes.Equal(r.keys[i], key) {
+		return r.vals[i], r.tombs[i], true
+	}
+	return nil, false, false
+}
+
+// Len reports the number of entries (including tombstones).
+func (r *Run) Len() int { return len(r.keys) }
+
+// mergeRuns merges runs (ordered newest first) into one, applying
+// newest-wins semantics and dropping tombstones (a full merge is the
+// bottom level, so tombstones have nothing left to shadow).
+func mergeRuns(runs []*Run) *Run {
+	idx := make([]int, len(runs))
+	out := &Run{}
+	for {
+		// Find the smallest current key across runs; ties resolve to
+		// the newest run (lowest index).
+		best := -1
+		for ri := range runs {
+			if idx[ri] >= runs[ri].Len() {
+				continue
+			}
+			if best == -1 || bytes.Compare(runs[ri].keys[idx[ri]], runs[best].keys[idx[best]]) < 0 {
+				best = ri
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		key := runs[best].keys[idx[best]]
+		if !runs[best].tombs[idx[best]] {
+			out.keys = append(out.keys, key)
+			out.vals = append(out.vals, runs[best].vals[idx[best]])
+			out.tombs = append(out.tombs, false)
+		}
+		// Skip this key in every run.
+		for ri := range runs {
+			for idx[ri] < runs[ri].Len() && bytes.Equal(runs[ri].keys[idx[ri]], key) {
+				idx[ri]++
+			}
+		}
+	}
+}

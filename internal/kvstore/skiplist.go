@@ -1,0 +1,163 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// maxHeight bounds skiplist towers (LevelDB uses 12).
+const maxHeight = 12
+
+// valueBox carries a value or a deletion tombstone; boxes are
+// immutable once published, so readers can load them without locks.
+type valueBox struct {
+	data      []byte
+	tombstone bool
+}
+
+type slNode struct {
+	key    []byte
+	val    atomic.Pointer[valueBox]
+	height int
+	next   [maxHeight]atomic.Pointer[slNode]
+}
+
+// SkipList is an insert-only ordered map modeled on LevelDB's
+// memtable skiplist: exactly one writer at a time (the DB's central
+// mutex serializes writers) while readers traverse concurrently with
+// no locking at all — links are published bottom-up through atomic
+// pointers, so a reader always sees a consistent, complete prefix of
+// the structure.
+type SkipList struct {
+	head   *slNode
+	height atomic.Int32
+	nodes  atomic.Int64
+	bytes  atomic.Int64
+	rng    *xrand.XorShift64
+}
+
+// NewSkipList creates an empty list.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head: &slNode{height: maxHeight},
+		rng:  xrand.NewXorShift64(0x5ca1ab1e),
+	}
+}
+
+func (s *SkipList) randomHeight() int {
+	h := 1
+	// P = 1/4 branching, as in LevelDB.
+	for h < maxHeight && s.rng.Uint64()&3 == 0 {
+		h++
+	}
+	return h
+}
+
+// findPredecessors fills preds with the rightmost node before key at
+// every level and returns the candidate node (which may equal key).
+func (s *SkipList) findPredecessors(key []byte, preds *[maxHeight]*slNode) *slNode {
+	x := s.head
+	for lvl := int(s.height.Load()); lvl >= 0; lvl-- {
+		if lvl >= maxHeight {
+			continue
+		}
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt == nil || bytes.Compare(nxt.key, key) >= 0 {
+				break
+			}
+			x = nxt
+		}
+		preds[lvl] = x
+	}
+	return x.next[0].Load()
+}
+
+// Put inserts or updates key. Single writer only (callers hold the
+// DB mutex); readers may run concurrently.
+func (s *SkipList) Put(key, value []byte) {
+	s.put(key, &valueBox{data: append([]byte(nil), value...)})
+}
+
+// Delete records a tombstone for key.
+func (s *SkipList) Delete(key []byte) {
+	s.put(key, &valueBox{tombstone: true})
+}
+
+func (s *SkipList) put(key []byte, box *valueBox) {
+	var preds [maxHeight]*slNode
+	cand := s.findPredecessors(key, &preds)
+	if cand != nil && bytes.Equal(cand.key, key) {
+		old := cand.val.Load()
+		cand.val.Store(box)
+		s.bytes.Add(int64(len(box.data)) - int64(len(old.data)))
+		return
+	}
+	h := s.randomHeight()
+	n := &slNode{key: append([]byte(nil), key...), height: h}
+	n.val.Store(box)
+	if int32(h-1) > s.height.Load() {
+		s.height.Store(int32(h - 1))
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		pred := preds[lvl]
+		if pred == nil {
+			pred = s.head
+		}
+		n.next[lvl].Store(pred.next[lvl].Load())
+	}
+	// Publish bottom-up so concurrent readers never see a node at a
+	// high level that is missing below.
+	for lvl := 0; lvl < h; lvl++ {
+		pred := preds[lvl]
+		if pred == nil {
+			pred = s.head
+		}
+		pred.next[lvl].Store(n)
+	}
+	s.nodes.Add(1)
+	s.bytes.Add(int64(len(key) + len(box.data) + 32))
+}
+
+// Get returns the value for key; the second result distinguishes
+// "present" from "absent", and the third reports a tombstone.
+// Lock-free: safe concurrently with one writer.
+func (s *SkipList) Get(key []byte) ([]byte, bool, bool) {
+	x := s.head
+	for lvl := int(s.height.Load()); lvl >= 0; lvl-- {
+		if lvl >= maxHeight {
+			continue
+		}
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt == nil || bytes.Compare(nxt.key, key) > 0 {
+				break
+			}
+			if bytes.Equal(nxt.key, key) {
+				box := nxt.val.Load()
+				return box.data, true, box.tombstone
+			}
+			x = nxt
+		}
+	}
+	return nil, false, false
+}
+
+// Len reports the number of distinct keys.
+func (s *SkipList) Len() int { return int(s.nodes.Load()) }
+
+// Bytes reports the approximate memory footprint, the freeze trigger.
+func (s *SkipList) Bytes() int { return int(s.bytes.Load()) }
+
+// Ascend visits all entries in key order (including tombstones).
+// Requires quiescence or an immutable (frozen) list.
+func (s *SkipList) Ascend(fn func(key, value []byte, tombstone bool) bool) {
+	for n := s.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		box := n.val.Load()
+		if !fn(n.key, box.data, box.tombstone) {
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package llcmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/admission"
+)
+
+func TestResidualBasics(t *testing.T) {
+	if Residual(0, 0.5) != 1 {
+		t.Fatal("Residual(0) != 1")
+	}
+	if Residual(10, 0.5) >= Residual(5, 0.5) {
+		t.Fatal("Residual not decreasing")
+	}
+	l := LambdaFromHalfLife(4)
+	if math.Abs(Residual(4, l)-0.5) > 1e-12 {
+		t.Fatalf("half-life residual = %v, want 0.5", Residual(4, l))
+	}
+}
+
+// Appendix C's worked example: under FIFO over 5 threads every wait is
+// 4; under the palindrome schedule thread B's waits alternate 2 and 6.
+func TestAppendixCWaitTimes(t *testing.T) {
+	lambda := LambdaFromHalfLife(3)
+	fifo := Evaluate(admission.FIFOSchedule(5, 1), 5, lambda)
+	want := Residual(4, lambda)
+	for tid, r := range fifo.PerThreadResidual {
+		if math.Abs(r-want) > 1e-12 {
+			t.Fatalf("FIFO thread %d residual %v, want %v", tid, r, want)
+		}
+	}
+
+	pal := Evaluate(admission.PalindromeSchedule(5, 1), 5, lambda)
+	// Thread 1 (B): waits 2 and 6 (positions 1 and 8 in period 10).
+	wantB := (Residual(2, lambda) + Residual(6, lambda)) / 2
+	if math.Abs(pal.PerThreadResidual[1]-wantB) > 1e-12 {
+		t.Fatalf("palindrome thread B residual %v, want %v", pal.PerThreadResidual[1], wantB)
+	}
+}
+
+// The central Appendix C claim (Jensen's inequality): every thread's
+// residual under the palindrome schedule is >= its FIFO residual, so
+// the aggregate miss rate is lower.
+func TestJensenPalindromeBeatsFIFO(t *testing.T) {
+	for _, halfLife := range []float64{0.5, 1, 2, 4, 16} {
+		lambda := LambdaFromHalfLife(halfLife)
+		for _, n := range []int{3, 5, 9, 16} {
+			fifo := Evaluate(admission.FIFOSchedule(n, 1), n, lambda)
+			pal := Evaluate(admission.PalindromeSchedule(n, 1), n, lambda)
+			for tid := 0; tid < n; tid++ {
+				if pal.PerThreadResidual[tid] < fifo.PerThreadResidual[tid]-1e-12 {
+					t.Fatalf("n=%d hl=%v: thread %d palindrome residual %v < FIFO %v",
+						n, halfLife, tid, pal.PerThreadResidual[tid], fifo.PerThreadResidual[tid])
+				}
+			}
+			if pal.Aggregate < fifo.Aggregate-1e-12 {
+				t.Fatalf("n=%d hl=%v: palindrome aggregate %v < FIFO %v",
+					n, halfLife, pal.Aggregate, fifo.Aggregate)
+			}
+			if pal.MissRate > fifo.MissRate+1e-12 {
+				t.Fatalf("n=%d hl=%v: palindrome miss rate %v > FIFO %v",
+					n, halfLife, pal.MissRate, fifo.MissRate)
+			}
+		}
+	}
+}
+
+// The reciprocating cycle (Table 2) also beats FIFO in aggregate, and
+// exhibits residency disparity across threads — the "different form of
+// unfairness" (§9.3).
+func TestReciprocatingCycleResidency(t *testing.T) {
+	lambda := LambdaFromHalfLife(2)
+	n := 5
+	fifo := Evaluate(admission.FIFOSchedule(n, 1), n, lambda)
+	rcp := Evaluate(admission.ReciprocatingCycleSchedule(n, 1), n, lambda)
+	if rcp.Aggregate <= fifo.Aggregate {
+		t.Fatalf("reciprocating aggregate %v should beat FIFO %v", rcp.Aggregate, fifo.Aggregate)
+	}
+	if rcp.ResidencyDisparity() <= 1 {
+		t.Fatalf("reciprocating disparity %v should exceed 1", rcp.ResidencyDisparity())
+	}
+	if fifo.ResidencyDisparity() != 1 {
+		t.Fatalf("FIFO disparity %v should be exactly 1", fifo.ResidencyDisparity())
+	}
+}
+
+// A random schedule is statistically long-term fair while still
+// beating FIFO's aggregate miss rate (§9.4 / Appendix C note).
+func TestRandomScheduleBeatsFIFOAggregate(t *testing.T) {
+	lambda := LambdaFromHalfLife(2)
+	n := 5
+	fifo := Evaluate(admission.FIFOSchedule(n, 1000), n, lambda)
+	rnd := Evaluate(admission.RandomSchedule(n, 5000*n, 7), n, lambda)
+	if rnd.Aggregate <= fifo.Aggregate {
+		t.Fatalf("random aggregate %v should beat FIFO %v", rnd.Aggregate, fifo.Aggregate)
+	}
+	// Fairness: per-thread residuals close to each other.
+	if rnd.ResidencyDisparity() > 1.2 {
+		t.Fatalf("random schedule residency disparity %v too high", rnd.ResidencyDisparity())
+	}
+}
+
+func TestEvaluateSkipsAbsentThreads(t *testing.T) {
+	rep := Evaluate([]int{0, 1, 0, 1}, 3, 0.3)
+	if !math.IsNaN(rep.PerThreadResidual[2]) {
+		t.Fatal("absent thread should have NaN residual")
+	}
+	if math.IsNaN(rep.Aggregate) || rep.Aggregate <= 0 {
+		t.Fatal("aggregate should ignore absent threads")
+	}
+}

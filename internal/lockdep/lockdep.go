@@ -1,0 +1,203 @@
+// Package lockdep is a lock-order validator in the spirit of the
+// Linux kernel's lockdep facility, which the paper cites when
+// motivating the plural-locking requirement (§5: 40+ locks held
+// simultaneously, tracked in an explicit per-thread list via
+// MAX_LOCK_DEPTH). It wraps any sync.Locker, records the set of locks
+// a worker currently holds, learns held→acquired ordering edges, and
+// reports a potential deadlock the first time an acquisition would
+// close a cycle in the global lock-order graph — catching A→B vs B→A
+// inversions even when they never actually deadlock during the run.
+//
+// Go has no thread-local storage, so each worker explicitly owns a
+// *Worker handle (the analog of the kernel's per-task held-locks
+// array).
+//
+//	dep := lockdep.New()
+//	a := dep.Wrap(&muA, "A")
+//	b := dep.Wrap(&muB, "B")
+//	w := dep.NewWorker()
+//	w.Lock(a); w.Lock(b)   // learns A→B
+//	w.Unlock(b); w.Unlock(a)
+//	// any worker later doing Lock(b); Lock(a) gets an ordering report
+package lockdep
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MaxLockDepth mirrors the kernel tunable: the maximum number of
+// locks one worker may hold simultaneously.
+const MaxLockDepth = 48
+
+// Guard is a validated lock: the wrapped Locker plus its identity in
+// the order graph.
+type Guard struct {
+	mu   sync.Locker
+	id   int
+	name string
+}
+
+// Name returns the guard's registration name.
+func (g *Guard) Name() string { return g.name }
+
+// Violation describes a detected ordering problem.
+type Violation struct {
+	// Cycle is the chain of guard names forming the inversion, e.g.
+	// ["B", "A", "B"]: acquiring B while holding A would close the
+	// cycle A→B→...→A.
+	Cycle []string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("lockdep: lock-order inversion: %v", v.Cycle)
+}
+
+// Dep is a lock-order registry. All methods are safe for concurrent
+// use.
+type Dep struct {
+	mu sync.Mutex
+	// edges[a][b] records that some worker acquired b while holding a.
+	edges  []map[int]bool
+	guards []*Guard
+
+	// OnViolation, if non-nil, receives each violation; the default
+	// panics, kernel-style ("lockdep splat").
+	OnViolation func(*Violation)
+}
+
+// New creates an empty registry.
+func New() *Dep { return &Dep{} }
+
+// Wrap registers a lock under a name and returns its guard.
+func (d *Dep) Wrap(mu sync.Locker, name string) *Guard {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g := &Guard{mu: mu, id: len(d.guards), name: name}
+	d.guards = append(d.guards, g)
+	d.edges = append(d.edges, map[int]bool{})
+	return g
+}
+
+// Worker tracks one goroutine's held locks.
+type Worker struct {
+	dep  *Dep
+	held []*Guard
+}
+
+// NewWorker creates a handle for one goroutine. Handles must not be
+// shared between concurrently running goroutines.
+func (d *Dep) NewWorker() *Worker { return &Worker{dep: d} }
+
+// Lock validates ordering, records edges, and acquires g.
+func (w *Worker) Lock(g *Guard) {
+	w.dep.before(w, g)
+	g.mu.Lock()
+	w.held = append(w.held, g)
+}
+
+// TryLockable is the optional interface for guards whose underlying
+// lock supports TryLock.
+type TryLockable interface {
+	TryLock() bool
+}
+
+// TryLock attempts a non-blocking acquire; ordering edges are recorded
+// only on success (a failed trylock cannot deadlock).
+func (w *Worker) TryLock(g *Guard) bool {
+	tl, ok := g.mu.(TryLockable)
+	if !ok {
+		panic("lockdep: underlying lock does not support TryLock")
+	}
+	if !tl.TryLock() {
+		return false
+	}
+	w.dep.before(w, g) // edges recorded post-hoc; still validates order
+	w.held = append(w.held, g)
+	return true
+}
+
+// Unlock releases g, which may be any currently held lock (non-LIFO
+// imbalanced release is expected and legal, §5).
+func (w *Worker) Unlock(g *Guard) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == g {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			g.mu.Unlock()
+			return
+		}
+	}
+	panic(fmt.Sprintf("lockdep: unlock of %q which is not held", g.name))
+}
+
+// Held returns the names of currently held locks, innermost last.
+func (w *Worker) Held() []string {
+	out := make([]string, len(w.held))
+	for i, g := range w.held {
+		out[i] = g.name
+	}
+	return out
+}
+
+// before validates and records ordering prior to acquiring g.
+func (d *Dep) before(w *Worker, g *Guard) {
+	if len(w.held) >= MaxLockDepth {
+		panic(fmt.Sprintf("lockdep: worker exceeds MaxLockDepth=%d", MaxLockDepth))
+	}
+	for _, h := range w.held {
+		if h == g {
+			d.report(&Violation{Cycle: []string{g.name, g.name}})
+			return
+		}
+	}
+	d.mu.Lock()
+	// Would adding held→g close a cycle? Check whether g already
+	// reaches any held lock.
+	var bad []string
+	for _, h := range w.held {
+		if path := d.pathLocked(g.id, h.id); path != nil {
+			bad = append([]string{h.name}, path...)
+			break
+		}
+	}
+	if bad == nil {
+		for _, h := range w.held {
+			d.edges[h.id][g.id] = true
+		}
+	}
+	d.mu.Unlock()
+	if bad != nil {
+		d.report(&Violation{Cycle: bad})
+	}
+}
+
+// pathLocked returns the guard-name path from a to b through recorded
+// edges, or nil. Caller holds d.mu.
+func (d *Dep) pathLocked(a, b int) []string {
+	visited := make([]bool, len(d.guards))
+	var dfs func(cur int, acc []string) []string
+	dfs = func(cur int, acc []string) []string {
+		if cur == b {
+			return append(acc, d.guards[cur].name)
+		}
+		if visited[cur] {
+			return nil
+		}
+		visited[cur] = true
+		for nxt := range d.edges[cur] {
+			if p := dfs(nxt, append(acc, d.guards[cur].name)); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(a, nil)
+}
+
+func (d *Dep) report(v *Violation) {
+	if d.OnViolation != nil {
+		d.OnViolation(v)
+		return
+	}
+	panic(v.Error())
+}

@@ -1,0 +1,63 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+	"repro/internal/waiter"
+)
+
+// ABQLock is Anderson's array-based queue lock [5, 6]: a ticket lock
+// whose waiters each spin on a private slot of a per-lock array,
+// giving FIFO admission with local spinning. Its drawbacks — the
+// reason §5 excludes this family for general-purpose use — are the
+// T*L space footprint and the fixed capacity: the maximum number of
+// simultaneous participants must be known when the lock is created.
+type ABQLock struct {
+	slots []struct {
+		flag atomic.Uint32
+		_    [pad.SectorSize - 4]byte
+	}
+	ticket atomic.Uint64
+	// self is the owner's slot index (acquire-to-release context,
+	// owner-owned).
+	self   uint64
+	Policy waiter.Policy
+}
+
+// NewABQL creates a lock supporting at most capacity simultaneous
+// participants (holders plus waiters).
+func NewABQL(capacity int) *ABQLock {
+	if capacity < 1 {
+		panic("locks: ABQL capacity must be positive")
+	}
+	l := &ABQLock{}
+	l.slots = make([]struct {
+		flag atomic.Uint32
+		_    [pad.SectorSize - 4]byte
+	}, capacity)
+	l.slots[0].flag.Store(1) // slot 0 starts granted
+	return l
+}
+
+// Lock acquires l. More than cap simultaneous participants is a usage
+// error and corrupts the queue, exactly as with the original.
+func (l *ABQLock) Lock() {
+	tx := l.ticket.Add(1) - 1
+	idx := tx % uint64(len(l.slots))
+	w := waiter.New(l.Policy)
+	for l.slots[idx].flag.Load() == 0 {
+		w.Pause()
+	}
+	l.slots[idx].flag.Store(0) // consume the grant for the next lap
+	l.self = idx
+}
+
+// Unlock releases l, granting the next slot.
+func (l *ABQLock) Unlock() {
+	next := (l.self + 1) % uint64(len(l.slots))
+	l.slots[next].flag.Store(1)
+}
+
+// Capacity reports the maximum supported participants.
+func (l *ABQLock) Capacity() int { return len(l.slots) }

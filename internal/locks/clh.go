@@ -1,0 +1,79 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pad"
+	"repro/internal/waiter"
+)
+
+// clhNode is a CLH queue node. Under CLH, nodes migrate between
+// threads: a releasing thread's node is inherited (and here recycled)
+// by its successor, which the paper flags as NUMA-unfriendly and as
+// the source of CLH's extra indirection (§8).
+type clhNode struct {
+	succMustWait atomic.Uint32
+	_            [pad.SectorSize - 4]byte
+}
+
+var clhPool = sync.Pool{New: func() any { return new(clhNode) }}
+
+// CLHLock is the CLH queue lock in the standard-interface form of
+// Scott's Figure 4.14 [52]: the lock body carries the tail and the
+// owner's node (head), so nothing needs to be passed by the caller.
+// The required dummy node is installed lazily on first acquisition,
+// mirroring the paper's handling of trivially initialized
+// pthread_mutex instances (§7.1): the zero value is an unlocked lock.
+//
+// Note CLH's arrival performs a dependent load on the address
+// returned by the exchange — the waiter cannot know where it will
+// spin until the exchange completes (§8's stall analysis).
+type CLHLock struct {
+	tail atomic.Pointer[clhNode]
+	// head is the owner's node (owner-owned acquire-to-release
+	// context), making the lock body two words as in Table 1.
+	head   *clhNode
+	Policy waiter.Policy
+}
+
+// ensureInit installs the dummy node on first use.
+func (l *CLHLock) ensureInit() {
+	if l.tail.Load() != nil {
+		return
+	}
+	dummy := clhPool.Get().(*clhNode)
+	dummy.succMustWait.Store(0)
+	if !l.tail.CompareAndSwap(nil, dummy) {
+		clhPool.Put(dummy) // raced; someone else initialized
+	}
+}
+
+// Lock acquires l.
+func (l *CLHLock) Lock() {
+	l.ensureInit()
+	n := clhPool.Get().(*clhNode)
+	n.succMustWait.Store(1)
+	pred := l.tail.Swap(n)
+	// Dependent load chain: spin on the predecessor's node.
+	w := waiter.New(l.Policy)
+	for pred.succMustWait.Load() != 0 {
+		w.Pause()
+	}
+	// We own the lock. The predecessor's node is now ours to recycle
+	// (nodes circulate); our own node stays enqueued until release.
+	clhPool.Put(pred)
+	l.head = n
+}
+
+// Unlock releases l: a single store, constant time, no atomics (§6).
+func (l *CLHLock) Unlock() {
+	n := l.head
+	l.head = nil
+	n.succMustWait.Store(0)
+}
+
+// CLH deliberately offers no TryLock: because nodes circulate through
+// the pool, a load-check-CAS attempt is exposed to A-B-A on the tail
+// (the observed node can be recycled and re-pushed between the check
+// and the CAS), which would break mutual exclusion.

@@ -1,0 +1,42 @@
+// Package locks implements every baseline mutual-exclusion algorithm
+// the paper evaluates Reciprocating Locks against (§6, §7), plus the
+// Appendix G retrograde ticket locks:
+//
+//	TASLock        test-and-set; compact, unfair, unscalable.
+//	TTASLock       polite test-and-test-and-set.
+//	TicketLock     classic FIFO ticket lock (TKT); global spinning.
+//	TWALock        ticket lock augmented with a waiting array [22]:
+//	               long-distance waiters park on a hashed slot of a
+//	               global array, leaving at most one global spinner.
+//	ABQLock        Anderson's array-based queue lock: FIFO, local
+//	               spinning, but T*L space and a fixed capacity.
+//	MCSLock        classic MCS with a per-episode node recycled
+//	               through a pool (the paper's implementations use a
+//	               thread-local free stack for the same reason).
+//	CLHLock        CLH in Scott's Figure 4.14 standard-interface form:
+//	               the head (owner) node is stored in the lock body,
+//	               the dummy node is installed lazily on first use,
+//	               and nodes circulate between threads.
+//	HemLock        Dice & Kogan's HemLock: per-episode element,
+//	               address-based ownership transfer, synchronous
+//	               release-side acknowledgement (CTR handshake).
+//	ChenLock       Chen & Huang's stack-based bounded-bypass lock —
+//	               the closest related work: exchange-arrival LIFO
+//	               stack with detach-on-exhaustion, but ownership is
+//	               published through central words, so all waiting is
+//	               global spinning and every release mutates shared
+//	               globals.
+//	RetrogradeLock Appendix G Listing 7: a ticket lock whose Release
+//	               walks the entry segment in descending ticket order,
+//	               reproducing the Reciprocating admission schedule.
+//	RetrogradeRandLock Appendix G's randomized variant: Bernoulli
+//	               head/tail succession with a CountDown refresh,
+//	               breaking palindromic cycles while keeping bounded
+//	               bypass.
+//
+// Every lock implements sync.Locker with a usable zero value unless
+// noted (ABQLock requires a capacity, so it has a constructor).
+// Acquire-to-release context, where an algorithm needs it, lives in
+// owner-owned words of the lock body — the same convention the
+// paper's pthread interposition library uses (§7).
+package locks

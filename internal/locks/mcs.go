@@ -1,0 +1,86 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pad"
+	"repro/internal/waiter"
+)
+
+// mcsNode is an MCS queue node. Nodes are recycled through a pool:
+// the paper's pthread implementation keeps a thread-local free stack
+// for the same purpose, because a node cannot be reclaimed until the
+// matching unlock (§7.1).
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Uint32
+	_      [pad.SectorSize - 12]byte
+}
+
+var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
+
+// MCSLock is the classic Mellor-Crummey–Scott queue lock: FIFO, local
+// spinning on one's own node, explicit next pointers (the queue can
+// be edited, unlike CLH/HemLock/Reciprocating). The owner's node is
+// kept in the lock body as acquire-to-release context, making the
+// lock two words as in the paper's Table 1 accounting.
+//
+// The zero value is an unlocked lock.
+type MCSLock struct {
+	tail atomic.Pointer[mcsNode]
+	// head is the owner's node (owner-owned context).
+	head   *mcsNode
+	Policy waiter.Policy
+}
+
+// Lock acquires l.
+func (l *MCSLock) Lock() {
+	n := mcsPool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.locked.Store(1)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		// Enqueue behind pred and spin locally on our own node.
+		pred.next.Store(n)
+		w := waiter.New(l.Policy)
+		for n.locked.Load() != 0 {
+			w.Pause()
+		}
+	}
+	l.head = n
+}
+
+// Unlock releases l.
+func (l *MCSLock) Unlock() {
+	n := l.head
+	l.head = nil
+	if n.next.Load() == nil {
+		// Appears uncontended: try to swing the tail back to nil.
+		if l.tail.CompareAndSwap(n, nil) {
+			mcsPool.Put(n)
+			return
+		}
+		// A successor is mid-enqueue: wait for its link to appear.
+		// This is the non-constant-time release path of MCS (§6).
+		w := waiter.New(l.Policy)
+		for n.next.Load() == nil {
+			w.Pause()
+		}
+	}
+	n.next.Load().locked.Store(0)
+	mcsPool.Put(n)
+}
+
+// TryLock attempts a non-blocking acquire.
+func (l *MCSLock) TryLock() bool {
+	n := mcsPool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.locked.Store(0)
+	if l.tail.CompareAndSwap(nil, n) {
+		l.head = n
+		return true
+	}
+	mcsPool.Put(n)
+	return false
+}

@@ -1,0 +1,98 @@
+package mutexbench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunIterationMode(t *testing.T) {
+	for _, lf := range PaperSet() {
+		lf := lf
+		t.Run(lf.Name, func(t *testing.T) {
+			res := Run(lf, Config{Threads: 4, Iterations: 500, CSSteps: 1, Runs: 1})
+			if res.Name != lf.Name || res.Threads != 4 {
+				t.Fatalf("result identity wrong: %+v", res)
+			}
+			var total uint64
+			for _, v := range res.PerThread {
+				total += v
+			}
+			if total != 4*500 {
+				t.Fatalf("total ops = %d, want %d", total, 4*500)
+			}
+			if res.Mops <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+			if res.Jain <= 0 || res.Jain > 1 {
+				t.Fatalf("Jain = %v", res.Jain)
+			}
+		})
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	lf, ok := ByName("Recipro")
+	if !ok {
+		t.Fatal("Recipro missing from registry")
+	}
+	res := Run(lf, Config{Threads: 2, Duration: 50 * time.Millisecond, CSSteps: 1, Runs: 1})
+	var total uint64
+	for _, v := range res.PerThread {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("duration mode performed no iterations")
+	}
+}
+
+func TestMedianOfRuns(t *testing.T) {
+	lf, _ := ByName("TKT")
+	res := Run(lf, Config{Threads: 2, Iterations: 300, CSSteps: 1, Runs: 3})
+	if len(res.AllRuns) != 3 {
+		t.Fatalf("runs recorded = %d", len(res.AllRuns))
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	lfs := PaperSet()[:2]
+	res := Sweep(lfs, []int{1, 2}, Config{Iterations: 100, CSSteps: 1, Runs: 1})
+	if len(res) != 4 {
+		t.Fatalf("sweep rows = %d, want 4", len(res))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(PaperSet()) != 6 {
+		t.Fatalf("paper set has %d locks, want 6 (Figure 1 legend)", len(PaperSet()))
+	}
+	names := map[string]bool{}
+	for _, lf := range AllSet() {
+		if names[lf.Name] {
+			t.Fatalf("duplicate lock name %q", lf.Name)
+		}
+		names[lf.Name] = true
+		l := lf.New()
+		l.Lock()
+		l.Unlock()
+	}
+	for _, want := range []string{"TKT", "MCS", "CLH", "TWA", "HemLock", "Recipro",
+		"Recipro-L2", "Recipro-L3", "Recipro-L4", "Recipro-L5", "Recipro-L6",
+		"Gated", "TwoLane", "Fair", "Chen", "Retrograde", "RetroRand"} {
+		if !names[want] {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+}
+
+// NCS work must actually vary workload: moderate contention performs
+// fewer lock acquisitions per second than maximal contention under
+// identical everything else.
+func TestNCSReducesLockPressure(t *testing.T) {
+	lf, _ := ByName("Recipro")
+	maxC := Run(lf, Config{Threads: 2, Iterations: 2000, CSSteps: 1, NCSMaxSteps: 0, Runs: 1})
+	modC := Run(lf, Config{Threads: 2, Iterations: 2000, CSSteps: 1, NCSMaxSteps: 250, Runs: 1})
+	if modC.Mops >= maxC.Mops {
+		t.Fatalf("moderate contention (%v Mops) should be slower per-iteration than maximal (%v Mops)",
+			modC.Mops, maxC.Mops)
+	}
+}

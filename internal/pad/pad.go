@@ -1,0 +1,39 @@
+// Package pad provides cache-line padding helpers used to sequester hot
+// fields onto private cache sectors.
+//
+// The paper aligns wait elements and lock instances at 128-byte
+// boundaries ("sequestered at 128-byte boundaries") to defeat false
+// sharing and to match the 128-byte sector size used by the prefetchers
+// on the evaluated Intel parts. We follow the same convention: a sector
+// is 128 bytes even on machines whose coherence granule is 64 bytes,
+// because adjacent-line prefetchers make the effective false-sharing
+// granule two lines.
+package pad
+
+// SectorSize is the alignment/padding quantum applied to contended
+// structures, in bytes.
+const SectorSize = 128
+
+// CacheLineSize is the assumed coherence granule in bytes.
+const CacheLineSize = 64
+
+// Line pads a struct to the size of one cache line when embedded after
+// a field smaller than a line. Embed it to push the next field onto a
+// fresh line.
+type Line [CacheLineSize]byte
+
+// Sector pads a struct to one 128-byte sector. Embed it after hot
+// fields so that two logically distinct hot fields never share a
+// sector.
+type Sector [SectorSize]byte
+
+// SectorAfter returns the number of padding bytes needed after a field
+// of the given size so that the enclosing struct occupies a whole
+// number of sectors.
+func SectorAfter(fieldSize uintptr) uintptr {
+	r := fieldSize % SectorSize
+	if r == 0 {
+		return 0
+	}
+	return SectorSize - r
+}

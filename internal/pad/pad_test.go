@@ -1,0 +1,62 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSectorAfter(t *testing.T) {
+	cases := []struct {
+		in, want uintptr
+	}{
+		{0, 0},
+		{1, 127},
+		{8, 120},
+		{64, 64},
+		{127, 1},
+		{128, 0},
+		{129, 127},
+		{256, 0},
+	}
+	for _, c := range cases {
+		if got := SectorAfter(c.in); got != c.want {
+			t.Errorf("SectorAfter(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSectorAfterProducesSectorMultiple(t *testing.T) {
+	for sz := uintptr(0); sz < 4*SectorSize; sz++ {
+		total := sz + SectorAfter(sz)
+		if total%SectorSize != 0 {
+			t.Fatalf("size %d: padded total %d not a sector multiple", sz, total)
+		}
+		if SectorAfter(sz) >= SectorSize {
+			t.Fatalf("size %d: padding %d is a full sector or more", sz, SectorAfter(sz))
+		}
+	}
+}
+
+func TestPadTypesHaveDeclaredSizes(t *testing.T) {
+	if unsafe.Sizeof(Line{}) != CacheLineSize {
+		t.Errorf("Line size = %d, want %d", unsafe.Sizeof(Line{}), CacheLineSize)
+	}
+	if unsafe.Sizeof(Sector{}) != SectorSize {
+		t.Errorf("Sector size = %d, want %d", unsafe.Sizeof(Sector{}), SectorSize)
+	}
+}
+
+// A struct embedding Sector after a word must not share its sector with
+// a following struct in an array.
+func TestSectorSeparationInArray(t *testing.T) {
+	type padded struct {
+		v uint64
+		_ [SectorSize - 8]byte
+	}
+	var arr [2]padded
+	a := uintptr(unsafe.Pointer(&arr[0].v))
+	b := uintptr(unsafe.Pointer(&arr[1].v))
+	if b-a < SectorSize {
+		t.Errorf("array elements %d bytes apart, want >= %d", b-a, SectorSize)
+	}
+}

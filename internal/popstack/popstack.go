@@ -1,0 +1,91 @@
+// Package popstack implements the concurrent pop-stack of Avis and
+// Newborn: a stack supporting only Push and DetachAll ("detach the
+// whole stack at once"). The Reciprocating Lock's arrival segment is a
+// pop-stack — the restriction to detach-all (never pop-one) is what
+// makes the structure immune to the A-B-A pathology that plagues
+// Treiber stacks with free-running pops (§2).
+//
+// Two flavors are provided:
+//
+//   - Stack[T]: a general-purpose boxed pop-stack with explicit nodes
+//     (CAS push, exchange detach). Used by tests and tools.
+//   - IntrusiveStack: the implicit-chain form the locks actually use,
+//     where Push is a single wait-free atomic exchange and each pusher
+//     learns only its immediate neighbor — no next pointers exist in
+//     memory at all, exactly matching the paper's arrival word. The
+//     chain is reconstructed by the consumers as succession proceeds.
+package popstack
+
+import "sync/atomic"
+
+type node[T any] struct {
+	v    T
+	next *node[T]
+}
+
+// Stack is a concurrent pop-stack with explicit nodes. The zero value
+// is an empty stack ready for use.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+}
+
+// Push prepends v. It may retry under contention (lock-free, not
+// wait-free; the locks use IntrusiveStack to get wait-freedom).
+func (s *Stack[T]) Push(v T) {
+	n := &node[T]{v: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// DetachAll atomically removes the entire stack and returns its
+// elements in LIFO order (most recently pushed first). Because the
+// whole chain is privatized by a single exchange, no A-B-A hazard
+// exists.
+func (s *Stack[T]) DetachAll() []T {
+	head := s.top.Swap(nil)
+	var out []T
+	for n := head; n != nil; n = n.next {
+		out = append(out, n.v)
+	}
+	return out
+}
+
+// Empty reports whether the stack was empty at the instant of the load.
+func (s *Stack[T]) Empty() bool { return s.top.Load() == nil }
+
+// IntrusiveStack is the implicit-chain pop-stack used by the lock
+// algorithms: pushers install their element address with one atomic
+// exchange and receive the previous top — their admission-order
+// successor — as the return value. No next field is ever written, so a
+// detached segment can only be traversed by relaying each element's
+// neighbor through some out-of-band channel (the Gate/eos values in the
+// locks).
+type IntrusiveStack[T any] struct {
+	top atomic.Pointer[T]
+}
+
+// Push installs e as the new top with a single wait-free exchange and
+// returns the previous top (nil if the stack was empty). The caller
+// owns the returned linkage information.
+func (s *IntrusiveStack[T]) Push(e *T) *T { return s.top.Swap(e) }
+
+// DetachAll privatizes the stack with a single exchange, leaving it
+// empty, and returns the most recently pushed element (the head of the
+// implicit chain), or nil.
+func (s *IntrusiveStack[T]) DetachAll() *T { return s.top.Swap(nil) }
+
+// Top returns the current top without modifying the stack.
+func (s *IntrusiveStack[T]) Top() *T { return s.top.Load() }
+
+// CompareAndSwap exposes CAS on the top for lock fast paths.
+func (s *IntrusiveStack[T]) CompareAndSwap(old, new *T) bool {
+	return s.top.CompareAndSwap(old, new)
+}
+
+// Swap exchanges the top for e and returns the previous value.
+func (s *IntrusiveStack[T]) Swap(e *T) *T { return s.top.Swap(e) }

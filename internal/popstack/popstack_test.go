@@ -1,0 +1,252 @@
+package popstack
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackLIFOWithinDetach(t *testing.T) {
+	var s Stack[int]
+	for i := 0; i < 10; i++ {
+		s.Push(i)
+	}
+	got := s.DetachAll()
+	if len(got) != 10 {
+		t.Fatalf("detached %d elements, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != 9-i {
+			t.Fatalf("position %d = %d, want %d (LIFO)", i, v, 9-i)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after DetachAll")
+	}
+}
+
+func TestDetachAllOnEmpty(t *testing.T) {
+	var s Stack[string]
+	if got := s.DetachAll(); len(got) != 0 {
+		t.Fatalf("DetachAll on empty returned %v", got)
+	}
+}
+
+// Multiset preservation: everything pushed by concurrent producers is
+// recovered exactly once across interleaved detaches.
+func TestConcurrentPushDetachMultiset(t *testing.T) {
+	var s Stack[int]
+	const producers = 8
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Push(p*perProducer + i)
+			}
+		}()
+	}
+	var mu sync.Mutex
+	var all []int
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		batch := s.DetachAll()
+		mu.Lock()
+		all = append(all, batch...)
+		mu.Unlock()
+		select {
+		case <-done:
+			all = append(all, s.DetachAll()...)
+			goto verify
+		default:
+		}
+	}
+verify:
+	if len(all) != producers*perProducer {
+		t.Fatalf("recovered %d elements, want %d", len(all), producers*perProducer)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+		}
+	}
+}
+
+// Per-producer suborder: within one detached batch, a single producer's
+// elements must appear in reverse push order (stack semantics survive
+// interleaving).
+func TestPerProducerOrderWithinBatch(t *testing.T) {
+	var s Stack[[2]int] // {producer, seq}
+	const producers = 4
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Push([2]int{p, i})
+			}
+		}()
+	}
+	wg.Wait()
+	batch := s.DetachAll()
+	lastSeq := map[int]int{}
+	for _, e := range batch {
+		p, seq := e[0], e[1]
+		if prev, ok := lastSeq[p]; ok && seq >= prev {
+			t.Fatalf("producer %d sequence not descending: %d after %d", p, seq, prev)
+		}
+		lastSeq[p] = seq
+	}
+}
+
+// Property test against a model: a serial sequence of pushes and
+// detaches behaves like a slice-backed stack.
+func TestStackMatchesModel(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		var s Stack[int]
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%4 == 0 { // 25% detach
+				got := s.DetachAll()
+				want := make([]int, 0, len(model))
+				for i := len(model) - 1; i >= 0; i-- {
+					want = append(want, model[i])
+				}
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				model = model[:0]
+			} else {
+				s.Push(next)
+				model = append(model, next)
+				next++
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type elem struct {
+	id   int
+	prev *elem
+}
+
+func TestIntrusivePushReturnsNeighbor(t *testing.T) {
+	var s IntrusiveStack[elem]
+	es := make([]*elem, 5)
+	for i := range es {
+		es[i] = &elem{id: i}
+	}
+	if got := s.Push(es[0]); got != nil {
+		t.Fatalf("first push returned %v, want nil", got)
+	}
+	for i := 1; i < len(es); i++ {
+		got := s.Push(es[i])
+		if got != es[i-1] {
+			t.Fatalf("push %d returned element %v, want previous top %d", i, got, i-1)
+		}
+		es[i].prev = got
+	}
+	if s.Top() != es[4] {
+		t.Fatal("Top is not the most recent pusher")
+	}
+	head := s.DetachAll()
+	if head != es[4] {
+		t.Fatal("DetachAll did not return most recent pusher")
+	}
+	if s.Top() != nil {
+		t.Fatal("stack not empty after DetachAll")
+	}
+	// Implicit chain reconstruction: following prev pointers captured
+	// at push time walks the whole segment.
+	seen := 0
+	for e := head; e != nil; e = e.prev {
+		seen++
+	}
+	if seen != 5 {
+		t.Fatalf("implicit chain length %d, want 5", seen)
+	}
+}
+
+func TestIntrusiveCASFastPath(t *testing.T) {
+	var s IntrusiveStack[elem]
+	e := &elem{id: 1}
+	if !s.CompareAndSwap(nil, e) {
+		t.Fatal("CAS on empty failed")
+	}
+	if s.CompareAndSwap(nil, &elem{}) {
+		t.Fatal("CAS should fail when top mismatches")
+	}
+	if got := s.Swap(nil); got != e {
+		t.Fatalf("Swap returned %v", got)
+	}
+}
+
+// Concurrent intrusive pushes: every pusher's returned neighbor chain,
+// stitched together, must reconstruct the full set with no loss.
+func TestIntrusiveConcurrentChainComplete(t *testing.T) {
+	var s IntrusiveStack[elem]
+	const n = 64
+	var wg sync.WaitGroup
+	prevs := make([]*elem, n)
+	elems := make([]*elem, n)
+	for i := 0; i < n; i++ {
+		elems[i] = &elem{id: i}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prevs[i] = s.Push(elems[i])
+		}()
+	}
+	wg.Wait()
+	// Build successor map: element -> what its pusher saw below it.
+	below := map[*elem]*elem{}
+	var root int
+	roots := 0
+	for i := 0; i < n; i++ {
+		below[elems[i]] = prevs[i]
+		if prevs[i] == nil {
+			root = i
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d elements saw an empty stack, want exactly 1", roots)
+	}
+	_ = root
+	head := s.DetachAll()
+	count := 0
+	for e := head; e != nil; e = below[e] {
+		count++
+		if count > n {
+			t.Fatal("cycle in implicit chain")
+		}
+	}
+	if count != n {
+		t.Fatalf("chain visits %d elements, want %d", count, n)
+	}
+}

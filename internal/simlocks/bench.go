@@ -1,0 +1,220 @@
+package simlocks
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/xrand"
+)
+
+// Config shapes one simulated MutexBench run.
+type Config struct {
+	Threads  int
+	Episodes int // per thread
+	Warmup   int // episodes excluded from event-rate accounting
+
+	Mode  coherence.Mode
+	Costs coherence.CostModel
+	Seed  uint64
+
+	// CSShared makes the critical section advance a shared PRNG line
+	// (one load + one store), as MutexBench's critical section does;
+	// otherwise the CS is purely local work, as in the paper's
+	// invalidation-count methodology.
+	CSShared bool
+	// CSWork is local computation inside the critical section, in
+	// cycles.
+	CSWork uint64
+	// NCSMaxWork is the non-critical section's maximum local work;
+	// each episode draws uniformly from [0, NCSMaxWork) with a
+	// per-thread generator (0 = empty NCS: maximal contention).
+	NCSMaxWork uint64
+
+	// NodeCPUs is the number of CPUs per NUMA node (0 = all CPUs on
+	// one node). CPUs fill nodes in contiguous blocks — mirroring the
+	// paper's Intel X5-2, where the kernel spills onto the second
+	// 18-core socket above 18 ready threads. Per-thread lock lines
+	// are homed on their owner's node; shared lock lines on node 0
+	// (§8 point A).
+	NodeCPUs int
+
+	// CollectLatency records each post-warmup acquisition's latency
+	// in cycles (timed mode) into Outcome.AcquireLatencies.
+	CollectLatency bool
+
+	// WordsPerLine sets the simulated coherence granule (default 1 =
+	// every hot word sequestered, the paper's 128-byte alignment;
+	// larger values pack sequentially allocated words onto shared
+	// lines for false-sharing ablations).
+	WordsPerLine int
+
+	MaxSteps uint64
+}
+
+// Outcome summarizes one run.
+type Outcome struct {
+	Lock               string
+	Result             coherence.Result
+	EventsPerEpisode   float64 // coherence events per episode (Table 1)
+	RemotePerEpisode   float64 // remote misses per episode (Table 1)
+	Throughput         float64 // episodes per kilocycle (timed mode)
+	InvalidatedPerOp   float64
+	AdmissionSchedule  []int
+	EpisodesPerThread  []uint64
+	PostWarmupEpisodes uint64
+	// AcquireLatencies holds per-acquisition wait latencies in cycles
+	// (timed mode, post-warmup, all threads pooled), when requested.
+	AcquireLatencies []float64
+	// LineBreakdown attributes coherence events to named lines over
+	// the whole run (§8's per-access-site tally); TotalEpisodes
+	// (including warmup) is the normalizer.
+	LineBreakdown map[string]coherence.LineStats
+	TotalEpisodes uint64
+	// Instance is the lock object the run used, for lock-specific
+	// diagnostics (e.g. Recipro.Detaches).
+	Instance Lock
+}
+
+// Run executes the benchmark for one lock under cfg.
+func Run(mk Factory, cfg Config) Outcome {
+	if cfg.Threads <= 0 {
+		panic("simlocks: Threads must be positive")
+	}
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 100
+	}
+	perNode := cfg.NodeCPUs
+	if perNode <= 0 {
+		perNode = cfg.Threads
+	}
+	nodeOf := func(cpu int) int { return cpu / perNode }
+
+	// Home map: filled in during setup via a closure over a table.
+	home := map[coherence.Addr]int{}
+	sys := coherence.NewSystem(coherence.Config{
+		CPUs:         cfg.Threads,
+		NodeOf:       nodeOf,
+		HomeOf:       func(a coherence.Addr) int { return home[a] },
+		WordsPerLine: cfg.WordsPerLine,
+	})
+
+	lock := mk()
+	lock.Setup(sys, cfg.Threads)
+	// Per-thread lines are homed with their thread: Setup allocates
+	// lock-global lines first, then per-thread lines in thread order.
+	// Rather than guess allocation order, home lines by name: lines
+	// named with per-thread suffix conventions get striped. Setup
+	// allocated in a known pattern: global lines then one (or more)
+	// per thread, so stripe everything allocated after the globals.
+	assignHomes(sys, home, cfg.Threads, nodeOf)
+
+	var csLine coherence.Addr
+	if cfg.CSShared {
+		csLine = sys.Alloc("bench.sharedPRNG")
+	}
+
+	costs := cfg.Costs
+	if costs == (coherence.CostModel{}) {
+		costs = coherence.DefaultCosts
+	}
+	sched := coherence.NewScheduler(sys, cfg.Mode, costs, cfg.Seed, cfg.MaxSteps)
+
+	warmEvents := make([]uint64, cfg.Threads)
+	warmRemote := make([]uint64, cfg.Threads)
+	warmInval := make([]uint64, cfg.Threads)
+	latencies := make([][]float64, cfg.Threads)
+
+	res := sched.Run(func(c *coherence.Ctx) {
+		rng := xrand.NewXorShift64(uint64(c.CPU)*0x9e3779b9 + cfg.Seed + 1)
+		total := cfg.Episodes + cfg.Warmup
+		for i := 0; i < total; i++ {
+			if i == cfg.Warmup {
+				st := sys.Stats(c.CPU)
+				warmEvents[c.CPU] = st.CoherenceEvents()
+				warmRemote[c.CPU] = st.RemoteMiss
+				warmInval[c.CPU] = st.Invalidated
+			}
+			t0 := c.Clock()
+			lock.Acquire(c, c.CPU)
+			if cfg.CollectLatency && i >= cfg.Warmup {
+				latencies[c.CPU] = append(latencies[c.CPU], float64(c.Clock()-t0))
+			}
+			c.Admit()
+			if cfg.CSShared {
+				v := c.Load(csLine)
+				c.Store(csLine, v*6364136223846793005+1442695040888963407)
+			}
+			if cfg.CSWork > 0 {
+				c.Work(cfg.CSWork)
+			}
+			lock.Release(c, c.CPU)
+			c.Episode()
+			if cfg.NCSMaxWork > 0 {
+				c.Work(1 + rng.Uint64()%cfg.NCSMaxWork)
+			}
+		}
+	})
+
+	var events, remote, inval uint64
+	for cpu := 0; cpu < cfg.Threads; cpu++ {
+		st := res.Stats[cpu]
+		events += st.CoherenceEvents() - warmEvents[cpu]
+		remote += st.RemoteMiss - warmRemote[cpu]
+		inval += st.Invalidated - warmInval[cpu]
+	}
+	post := uint64(cfg.Threads * cfg.Episodes)
+
+	out := Outcome{
+		Lock:               lock.Name(),
+		Result:             res,
+		Throughput:         res.Throughput(),
+		AdmissionSchedule:  res.Admissions,
+		EpisodesPerThread:  res.Episodes,
+		PostWarmupEpisodes: post,
+	}
+	if post > 0 {
+		out.EventsPerEpisode = float64(events) / float64(post)
+		out.RemotePerEpisode = float64(remote) / float64(post)
+		out.InvalidatedPerOp = float64(inval) / float64(post)
+	}
+	if cfg.CollectLatency {
+		for _, l := range latencies {
+			out.AcquireLatencies = append(out.AcquireLatencies, l...)
+		}
+	}
+	out.LineBreakdown = sys.LineBreakdown()
+	out.TotalEpisodes = uint64(cfg.Threads * (cfg.Episodes + cfg.Warmup))
+	out.Instance = lock
+	return out
+}
+
+// assignHomes homes every line allocated so far: the heuristic matches
+// the Setup conventions in this package — lines whose label contains a
+// per-thread structure name are striped across threads in allocation
+// order; lock-global lines live on node 0.
+func assignHomes(sys *coherence.System, home map[coherence.Addr]int, threads int, nodeOf func(int) int) {
+	perThread := map[string]int{} // name -> next thread index
+	for a := coherence.Addr(1); ; a++ {
+		name := sys.Name(a)
+		if name == "" {
+			break
+		}
+		if isPerThreadLine(name) {
+			t := perThread[name]
+			perThread[name] = t + 1
+			home[a] = nodeOf(t % threads)
+		} else {
+			home[a] = 0
+		}
+	}
+}
+
+// isPerThreadLine recognizes the per-thread line labels used by the
+// lock Setups in this package.
+func isPerThreadLine(name string) bool {
+	switch name {
+	case "mcs.next", "mcs.locked", "hem.grant", "chen.elem", "rcp.gate":
+		return true
+	}
+	// CLH nodes circulate, so they are deliberately NOT thread-homed:
+	// that is precisely the paper's point about CLH on NUMA systems.
+	return false
+}

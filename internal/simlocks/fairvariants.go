@@ -1,0 +1,217 @@
+package simlocks
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/xrand"
+)
+
+// This file provides simulator twins of the paper's fairness
+// mitigations so the §9.4 claims can be established deterministically:
+//
+//	ReciproFair — Listing 1 plus the §9.4 Bernoulli intra-segment
+//	              deferral (the deferred thread percolates to the
+//	              segment tail).
+//	TwoLaneSim  — Appendix I's two-lane formulation with randomized
+//	              lane selection under a ticket leader lock.
+//
+// Both use deterministic seeded generators, so runs are reproducible.
+
+// ReciproFair is the §9.4 mitigation over simulated memory. Each
+// thread owns two lines: a gate (whose address is the element
+// identity) and a deferred-conveyance line at gate+1 (guaranteed by
+// paired allocation).
+type ReciproFair struct {
+	arrivals  coherence.Addr
+	gate      []coherence.Addr
+	deferred  []coherence.Addr
+	deferOf   map[uint64]coherence.Addr
+	succ, eos []uint64
+	carried   []uint64
+	rng       *xrand.XorShift64
+	// Prob is the deferral probability in 1/256 units (0 → 64).
+	Prob int
+}
+
+// Name identifies the lock.
+func (l *ReciproFair) Name() string { return "Recipro-Fair" }
+
+// Setup allocates lines.
+func (l *ReciproFair) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("rfair.arrivals")
+	l.gate = make([]coherence.Addr, threads)
+	l.deferred = make([]coherence.Addr, threads)
+	l.deferOf = make(map[uint64]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.gate[i] = sys.Alloc("rfair.gate")
+		l.deferred[i] = sys.Alloc("rfair.deferred")
+		l.deferOf[uint64(l.gate[i])] = l.deferred[i]
+	}
+	l.succ = make([]uint64, threads)
+	l.eos = make([]uint64, threads)
+	l.carried = make([]uint64, threads)
+	l.rng = xrand.NewXorShift64(0xfa1357)
+}
+
+// bernoulli draws the deferral trial. Only the lock owner draws, so
+// the plain Go-side generator is serialized and deterministic.
+func (l *ReciproFair) bernoulli() bool {
+	p := l.Prob
+	if p == 0 {
+		p = 64
+	}
+	return int(l.rng.Uint64()&255) < p
+}
+
+// Acquire enters the lock.
+func (l *ReciproFair) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.gate[tid])
+	c.Store(l.gate[tid], 0)
+	c.Store(l.deferred[tid], 0)
+	succ := uint64(0)
+	eos := e
+	tail := c.Swap(l.arrivals, e)
+	if tail == 0 {
+		l.succ[tid], l.eos[tid], l.carried[tid] = 0, e, 0
+		return
+	}
+	if tail != simLockedEmpty {
+		succ = tail
+	}
+	deferredOnce := false
+	for {
+		eos = c.SpinUntil(l.gate[tid], func(v uint64) bool { return v != 0 })
+		d := c.Swap(l.deferred[tid], 0)
+		if succ == eos {
+			// Terminus: the percolated deferred thread (if any)
+			// becomes the segment's final member.
+			succ, d, eos = d, 0, simLockedEmpty
+		}
+		if succ == 0 && d != 0 {
+			succ, d = d, 0
+		}
+		if succ != 0 && d == 0 && !deferredOnce && l.bernoulli() {
+			// Defer: cede to succ, registering ourselves as the
+			// percolating deferred element, and wait to be
+			// re-granted at the segment's end.
+			deferredOnce = true
+			c.Store(l.gate[tid], 0)
+			s := succ
+			succ = 0
+			c.Store(l.deferOf[s], e)
+			c.Store(coherence.Addr(s), eos)
+			continue
+		}
+		l.succ[tid], l.eos[tid], l.carried[tid] = succ, eos, d
+		return
+	}
+}
+
+// Release exits the lock.
+func (l *ReciproFair) Release(c *coherence.Ctx, tid int) {
+	succ, eos, d := l.succ[tid], l.eos[tid], l.carried[tid]
+	if succ != 0 {
+		if d != 0 {
+			c.Store(l.deferOf[succ], d)
+		}
+		c.Store(coherence.Addr(succ), eos)
+		return
+	}
+	if c.CAS(l.arrivals, eos, 0) {
+		return
+	}
+	w := c.Swap(l.arrivals, simLockedEmpty)
+	c.Store(coherence.Addr(w), eos)
+}
+
+// TwoLaneSim is Appendix I over simulated memory: two pop-stack lanes
+// with randomized selection, arbitrated by a ticket leader lock. The
+// per-thread line doubles as element identity and eos/gate channel.
+type TwoLaneSim struct {
+	lanes         [2]coherence.Addr
+	ticket, grant coherence.Addr
+	elem          []coherence.Addr
+	cbrn          uint32
+
+	// Owner/waiter context.
+	leader []bool
+	lane   []int
+	prv    []uint64
+	eos    []uint64
+}
+
+// Name identifies the lock.
+func (l *TwoLaneSim) Name() string { return "Recipro-2Lane" }
+
+// Setup allocates lines.
+func (l *TwoLaneSim) Setup(sys *coherence.System, threads int) {
+	l.lanes[0] = sys.Alloc("r2l.lane0")
+	l.lanes[1] = sys.Alloc("r2l.lane1")
+	l.ticket = sys.Alloc("r2l.ticket")
+	l.grant = sys.Alloc("r2l.grant")
+	l.elem = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.elem[i] = sys.Alloc("r2l.elem")
+	}
+	l.leader = make([]bool, threads)
+	l.lane = make([]int, threads)
+	l.prv = make([]uint64, threads)
+	l.eos = make([]uint64, threads)
+}
+
+// Acquire enters the lock.
+func (l *TwoLaneSim) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.elem[tid])
+	c.Store(l.elem[tid], 0)
+	// Appendix I lane selection: counter-based RNG via Fibonacci
+	// hashing. The counter is owner-side Go state, advanced once per
+	// arrival (arrivals are serialized by the cooperative scheduler).
+	l.cbrn++
+	lane := int(xrand.HashPhi32(l.cbrn) & 1)
+
+	prv := c.Swap(l.lanes[lane], e)
+	if prv != 0 {
+		// Follower: wait for ownership + eos through our element.
+		eos := c.SpinUntil(l.elem[tid], func(v uint64) bool { return v != 0 })
+		l.leader[tid], l.lane[tid], l.prv[tid], l.eos[tid] = false, lane, prv, eos
+		return
+	}
+	// Lane leader: acquire the ticket leader lock (at most two
+	// competitors).
+	tx := c.FetchAdd(l.ticket, 1)
+	c.SpinUntil(l.grant, func(v uint64) bool { return v == tx })
+	l.leader[tid], l.lane[tid] = true, lane
+}
+
+// Release exits the lock.
+func (l *TwoLaneSim) Release(c *coherence.Ctx, tid int) {
+	e := uint64(l.elem[tid])
+	if l.leader[tid] {
+		detached := c.Swap(l.lanes[l.lane[tid]], 0)
+		if detached != e {
+			// Relay ownership down the detached chain, conveying our
+			// buried element as the logical end-of-segment.
+			c.Store(coherence.Addr(detached), e)
+		} else {
+			// Appendix I: a full fetch-add is not required here, but
+			// it empirically scales better on UPI, so the listing
+			// (and we) use one.
+			c.FetchAdd(l.grant, 1)
+		}
+		return
+	}
+	if l.eos[tid] != l.prv[tid] {
+		// Systolic propagation toward the chain's distal end.
+		c.Store(coherence.Addr(l.prv[tid]), l.eos[tid])
+	} else {
+		// Terminus: surrender the leader lock.
+		c.FetchAdd(l.grant, 1)
+	}
+}
+
+// FairnessVariants returns the simulated mitigation locks.
+func FairnessVariants() []Factory {
+	return []Factory{
+		func() Lock { return &ReciproFair{} },
+		func() Lock { return &TwoLaneSim{} },
+	}
+}

@@ -1,0 +1,386 @@
+package simlocks
+
+import "repro/internal/coherence"
+
+// Element/node identities are encoded as the uint64 value of the
+// line's address; 0 is "null". Reciprocating's LOCKEDEMPTY is 1, so
+// lock setup always allocates the lock words before any per-thread
+// lines, guaranteeing element addresses are >= 2.
+const simLockedEmpty = 1
+
+// Ticket is the classic FIFO ticket lock: constant-time paths but
+// global spinning — every waiter parks on the grant line and re-reads
+// (one miss each) at every release, producing Table 1's T-proportional
+// invalidation count.
+type Ticket struct {
+	ticket, grant coherence.Addr
+}
+
+func (l *Ticket) Name() string { return "TKT" }
+
+func (l *Ticket) Setup(sys *coherence.System, threads int) {
+	l.ticket = sys.Alloc("tkt.ticket")
+	l.grant = sys.Alloc("tkt.grant")
+}
+
+func (l *Ticket) Acquire(c *coherence.Ctx, tid int) {
+	tx := c.FetchAdd(l.ticket, 1)
+	c.SpinUntil(l.grant, func(v uint64) bool { return v == tx })
+}
+
+func (l *Ticket) Release(c *coherence.Ctx, tid int) {
+	g := c.Load(l.grant)
+	c.Store(l.grant, g+1)
+}
+
+// ABQL is Anderson's array-based queue lock: ticket dispersal into a
+// per-lock slot array gives local spinning at the cost of T*L space.
+type ABQL struct {
+	ticket coherence.Addr
+	slots  []coherence.Addr
+	self   []uint64
+}
+
+func (l *ABQL) Name() string { return "ABQL" }
+
+func (l *ABQL) Setup(sys *coherence.System, threads int) {
+	l.ticket = sys.Alloc("abql.ticket")
+	l.slots = make([]coherence.Addr, threads)
+	for i := range l.slots {
+		l.slots[i] = sys.Alloc("abql.slot")
+	}
+	sys.InitValue(l.slots[0], 1)
+	l.self = make([]uint64, threads)
+}
+
+func (l *ABQL) Acquire(c *coherence.Ctx, tid int) {
+	tx := c.FetchAdd(l.ticket, 1)
+	idx := tx % uint64(len(l.slots))
+	c.SpinUntil(l.slots[idx], func(v uint64) bool { return v == 1 })
+	c.Store(l.slots[idx], 0)
+	l.self[tid] = idx
+}
+
+func (l *ABQL) Release(c *coherence.Ctx, tid int) {
+	next := (l.self[tid] + 1) % uint64(len(l.slots))
+	c.Store(l.slots[next], 1)
+}
+
+// TWA is the ticket lock augmented with a waiting array: waiters more
+// than one ticket away park on a hashed slot of a shared array, so at
+// most one thread spins on grant and the invalidation storm vanishes.
+type TWA struct {
+	ticket, grant coherence.Addr
+	slots         []coherence.Addr
+}
+
+const twaSlots = 64
+
+func (l *TWA) Name() string { return "TWA" }
+
+func (l *TWA) Setup(sys *coherence.System, threads int) {
+	l.ticket = sys.Alloc("twa.ticket")
+	l.grant = sys.Alloc("twa.grant")
+	l.slots = make([]coherence.Addr, twaSlots)
+	for i := range l.slots {
+		l.slots[i] = sys.Alloc("twa.slot")
+	}
+}
+
+func (l *TWA) slotFor(ticket uint64) coherence.Addr {
+	return l.slots[(ticket*0x9e3779b97f4a7c15>>58)&(twaSlots-1)]
+}
+
+func (l *TWA) Acquire(c *coherence.Ctx, tid int) {
+	tx := c.FetchAdd(l.ticket, 1)
+	for {
+		g := c.Load(l.grant)
+		if tx == g {
+			return
+		}
+		if tx-g == 1 {
+			// Short-term: spin on grant (at most one thread here).
+			c.SpinUntil(l.grant, func(v uint64) bool { return v == tx })
+			return
+		}
+		// Long-term: park on the hashed slot. The release that moves
+		// grant to tx-1 bumps our slot. Ordering makes this airtight
+		// under the simulator's sequential consistency: the bump
+		// follows the grant store, so either our slot snapshot
+		// already includes it (and the re-read of grant sees dist<=1)
+		// or the bump arrives later and wakes us.
+		s := c.Load(l.slotFor(tx))
+		if tx-c.Load(l.grant) <= 1 {
+			continue
+		}
+		c.SpinUntil(l.slotFor(tx), func(v uint64) bool { return v != s })
+	}
+}
+
+func (l *TWA) Release(c *coherence.Ctx, tid int) {
+	g := c.Load(l.grant)
+	c.Store(l.grant, g+1)
+	// Promote the thread two tickets out from long- to short-term.
+	c.FetchAdd(l.slotFor(g+2), 1)
+}
+
+// MCS is the classic Mellor-Crummey–Scott queue lock with per-thread
+// nodes (next + locked lines) and local spinning.
+type MCS struct {
+	tail         coherence.Addr
+	next, locked []coherence.Addr
+}
+
+func (l *MCS) Name() string { return "MCS" }
+
+func (l *MCS) Setup(sys *coherence.System, threads int) {
+	l.tail = sys.Alloc("mcs.tail")
+	l.next = make([]coherence.Addr, threads)
+	l.locked = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.next[i] = sys.Alloc("mcs.next")
+		l.locked[i] = sys.Alloc("mcs.locked")
+	}
+}
+
+func (l *MCS) Acquire(c *coherence.Ctx, tid int) {
+	me := uint64(tid + 1)
+	c.Store(l.next[tid], 0)
+	c.Store(l.locked[tid], 1)
+	pred := c.Swap(l.tail, me)
+	if pred != 0 {
+		c.Store(l.next[pred-1], me)
+		c.SpinUntil(l.locked[tid], func(v uint64) bool { return v == 0 })
+	}
+}
+
+func (l *MCS) Release(c *coherence.Ctx, tid int) {
+	me := uint64(tid + 1)
+	if c.Load(l.next[tid]) == 0 {
+		if c.CAS(l.tail, me, 0) {
+			return
+		}
+		// Successor is mid-enqueue: the non-constant-time tail of
+		// MCS release.
+		c.SpinUntil(l.next[tid], func(v uint64) bool { return v != 0 })
+	}
+	succ := c.Load(l.next[tid])
+	c.Store(l.locked[succ-1], 0)
+}
+
+// CLH is the CLH queue lock: implicit queue, local spinning on the
+// predecessor's node, nodes circulate between threads. The circulation
+// is why CLH pays an extra miss per episode (the "prepare" store hits
+// a node last written by another thread — §8's tally of 5).
+type CLH struct {
+	tail  coherence.Addr
+	nodes []coherence.Addr // threads+1 nodes; ids are 1-based indexes
+	free  []int            // per-thread node currently owned for reuse
+	owned []int            // per-thread node installed at acquire
+}
+
+func (l *CLH) Name() string { return "CLH" }
+
+func (l *CLH) Setup(sys *coherence.System, threads int) {
+	l.tail = sys.Alloc("clh.tail")
+	l.nodes = make([]coherence.Addr, threads+1)
+	for i := range l.nodes {
+		l.nodes[i] = sys.Alloc("clh.node")
+	}
+	// nodes[threads] is the dummy, initially granted; tail points at
+	// it (node ids are index+1).
+	sys.InitValue(l.tail, uint64(threads+1))
+	l.free = make([]int, threads)
+	l.owned = make([]int, threads)
+	for i := range l.free {
+		l.free[i] = i + 1
+	}
+}
+
+func (l *CLH) Acquire(c *coherence.Ctx, tid int) {
+	n := l.free[tid]
+	// Prepare the inherited node: a miss when it migrated from
+	// another thread.
+	c.Store(l.nodes[n-1], 1)
+	pred := c.Swap(l.tail, uint64(n))
+	// Dependent load: the spin address is unknown until the exchange
+	// returns (§8's stall observation).
+	c.SpinUntil(l.nodes[pred-1], func(v uint64) bool { return v == 0 })
+	l.owned[tid] = n
+	l.free[tid] = int(pred) // inherit the predecessor's node
+}
+
+func (l *CLH) Release(c *coherence.Ctx, tid int) {
+	c.Store(l.nodes[l.owned[tid]-1], 0)
+}
+
+// Hem is HemLock: single tail word, address-based grant through the
+// releasing thread's element, synchronous acknowledgement (CTR).
+type Hem struct {
+	tail  coherence.Addr
+	grant []coherence.Addr
+	token uint64
+}
+
+func (l *Hem) Name() string { return "HemLock" }
+
+func (l *Hem) Setup(sys *coherence.System, threads int) {
+	l.tail = sys.Alloc("hem.tail")
+	l.token = uint64(l.tail) // unique non-zero lock identity
+	l.grant = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.grant[i] = sys.Alloc("hem.grant")
+	}
+}
+
+func (l *Hem) Acquire(c *coherence.Ctx, tid int) {
+	me := uint64(tid + 1)
+	pred := c.Swap(l.tail, me)
+	if pred != 0 {
+		// Wait for the predecessor to publish this lock's address.
+		c.SpinUntil(l.grant[pred-1], func(v uint64) bool { return v == l.token })
+		// Acknowledge so the predecessor may retire its element.
+		c.Store(l.grant[pred-1], 0)
+	}
+}
+
+func (l *Hem) Release(c *coherence.Ctx, tid int) {
+	me := uint64(tid + 1)
+	if c.Load(l.tail) == me && c.CAS(l.tail, me, 0) {
+		return
+	}
+	c.Store(l.grant[tid], l.token)
+	c.SpinUntil(l.grant[tid], func(v uint64) bool { return v == 0 })
+}
+
+// Chen models Chen & Huang's stack-based lock: identical segment
+// structure to Reciprocating but ownership is published through
+// central shared words (current + eos), so waiting is global and every
+// contended release writes shared state.
+type Chen struct {
+	arrivals, current, eos coherence.Addr
+	elem                   []coherence.Addr
+	succ                   []uint64
+}
+
+func (l *Chen) Name() string { return "Chen" }
+
+func (l *Chen) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("chen.arrivals")
+	l.current = sys.Alloc("chen.current")
+	l.eos = sys.Alloc("chen.eos")
+	l.elem = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.elem[i] = sys.Alloc("chen.elem")
+	}
+	l.succ = make([]uint64, threads)
+}
+
+func (l *Chen) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.elem[tid])
+	succ := c.Swap(l.arrivals, e)
+	if succ == 0 {
+		c.Store(l.eos, e)
+		l.succ[tid] = 0
+		return
+	}
+	if succ == simLockedEmpty {
+		succ = 0
+	}
+	// Global spinning on the shared current word.
+	c.SpinUntil(l.current, func(v uint64) bool { return v == e })
+	// Consume the grant: simulated elements have fixed identities
+	// (one per thread), so a stale grant left in current would
+	// otherwise falsely re-admit us next episode. (The real Go
+	// implementation gets this uniqueness from fresh allocation; the
+	// consume store is also faithful to Chen's use of mutable central
+	// state.)
+	c.Store(l.current, 0)
+	if veos := c.Load(l.eos); veos == succ && succ != 0 {
+		succ = 0
+		c.Store(l.eos, simLockedEmpty)
+	}
+	l.succ[tid] = succ
+}
+
+func (l *Chen) Release(c *coherence.Ctx, tid int) {
+	e := uint64(l.elem[tid])
+	succ := l.succ[tid]
+	if succ != 0 {
+		c.Store(l.current, succ)
+		return
+	}
+	k := c.Load(l.arrivals)
+	if k == e || k == simLockedEmpty {
+		if c.CAS(l.arrivals, k, 0) {
+			return
+		}
+	}
+	w := c.Swap(l.arrivals, simLockedEmpty)
+	c.Store(l.current, w)
+}
+
+// Recipro is the canonical Reciprocating Lock of Listing 1: one-word
+// lock, wait-free exchange doorway, segments, end-of-segment address
+// conveyed through the waiters' Gate lines.
+type Recipro struct {
+	arrivals  coherence.Addr
+	gate      []coherence.Addr
+	succ, eos []uint64
+	// detaches counts arrival-segment detach operations; episodes /
+	// detaches is the mean segment length (§8's handoff-cost
+	// discussion).
+	detaches uint64
+}
+
+// Detaches reports how many times the arrival segment was detached.
+func (l *Recipro) Detaches() uint64 { return l.detaches }
+
+func (l *Recipro) Name() string { return "Recipro" }
+
+func (l *Recipro) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("rcp.arrivals")
+	l.gate = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.gate[i] = sys.Alloc("rcp.gate")
+	}
+	l.succ = make([]uint64, threads)
+	l.eos = make([]uint64, threads)
+}
+
+func (l *Recipro) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.gate[tid])
+	// Re-arm the gate (S→M upgrade in steady state: §8's first tally
+	// entry).
+	c.Store(l.gate[tid], 0)
+	succ := uint64(0)
+	eos := e // anticipate fast path
+
+	tail := c.Swap(l.arrivals, e)
+	if tail != 0 {
+		if tail != simLockedEmpty {
+			succ = tail
+		}
+		// Local spin on our own gate; the granted value is the eos.
+		eos = c.SpinUntil(l.gate[tid], func(v uint64) bool { return v != 0 })
+		if succ == eos {
+			succ = 0
+			eos = simLockedEmpty
+		}
+	}
+	l.succ[tid], l.eos[tid] = succ, eos
+}
+
+func (l *Recipro) Release(c *coherence.Ctx, tid int) {
+	succ, eos := l.succ[tid], l.eos[tid]
+	if succ != 0 {
+		c.Store(coherence.Addr(succ), eos)
+		return
+	}
+	if c.CAS(l.arrivals, eos, 0) {
+		return
+	}
+	l.detaches++
+	w := c.Swap(l.arrivals, simLockedEmpty)
+	c.Store(coherence.Addr(w), eos)
+}

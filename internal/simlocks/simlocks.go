@@ -1,0 +1,67 @@
+// Package simlocks re-implements the paper's Table 1 lock algorithms
+// as deterministic programs over the internal/coherence MESI
+// simulator. Running them under the simulator's schedulers yields:
+//
+//   - coherence events (misses + upgrades) per acquire/release episode
+//     — the Table 1 "Invalidations per episode" column;
+//   - remote-miss counts under a NUMA home map — the Table 1 "Maximum
+//     Remote Misses" column;
+//   - admission-order traces — the §9/Table 2 palindromic-schedule
+//     experiments;
+//   - modeled contended throughput under the timed, bus-bandwidth-
+//     aware scheduler — the Figure 1 shape reproduction.
+//
+// Acquire-to-release context is held in plain Go per-thread slots,
+// mirroring the paper's measurement methodology ("pass any context
+// from Acquire to Release via thread-local storage, in order to reduce
+// mutation of shared memory", §6).
+package simlocks
+
+import "repro/internal/coherence"
+
+// Lock is a mutual-exclusion algorithm over simulated memory. Setup is
+// called once before threads run; Acquire/Release are called by
+// simulated thread tid.
+type Lock interface {
+	Name() string
+	Setup(sys *coherence.System, threads int)
+	Acquire(c *coherence.Ctx, tid int)
+	Release(c *coherence.Ctx, tid int)
+}
+
+// Factory builds a fresh lock instance.
+type Factory func() Lock
+
+// All returns factories for every simulated lock, in the paper's
+// Table 1 ordering.
+func All() []Factory {
+	return []Factory{
+		func() Lock { return &Ticket{} },
+		func() Lock { return &ABQL{} },
+		func() Lock { return &TWA{} },
+		func() Lock { return &MCS{} },
+		func() Lock { return &CLH{} },
+		func() Lock { return &Hem{} },
+		func() Lock { return &Chen{} },
+		func() Lock { return &Recipro{} },
+	}
+}
+
+// ByName returns the factory whose lock has the given name, or nil.
+func ByName(name string) Factory {
+	for _, f := range All() {
+		if f().Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Names lists all simulated lock names.
+func Names() []string {
+	var out []string
+	for _, f := range All() {
+		out = append(out, f().Name())
+	}
+	return out
+}

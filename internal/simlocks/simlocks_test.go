@@ -1,0 +1,399 @@
+package simlocks
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+// everyLock covers the Table 1 set plus the extra simulated
+// Reciprocating variants and fairness mitigations.
+func everyLock() []Factory {
+	out := append(All(), Variants()...)
+	return append(out, FairnessVariants()...)
+}
+
+// Every simulated lock must provide mutual exclusion under randomized
+// interleavings: an unprotected load+store counter loses updates on
+// any violation.
+func TestSimulatedMutualExclusion(t *testing.T) {
+	for _, mk := range everyLock() {
+		mk := mk
+		t.Run(mk().Name(), func(t *testing.T) {
+			for _, seed := range []uint64{1, 7, 42, 1234} {
+				const threads = 5
+				const iters = 60
+				sys := coherence.NewSystem(coherence.Config{CPUs: threads})
+				lock := mk()
+				lock.Setup(sys, threads)
+				counter := sys.Alloc("counter")
+				sched := coherence.NewScheduler(sys, coherence.Random, coherence.DefaultCosts, seed, 0)
+				sched.Run(func(c *coherence.Ctx) {
+					for i := 0; i < iters; i++ {
+						lock.Acquire(c, c.CPU)
+						v := c.Load(counter)
+						c.Store(counter, v+1)
+						lock.Release(c, c.CPU)
+					}
+				})
+				if got := sys.Peek(counter); got != threads*iters {
+					t.Fatalf("seed %d: counter = %d, want %d", seed, got, threads*iters)
+				}
+				if err := sys.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// Deterministic runs: identical configs give identical admission
+// schedules.
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{Threads: 4, Episodes: 50, Mode: coherence.RoundRobin, Seed: 3}
+	for _, mk := range All() {
+		a := Run(mk, cfg).AdmissionSchedule
+		b := Run(mk, cfg).AdmissionSchedule
+		if len(a) != len(b) || len(a) != 4*50 {
+			t.Fatalf("%s: admissions %d/%d, want %d", mk().Name(), len(a), len(b), 4*50)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: runs diverged at %d", mk().Name(), i)
+			}
+		}
+	}
+}
+
+// The Table 1 reproduction: under sustained contention with local
+// critical sections, per-episode coherence events must be (a) small
+// constants for the local-spinning locks, (b) ~T for the ticket lock,
+// and (c) ordered Recipro < CLH as the paper reports (4 vs 5).
+func TestTable1InvalidationCounts(t *testing.T) {
+	const threads = 10
+	run := func(name string) float64 {
+		out := Run(ByName(name), Config{
+			Threads:  threads,
+			Episodes: 300,
+			Warmup:   50,
+			Mode:     coherence.RoundRobin,
+			CSWork:   5,
+			Seed:     1,
+		})
+		return out.EventsPerEpisode
+	}
+
+	tkt := run("TKT")
+	clh := run("CLH")
+	mcs := run("MCS")
+	hem := run("HemLock")
+	rcp := run("Recipro")
+	chen := run("Chen")
+	t.Logf("events/episode: TKT=%.2f MCS=%.2f CLH=%.2f Hem=%.2f Chen=%.2f Recipro=%.2f",
+		tkt, mcs, clh, hem, chen, rcp)
+
+	// Ticket: global spinning scales with thread count.
+	if tkt < float64(threads)-2 {
+		t.Errorf("TKT events/episode = %.2f, expected ≈T (%d)", tkt, threads)
+	}
+	// Local-spinning locks: constant, far below T.
+	for name, v := range map[string]float64{"CLH": clh, "MCS": mcs, "Recipro": rcp} {
+		if v > 8 {
+			t.Errorf("%s events/episode = %.2f, expected small constant", name, v)
+		}
+	}
+	// The headline Table 1 relation: Reciprocating beats CLH.
+	if !(rcp < clh) {
+		t.Errorf("Recipro (%.2f) should incur fewer events/episode than CLH (%.2f)", rcp, clh)
+	}
+	// Chen spins globally: worse than Recipro despite same admission
+	// structure.
+	if !(rcp < chen) {
+		t.Errorf("Recipro (%.2f) should beat Chen's global spinning (%.2f)", rcp, chen)
+	}
+}
+
+// The exact steady-state constants the paper derives in §8: 4 events
+// per episode for Reciprocating, 5 for CLH.
+func TestSection8SteadyStateTallies(t *testing.T) {
+	run := func(name string) float64 {
+		out := Run(ByName(name), Config{
+			Threads:  10,
+			Episodes: 500,
+			Warmup:   100,
+			Mode:     coherence.RoundRobin,
+			Seed:     1,
+		})
+		return out.EventsPerEpisode
+	}
+	rcp := run("Recipro")
+	clh := run("CLH")
+	if rcp < 3.5 || rcp > 4.5 {
+		t.Errorf("Recipro steady-state events/episode = %.3f, paper derives 4", rcp)
+	}
+	if clh < 4.5 || clh > 5.5 {
+		t.Errorf("CLH steady-state events/episode = %.3f, paper derives 5", clh)
+	}
+}
+
+// NUMA remote misses: Reciprocating's waiter lines are homed on their
+// own node, so its remote misses per episode stay below CLH's, whose
+// nodes circulate across nodes (§8 point A, Table 1 remote-miss
+// column).
+func TestRemoteMissesNUMAAdvantage(t *testing.T) {
+	run := func(name string) float64 {
+		out := Run(ByName(name), Config{
+			Threads:  8,
+			Episodes: 300,
+			Warmup:   50,
+			Mode:     coherence.RoundRobin,
+			NodeCPUs: 4,
+			Seed:     1,
+		})
+		return out.RemotePerEpisode
+	}
+	rcp := run("Recipro")
+	clh := run("CLH")
+	tkt := run("TKT")
+	t.Logf("remote misses/episode: Recipro=%.2f CLH=%.2f TKT=%.2f", rcp, clh, tkt)
+	if !(rcp < clh) {
+		t.Errorf("Recipro remote misses (%.2f) should be below CLH (%.2f)", rcp, clh)
+	}
+}
+
+// Figure 1a shape: under maximal contention in timed mode, the ticket
+// lock's throughput collapses as threads grow, while Reciprocating
+// stays competitive with (and typically above) MCS/CLH at high thread
+// counts.
+func TestFigure1Shape(t *testing.T) {
+	tp := func(name string, threads int) float64 {
+		out := Run(ByName(name), Config{
+			Threads:  threads,
+			Episodes: 200,
+			Mode:     coherence.Timed,
+			CSShared: true,
+			CSWork:   10,
+			Seed:     1,
+		})
+		return out.Throughput
+	}
+
+	// Ticket collapse: throughput at 32 threads far below its 2-thread
+	// value.
+	tkt2, tkt32 := tp("TKT", 2), tp("TKT", 32)
+	if tkt32 > tkt2*0.7 {
+		t.Errorf("TKT did not collapse: 2T=%.3f 32T=%.3f", tkt2, tkt32)
+	}
+
+	// Queue locks hold up much better.
+	mcs2, mcs32 := tp("MCS", 2), tp("MCS", 32)
+	rcp32 := tp("Recipro", 32)
+	clh32 := tp("CLH", 32)
+	t.Logf("32T throughput: TKT=%.3f MCS=%.3f CLH=%.3f Recipro=%.3f (MCS 2T=%.3f)",
+		tkt32, mcs32, clh32, rcp32, mcs2)
+	if mcs32 < tkt32 {
+		t.Errorf("MCS (%.3f) should beat TKT (%.3f) at 32 threads", mcs32, tkt32)
+	}
+	// The paper's headline: Reciprocating provides the best throughput
+	// at high thread counts among the queue locks.
+	if rcp32 < mcs32*0.95 || rcp32 < clh32*0.95 {
+		t.Errorf("Recipro (%.3f) should be competitive with MCS (%.3f) and CLH (%.3f) at 32T",
+			rcp32, mcs32, clh32)
+	}
+}
+
+// The eos-placement ablation (Listing 1 vs Listing 2): conveying the
+// terminus through the wait elements and parking it in a sequestered
+// lock-body word must both reach the same ≈4 events/episode in steady
+// state — Listing 2's eos word is stable under sustained contention so
+// its extra load hits in-cache (Appendix E's design point). The
+// fetch-add variant saves the release CAS and lands at ≈4 as well.
+func TestVariantSteadyStateEvents(t *testing.T) {
+	run := func(mk Factory) float64 {
+		out := Run(mk, Config{
+			Threads:  10,
+			Episodes: 500,
+			Warmup:   100,
+			Mode:     coherence.RoundRobin,
+			Seed:     1,
+		})
+		return out.EventsPerEpisode
+	}
+	l1 := run(ByName("Recipro"))
+	l2 := run(func() Lock { return &ReciproL2{} })
+	fa := run(func() Lock { return &ReciproFA{} })
+	ctr := run(func() Lock { return &ReciproCTR{} })
+	t.Logf("events/episode: Listing1=%.3f Listing2=%.3f FetchAdd=%.3f CTR=%.3f", l1, l2, fa, ctr)
+	for name, v := range map[string]float64{"Listing2": l2, "FetchAdd": fa} {
+		if v < 3.5 || v > 5.0 {
+			t.Errorf("%s steady-state events/episode = %.3f, expected ≈4", name, v)
+		}
+	}
+	// §10 future work: MONITOR/MWAIT + exchange waiting shaves one
+	// coherence event off the steady-state episode (4 → 3).
+	if ctr < 2.5 || ctr > 3.5 {
+		t.Errorf("CTR steady-state events/episode = %.3f, expected ≈3", ctr)
+	}
+	if !(ctr < l1) {
+		t.Errorf("CTR (%.3f) should beat Listing 1 (%.3f)", ctr, l1)
+	}
+}
+
+// Admission order equivalence: under a deterministic schedule with
+// empty critical sections, Recipro produces LIFO-within-segment
+// admission; the Chen lock shares the same segment structure and so
+// the same schedule.
+func TestReciproChenSameAdmissionStructure(t *testing.T) {
+	cfg := Config{Threads: 5, Episodes: 40, Mode: coherence.RoundRobin, Seed: 1}
+	a := Run(ByName("Recipro"), cfg).AdmissionSchedule
+	b := Run(ByName("Chen"), cfg).AdmissionSchedule
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty admission schedules")
+	}
+	// Identical interleaving rules need not give identical traces
+	// (different memory-op counts shift the round-robin phase), but
+	// both must exhibit non-FIFO admission with every thread admitted
+	// the right number of times.
+	count := func(s []int) map[int]int {
+		m := map[int]int{}
+		for _, x := range s {
+			m[x]++
+		}
+		return m
+	}
+	for tid, n := range count(a) {
+		if n != 40 {
+			t.Errorf("Recipro thread %d admitted %d times, want 40", tid, n)
+		}
+	}
+	for tid, n := range count(b) {
+		if n != 40 {
+			t.Errorf("Chen thread %d admitted %d times, want 40", tid, n)
+		}
+	}
+}
+
+// Regression: under moderate contention in timed mode the lock
+// repeatedly transitions between contended and uncontended regimes;
+// any stale-grant / lost-wakeup bug surfaces as a scheduler deadlock
+// panic. (Found the simulated Chen lock's stale central-grant bug.)
+func TestModerateContentionNoLostWakeups(t *testing.T) {
+	for _, mk := range everyLock() {
+		mk := mk
+		t.Run(mk().Name(), func(t *testing.T) {
+			for _, threads := range []int{2, 4, 9, 20} {
+				Run(mk, Config{
+					Threads:    threads,
+					Episodes:   60,
+					Mode:       coherence.Timed,
+					CSShared:   true,
+					CSWork:     10,
+					NCSMaxWork: 1000,
+					NodeCPUs:   18,
+					Seed:       uint64(threads),
+				})
+			}
+		})
+	}
+}
+
+// §9.4 on the simulator: the mitigations break the palindromic cycle
+// and restore long-term statistical fairness, while the plain lock
+// sits at the 2x disparity bound. Deterministic — no scheduler noise.
+func TestMitigationsRestoreFairnessSim(t *testing.T) {
+	measure := func(mk Factory) (float64, bool) {
+		out := Run(mk, Config{
+			Threads:  5,
+			Episodes: 600,
+			Mode:     coherence.RoundRobin,
+			Seed:     1,
+		})
+		sched := out.AdmissionSchedule
+		sched = sched[len(sched)/4 : len(sched)*3/4] // steady window
+		counts := map[int]int64{}
+		for _, s := range sched {
+			counts[s]++
+		}
+		var mn, mx int64
+		first := true
+		for _, c := range counts {
+			if first {
+				mn, mx = c, c
+				first = false
+			}
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		disparity := float64(mx) / float64(mn)
+		_, cyclic := findCycleForTest(sched)
+		return disparity, cyclic
+	}
+
+	plain, plainCyclic := measure(ByName("Recipro"))
+	if plain < 1.8 || plain > 2.2 {
+		t.Errorf("plain Recipro steady disparity = %.3f, want ≈2 (§9.2)", plain)
+	}
+	if !plainCyclic {
+		t.Error("plain Recipro should settle into a repeating cycle")
+	}
+
+	fair, _ := measure(func() Lock { return &ReciproFair{Prob: 64} })
+	twolane, _ := measure(func() Lock { return &TwoLaneSim{} })
+	t.Logf("steady disparity: plain=%.3f fair=%.3f twolane=%.3f", plain, fair, twolane)
+	if fair >= plain {
+		t.Errorf("FairLock disparity %.3f should improve on plain %.3f", fair, plain)
+	}
+	if twolane >= plain {
+		t.Errorf("TwoLane disparity %.3f should improve on plain %.3f", twolane, plain)
+	}
+}
+
+// findCycleForTest: minimal tail-cycle detection (mirrors
+// admission.FindCycle without the import cycle risk in this package's
+// tests).
+func findCycleForTest(s []int) (int, bool) {
+	n := len(s)
+	for p := 1; p*3 <= n; p++ {
+		ok := true
+		for i := n - 2*p; i < n; i++ {
+			if s[i] != s[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Every lock drains cleanly: after the run, a fresh acquire/release on
+// thread 0 must still work (no stranded state).
+func TestLocksQuiesce(t *testing.T) {
+	for _, mk := range everyLock() {
+		mk := mk
+		t.Run(mk().Name(), func(t *testing.T) {
+			const threads = 4
+			sys := coherence.NewSystem(coherence.Config{CPUs: threads})
+			lock := mk()
+			lock.Setup(sys, threads)
+			sched := coherence.NewScheduler(sys, coherence.Random, coherence.DefaultCosts, 5, 0)
+			sched.Run(func(c *coherence.Ctx) {
+				for i := 0; i < 30; i++ {
+					lock.Acquire(c, c.CPU)
+					lock.Release(c, c.CPU)
+				}
+				if c.CPU == 0 {
+					// One extra uncontended episode at the end.
+					lock.Acquire(c, 0)
+					lock.Release(c, 0)
+				}
+			})
+		})
+	}
+}

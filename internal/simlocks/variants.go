@@ -1,0 +1,231 @@
+package simlocks
+
+import "repro/internal/coherence"
+
+// This file adds simulated versions of two Reciprocating variants so
+// their algorithmic behaviour can be verified under exhaustive
+// deterministic interleaving and their coherence profiles compared in
+// the eos-placement ablation:
+//
+//	ReciproL2 — Listing 2: the end-of-segment marker lives in a
+//	            sequestered lock-body word instead of flowing through
+//	            the wait elements' gates.
+//	ReciproFA — Listing 4: tagged arrival word driven by fetch-add;
+//	            one atomic in Release, delegation on the arrival race.
+
+// ReciproL2 is the Listing 2 (Appendix E) variant over simulated
+// memory.
+type ReciproL2 struct {
+	arrivals coherence.Addr
+	eosWord  coherence.Addr
+	gate     []coherence.Addr
+	succ     []uint64
+}
+
+// Name identifies the lock.
+func (l *ReciproL2) Name() string { return "Recipro-L2" }
+
+// Setup allocates the lock words and per-thread gates.
+func (l *ReciproL2) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("rl2.arrivals")
+	l.eosWord = sys.Alloc("rl2.eos") // sequestered: own line by construction
+	l.gate = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.gate[i] = sys.Alloc("rl2.gate")
+	}
+	l.succ = make([]uint64, threads)
+}
+
+// Acquire enters the lock.
+func (l *ReciproL2) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.gate[tid])
+	c.Store(l.gate[tid], 0)
+	succ := c.Swap(l.arrivals, e)
+	if succ == 0 {
+		// Fast path: publish ourselves as the prospective terminus.
+		c.Store(l.eosWord, e)
+		l.succ[tid] = 0
+		return
+	}
+	if succ == simLockedEmpty {
+		succ = 0
+	}
+	c.SpinUntil(l.gate[tid], func(v uint64) bool { return v != 0 })
+	// Crucially the eos word is stable under sustained contention, so
+	// this load tends to hit (Listing 2's design point).
+	if veos := c.Load(l.eosWord); veos == succ && succ != 0 {
+		succ = 0
+		c.Store(l.eosWord, simLockedEmpty)
+	}
+	l.succ[tid] = succ
+}
+
+// Release exits the lock.
+func (l *ReciproL2) Release(c *coherence.Ctx, tid int) {
+	e := uint64(l.gate[tid])
+	succ := l.succ[tid]
+	if succ != 0 {
+		c.Store(coherence.Addr(succ), 1)
+		return
+	}
+	k := c.Load(l.arrivals)
+	if k == e || k == simLockedEmpty {
+		if c.CAS(l.arrivals, k, 0) {
+			return
+		}
+	}
+	w := c.Swap(l.arrivals, simLockedEmpty)
+	c.Store(coherence.Addr(w), 1)
+}
+
+// ReciproFA is the Listing 4 fetch-add variant over simulated memory.
+// The arrival word packs (element << 2 | tag); elements are gate-line
+// addresses, guaranteed >= 4 by allocation order, so the tag bits are
+// free. Tags: 00 locked+stack, 01 locked+detached, 10 unlocked.
+type ReciproFA struct {
+	arrivals coherence.Addr
+	gate     []coherence.Addr
+	succ     []uint64
+}
+
+// Name identifies the lock.
+func (l *ReciproFA) Name() string { return "Recipro-FA" }
+
+// Setup allocates the lock word and per-thread gates, and initializes
+// the word to the unlocked encoding (0:10).
+func (l *ReciproFA) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("rfa.arrivals")
+	sys.InitValue(l.arrivals, 2)
+	l.gate = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.gate[i] = sys.Alloc("rfa.gate")
+	}
+	l.succ = make([]uint64, threads)
+}
+
+func (l *ReciproFA) enc(tid int) uint64 { return uint64(l.gate[tid]) << 2 }
+
+// Acquire enters the lock.
+func (l *ReciproFA) Acquire(c *coherence.Ctx, tid int) {
+	c.Store(l.gate[tid], 0)
+	prev := c.Swap(l.arrivals, l.enc(tid))
+	if prev&2 != 0 {
+		// Uncontended: mark the stack detached, reclaiming our own
+		// element if the window stayed closed.
+		r := c.FetchAdd(l.arrivals, 1)
+		if r == l.enc(tid) {
+			l.succ[tid] = 0
+			return
+		}
+		// Delegation: new arrivals landed in the window; grant the
+		// head of the freshly detached segment and join the waiters.
+		c.Store(coherence.Addr(r>>2), 1)
+		c.SpinUntil(l.gate[tid], func(v uint64) bool { return v != 0 })
+		l.succ[tid] = 0
+		return
+	}
+	var succ uint64
+	if prev&1 == 0 {
+		succ = prev >> 2
+	}
+	c.SpinUntil(l.gate[tid], func(v uint64) bool { return v != 0 })
+	l.succ[tid] = succ
+}
+
+// Release exits the lock with a single atomic.
+func (l *ReciproFA) Release(c *coherence.Ctx, tid int) {
+	succ := l.succ[tid]
+	if succ == 0 {
+		old := c.FetchAdd(l.arrivals, 1)
+		if old&1 != 0 {
+			return // detached+empty → unlocked
+		}
+		succ = old >> 2
+	}
+	c.Store(coherence.Addr(succ), 1)
+}
+
+// ReciproCTR is the §10 future-work exploration: Reciprocating Locks
+// with HemLock's coherence-traffic-reduction waiting, modeled in its
+// strongest architectural form — MONITOR/MWAIT-style waiting for the
+// line's invalidation followed by an atomic exchange that claims the
+// grant and leaves the Gate line Modified in the waiter's cache.
+// Steady-state contended episodes then cost 3 coherence events instead
+// of Listing 1's 4: the re-arm upgrade disappears (the line is already
+// Modified and nil) and the wake load+consume collapse into one RMW.
+type ReciproCTR struct {
+	arrivals  coherence.Addr
+	gate      []coherence.Addr
+	succ, eos []uint64
+}
+
+// Name identifies the lock.
+func (l *ReciproCTR) Name() string { return "Recipro-CTR" }
+
+// Setup allocates the lock word and per-thread gates.
+func (l *ReciproCTR) Setup(sys *coherence.System, threads int) {
+	l.arrivals = sys.Alloc("rctr.arrivals")
+	l.gate = make([]coherence.Addr, threads)
+	for i := 0; i < threads; i++ {
+		l.gate[i] = sys.Alloc("rctr.gate")
+	}
+	l.succ = make([]uint64, threads)
+	l.eos = make([]uint64, threads)
+}
+
+// Acquire enters the lock.
+func (l *ReciproCTR) Acquire(c *coherence.Ctx, tid int) {
+	e := uint64(l.gate[tid])
+	// CTR invariant: the gate is nil and Modified in our cache from
+	// the previous episode's consuming exchange — no re-arm store.
+	succ := uint64(0)
+	eos := e
+	tail := c.Swap(l.arrivals, e)
+	if tail != 0 {
+		if tail != simLockedEmpty {
+			succ = tail
+		}
+		// Monitor-wait for the granting store's invalidation, then
+		// claim the grant with one exchange (consumes and re-arms in
+		// a single RMW). The readiness predicate is evaluated
+		// atomically with arming, so a grant landing just before the
+		// park is never missed.
+		ready := func(v uint64) bool { return v != 0 }
+		for {
+			c.AwaitWrite(l.gate[tid], ready)
+			eos = c.Swap(l.gate[tid], 0)
+			if eos != 0 {
+				break
+			}
+		}
+		if succ == eos {
+			succ = 0
+			eos = simLockedEmpty
+		}
+	}
+	l.succ[tid], l.eos[tid] = succ, eos
+}
+
+// Release exits the lock (identical to the Listing 1 release).
+func (l *ReciproCTR) Release(c *coherence.Ctx, tid int) {
+	succ, eos := l.succ[tid], l.eos[tid]
+	if succ != 0 {
+		c.Store(coherence.Addr(succ), eos)
+		return
+	}
+	if c.CAS(l.arrivals, eos, 0) {
+		return
+	}
+	w := c.Swap(l.arrivals, simLockedEmpty)
+	c.Store(coherence.Addr(w), eos)
+}
+
+// Variants returns the extra simulated Reciprocating variants (not
+// part of the Table 1 set).
+func Variants() []Factory {
+	return []Factory{
+		func() Lock { return &ReciproL2{} },
+		func() Lock { return &ReciproFA{} },
+		func() Lock { return &ReciproCTR{} },
+	}
+}

@@ -1,0 +1,62 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longername", "22.5")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Column two must start at the same offset on every data line.
+	hdr := lines[1]
+	idx := strings.Index(hdr, "value")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			continue
+		}
+		if ln[idx-1] != ' ' {
+			t.Fatalf("misaligned row %q (value col at %d)", ln, idx)
+		}
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x")
+	tb.Add("1", "2", "3")
+	if tb.Rows[0][1] != "" {
+		t.Fatal("missing cell not blank")
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.Add("1", "2")
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	if b.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if I(-5) != "-5" || U(7) != "7" {
+		t.Fatal("I/U")
+	}
+}

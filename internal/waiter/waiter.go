@@ -1,0 +1,124 @@
+// Package waiter provides busy-wait ("Pause") policies for spin locks.
+//
+// The paper assumes a "polite" Pause() operator (x86 PAUSE / ARM YIELD)
+// inside every busy-wait loop. Under the Go runtime — and in particular
+// under GOMAXPROCS values smaller than the number of runnable
+// goroutines — pure spinning starves the lock holder of a processor, so
+// every practical policy here eventually yields to the scheduler.
+//
+// Three policies are provided:
+//
+//   - Spin: bounded hot spinning followed by runtime.Gosched. The
+//     default; closest in spirit to PAUSE loops while remaining safe on
+//     oversubscribed schedulers.
+//   - Yield: immediate runtime.Gosched on every pause. Fastest handoff
+//     when GOMAXPROCS == 1.
+//   - Adaptive: spins hot while the number of pauses is small, then
+//     yields, then sleeps in escalating increments. Robust default for
+//     unknown oversubscription.
+//
+// Policies are expressed as small value types so that lock hot paths
+// can inline the Pause call; a Waiter is cheap to construct per
+// acquisition and holds only an iteration counter.
+package waiter
+
+import (
+	"runtime"
+	"time"
+)
+
+// Policy selects a busy-wait strategy.
+type Policy int
+
+const (
+	// PolicyAdaptive spins briefly, then yields, then sleeps.
+	PolicyAdaptive Policy = iota
+	// PolicySpin spins hot for a fixed budget between yields.
+	PolicySpin
+	// PolicyYield yields to the scheduler on every pause.
+	PolicyYield
+	// PolicyBackoff sleeps for exponentially growing, capped
+	// intervals — the classic randomized-backoff discipline the paper
+	// rejects as not work conserving ("backoff delays ... constitute
+	// dead time", §5). Provided as the contrast arm for ablations.
+	PolicyBackoff
+)
+
+// Default is the policy used by locks unless overridden.
+var Default = PolicyAdaptive
+
+// spinBudget is the number of hot iterations performed before the
+// first yield under PolicySpin and PolicyAdaptive.
+const spinBudget = 32
+
+// yieldBudget is the number of Gosched calls performed by
+// PolicyAdaptive before it escalates to sleeping.
+const yieldBudget = 64
+
+// Waiter tracks progress of one waiting episode. The zero value is
+// ready to use.
+type Waiter struct {
+	policy Policy
+	n      int
+}
+
+// New returns a Waiter implementing the given policy.
+func New(p Policy) Waiter { return Waiter{policy: p} }
+
+// Pause performs one unit of polite waiting, escalating according to
+// the policy as the episode lengthens.
+func (w *Waiter) Pause() {
+	w.n++
+	switch w.policy {
+	case PolicyYield:
+		runtime.Gosched()
+	case PolicyBackoff:
+		// Exponential backoff: 1µs doubling to a 256µs cap. Any time
+		// between the lock becoming free and the sleep expiring is
+		// dead time — the §5 objection.
+		shift := w.n
+		if shift > 8 {
+			shift = 8
+		}
+		time.Sleep(time.Duration(1<<shift) * time.Microsecond)
+	case PolicySpin:
+		if w.n%spinBudget == 0 {
+			runtime.Gosched()
+		} else {
+			cpuRelax()
+		}
+	default: // PolicyAdaptive
+		switch {
+		case w.n < spinBudget:
+			cpuRelax()
+		case w.n < spinBudget+yieldBudget:
+			runtime.Gosched()
+		default:
+			// Escalate to short sleeps; cap the sleep so that a
+			// missed wakeup is bounded-cost.
+			d := time.Duration(w.n-spinBudget-yieldBudget) * time.Microsecond
+			if d > 100*time.Microsecond {
+				d = 100 * time.Microsecond
+			}
+			time.Sleep(d)
+		}
+	}
+}
+
+// Reset rewinds the waiter so a new waiting episode starts hot.
+func (w *Waiter) Reset() { w.n = 0 }
+
+// Spins reports the number of Pause calls performed this episode.
+func (w *Waiter) Spins() int { return w.n }
+
+// cpuRelax burns a few cycles without touching shared memory. Go does
+// not expose the PAUSE instruction; a short empty loop keeps the
+// spinning core from saturating the load pipeline with the spin
+// variable while remaining preemptible (Go 1.14+ async preemption).
+//
+//go:noinline
+func cpuRelax() {
+	for i := 0; i < 4; i++ {
+		_ = i
+	}
+}

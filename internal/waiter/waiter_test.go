@@ -1,0 +1,78 @@
+package waiter
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffBounded(t *testing.T) {
+	w := New(PolicyBackoff)
+	start := time.Now()
+	for i := 0; i < 12; i++ {
+		w.Pause()
+	}
+	// Sum of capped exponential sleeps stays well under a second.
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("backoff slept %v", el)
+	}
+}
+
+func TestPauseCountsSpins(t *testing.T) {
+	for _, p := range []Policy{PolicySpin, PolicyYield, PolicyAdaptive, PolicyBackoff} {
+		w := New(p)
+		for i := 0; i < 10; i++ {
+			w.Pause()
+		}
+		if got := w.Spins(); got != 10 {
+			t.Errorf("policy %v: Spins() = %d, want 10", p, got)
+		}
+		w.Reset()
+		if got := w.Spins(); got != 0 {
+			t.Errorf("policy %v: Spins() after Reset = %d, want 0", p, got)
+		}
+	}
+}
+
+// A waiter must allow another goroutine to make progress even on a
+// single-processor scheduler: spin on a flag set by a second goroutine.
+func TestPauseAllowsProgress(t *testing.T) {
+	for _, p := range []Policy{PolicySpin, PolicyYield, PolicyAdaptive} {
+		var flag atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			flag.Store(true)
+			close(done)
+		}()
+		w := New(p)
+		deadline := time.Now().Add(10 * time.Second)
+		for !flag.Load() {
+			if time.Now().After(deadline) {
+				t.Fatalf("policy %v: flag never observed", p)
+			}
+			w.Pause()
+		}
+		<-done
+	}
+}
+
+func TestAdaptiveEscalatesWithoutPanic(t *testing.T) {
+	w := New(PolicyAdaptive)
+	// Drive the waiter well past the sleep threshold; the sleep cap
+	// keeps this fast.
+	start := time.Now()
+	for i := 0; i < spinBudget+yieldBudget+5; i++ {
+		w.Pause()
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("adaptive waiter slept far too long")
+	}
+}
+
+func TestZeroValueWaiterUsable(t *testing.T) {
+	var w Waiter
+	w.Pause()
+	if w.Spins() != 1 {
+		t.Fatalf("zero-value waiter Spins() = %d, want 1", w.Spins())
+	}
+}

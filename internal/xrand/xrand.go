@@ -1,0 +1,169 @@
+// Package xrand supplies the pseudo-random number generators the paper
+// relies on:
+//
+//   - MT19937, the 32-bit Mersenne Twister: the MutexBench critical
+//     section advances a shared std::mt19937 one step and the moderate-
+//     contention non-critical section advances a private one (§7.1).
+//   - Marsaglia's xorshift64, suggested in Appendix G as the cheap
+//     generator for Bernoulli succession trials.
+//   - SplitMix64, used here to seed generators and for workload keys.
+//   - HashPhi32, the Fibonacci (golden-ratio) hash from Appendix I's
+//     counter-based lane-selection RNG.
+//
+// None of the generators is safe for concurrent use; callers that share
+// one (as MutexBench deliberately does for its critical section) must
+// hold a lock — that contention is the point of the benchmark.
+package xrand
+
+// MT19937 is the classic 32-bit Mersenne Twister of Matsumoto and
+// Nishimura, matching std::mt19937: the C++ standard requires the
+// 10000th output of a default-seeded (5489) instance to be 4123659995,
+// which the test suite verifies.
+type MT19937 struct {
+	state [624]uint32
+	index int
+}
+
+const (
+	mtN          = 624
+	mtM          = 397
+	mtMatrixA    = 0x9908b0df
+	mtUpperMask  = 0x80000000
+	mtLowerMask  = 0x7fffffff
+	mtDefaultSee = 5489
+)
+
+// NewMT19937 returns a generator seeded like std::mt19937's default
+// constructor (seed 5489).
+func NewMT19937() *MT19937 { return NewMT19937Seeded(mtDefaultSee) }
+
+// NewMT19937Seeded returns a generator initialized with the given seed
+// using the reference init_genrand recurrence.
+func NewMT19937Seeded(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed reinitializes the generator state from seed.
+func (m *MT19937) Seed(seed uint32) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = 1812433253*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+// Uint32 advances the generator one step and returns the next tempered
+// output word.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+func (m *MT19937) generate() {
+	s := &m.state
+	for i := 0; i < mtN; i++ {
+		y := (s[i] & mtUpperMask) | (s[(i+1)%mtN] & mtLowerMask)
+		next := s[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		s[i] = next
+	}
+	m.index = 0
+}
+
+// Skip advances the generator n steps, discarding output. MutexBench's
+// non-critical section uses this to burn a random amount of private
+// work.
+func (m *MT19937) Skip(n int) {
+	for i := 0; i < n; i++ {
+		m.Uint32()
+	}
+}
+
+// Uint32n returns a uniform value in [0, n) using rejection-free
+// multiply-shift (Lemire). n must be > 0.
+func (m *MT19937) Uint32n(n uint32) uint32 {
+	return uint32((uint64(m.Uint32()) * uint64(n)) >> 32)
+}
+
+// XorShift64 is Marsaglia's single-word xorshift generator, the
+// "simple low-latency low-quality" PRNG Appendix G recommends for
+// succession-direction Bernoulli trials.
+type XorShift64 struct {
+	x uint64
+}
+
+// NewXorShift64 returns a generator with the given nonzero seed; a zero
+// seed is replaced with a fixed odd constant (xorshift has an all-zero
+// fixed point).
+func NewXorShift64(seed uint64) *XorShift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &XorShift64{x: seed}
+}
+
+// Uint64 advances the generator and returns the next word.
+func (r *XorShift64) Uint64() uint64 {
+	x := r.x
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.x = x
+	return x
+}
+
+// Bernoulli performs a trial that succeeds with probability p (clamped
+// to [0,1]).
+func (r *XorShift64) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	// Take 53 bits for a uniform float64 in [0,1).
+	u := float64(r.Uint64()>>11) / (1 << 53)
+	return u < p
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *XorShift64) Intn(n int) int {
+	return int((uint64(uint32(r.Uint64())) * uint64(n)) >> 32)
+}
+
+// SplitMix64 is the Steele–Lea–Flood mixing generator; we use it to
+// derive independent seeds and synthetic keys.
+type SplitMix64 struct {
+	x uint64
+}
+
+// NewSplitMix64 returns a generator starting at seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{x: seed} }
+
+// Uint64 advances the generator and returns the next word.
+func (r *SplitMix64) Uint64() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashPhi32 is the golden-ratio (Fibonacci) hash from Appendix I,
+// used there as a counter-based RNG for random lane selection:
+// uint64(v * 0x9e3779b9) >> 32 with C uint32 multiplication semantics.
+func HashPhi32(v uint32) uint32 {
+	return uint32((uint64(v) * 0x9e3779b9) >> 32)
+}

@@ -1,0 +1,232 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The C++ standard (and the reference implementation) pin down MT19937
+// exactly: a default-seeded generator's 10000th output is 4123659995.
+func TestMT19937MatchesStdMt19937TenThousandth(t *testing.T) {
+	m := NewMT19937()
+	var v uint32
+	for i := 0; i < 10000; i++ {
+		v = m.Uint32()
+	}
+	if v != 4123659995 {
+		t.Fatalf("10000th output = %d, want 4123659995", v)
+	}
+}
+
+// First outputs of the reference implementation with default seed 5489.
+func TestMT19937FirstOutputs(t *testing.T) {
+	want := []uint32{3499211612, 581869302, 3890346734, 3586334585, 545404204}
+	m := NewMT19937()
+	for i, w := range want {
+		if got := m.Uint32(); got != w {
+			t.Fatalf("output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMT19937Deterministic(t *testing.T) {
+	a := NewMT19937Seeded(12345)
+	b := NewMT19937Seeded(12345)
+	for i := 0; i < 2000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewMT19937Seeded(54321)
+	same := 0
+	a.Seed(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == c.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestMT19937SkipEquivalence(t *testing.T) {
+	a := NewMT19937Seeded(99)
+	b := NewMT19937Seeded(99)
+	a.Skip(777)
+	for i := 0; i < 777; i++ {
+		b.Uint32()
+	}
+	if a.Uint32() != b.Uint32() {
+		t.Fatal("Skip(n) diverged from n discarded Uint32 calls")
+	}
+}
+
+func TestMT19937Uint32nRange(t *testing.T) {
+	m := NewMT19937()
+	err := quick.Check(func(n uint32) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := m.Uint32n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMT19937Uint32nUniformish(t *testing.T) {
+	m := NewMT19937Seeded(7)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[m.Uint32n(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestXorShift64NonZeroAndPeriodic(t *testing.T) {
+	r := NewXorShift64(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Uint64()
+		if v == 0 {
+			t.Fatal("xorshift64 emitted zero")
+		}
+		if seen[v] {
+			t.Fatalf("xorshift64 repeated a value within 10000 steps at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestXorShift64ZeroSeedCoerced(t *testing.T) {
+	r := NewXorShift64(0)
+	if r.Uint64() == 0 {
+		t.Fatal("zero-seeded xorshift stuck at zero")
+	}
+}
+
+func TestXorShift64KnownSequence(t *testing.T) {
+	// Hand-computed first step for seed 1:
+	// x=1; x^=x<<13 -> 0x2001; x^=x>>7 -> 0x2001^0x40 = 0x2041;
+	// x^=x<<17 -> 0x2041 ^ 0x4082_0000 = 0x4082_2041.
+	r := NewXorShift64(1)
+	if got := r.Uint64(); got != 0x40822041 {
+		t.Fatalf("first output for seed 1 = %#x, want 0x40822041", got)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := NewXorShift64(42)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewXorShift64(42)
+	const draws = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		rate := float64(hits) / draws
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) empirical rate %v", p, rate)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewXorShift64(9)
+	for n := 1; n < 100; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference outputs for seed 0 (e.g. from the canonical Java/C
+	// implementations of Steele et al.).
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+		0xf88bb8a8724c81ec, 0x1b39896a51a8749b,
+	}
+	r := NewSplitMix64(0)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestHashPhi32(t *testing.T) {
+	// HashPhi32(v) = high 32 bits of v * 2^32/phi; check a couple of
+	// directly computed values and distribution of low bit.
+	if HashPhi32(0) != 0 {
+		t.Fatal("HashPhi32(0) != 0")
+	}
+	if got := HashPhi32(1); got != 0 {
+		// 0x9e3779b9 >> 32 == 0
+		t.Fatalf("HashPhi32(1) = %d, want 0", got)
+	}
+	if got := HashPhi32(1 << 31); got != 0x4f1bbcdc {
+		t.Fatalf("HashPhi32(2^31) = %#x, want 0x4f1bbcdc", got)
+	}
+	ones := 0
+	for v := uint32(0); v < 100000; v++ {
+		ones += int(HashPhi32(v) & 1)
+	}
+	if ones < 45000 || ones > 55000 {
+		t.Fatalf("low bit of HashPhi32 biased: %d/100000 ones", ones)
+	}
+}
+
+func TestHashPhi32LaneSelectionBalance(t *testing.T) {
+	// Appendix I selects lanes via HashPhi32((++cbrn) ^ addr) & 1;
+	// successive counter values must split roughly evenly.
+	addr := uint32(0xdeadbeef)
+	lane1 := 0
+	const draws = 100000
+	for c := uint32(1); c <= draws; c++ {
+		lane1 += int(HashPhi32(c^addr) & 1)
+	}
+	if lane1 < draws*45/100 || lane1 > draws*55/100 {
+		t.Fatalf("lane selection biased: %d/%d lane-1 picks", lane1, draws)
+	}
+}
+
+func BenchmarkMT19937(b *testing.B) {
+	m := NewMT19937()
+	for i := 0; i < b.N; i++ {
+		_ = m.Uint32()
+	}
+}
+
+func BenchmarkXorShift64(b *testing.B) {
+	r := NewXorShift64(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

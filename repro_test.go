@@ -1,0 +1,53 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// The facade types must be directly usable as sync.Locker with zero
+// values.
+func TestFacadeLockers(t *testing.T) {
+	lockers := []sync.Locker{
+		new(repro.Lock),
+		new(repro.SimplifiedLock),
+		new(repro.RelayLock),
+		new(repro.FetchAddLock),
+		new(repro.SimplifiedEOSLock),
+		new(repro.CombinedLock),
+		new(repro.GatedLock),
+		new(repro.TwoLaneLock),
+		new(repro.FairLock),
+	}
+	for i, l := range lockers {
+		var wg sync.WaitGroup
+		count := 0
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 500; j++ {
+					l.Lock()
+					count++
+					l.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if count != 2000 {
+			t.Fatalf("locker %d lost updates: %d", i, count)
+		}
+	}
+}
+
+func TestFacadeExplicitAPI(t *testing.T) {
+	var mu repro.Lock
+	e := new(repro.WaitElement)
+	tok := mu.Acquire(e)
+	mu.Release(tok)
+	if mu.Locked() {
+		t.Fatal("lock left held")
+	}
+}
