@@ -1,0 +1,26 @@
+# Test tiers for the Reciprocating Locks reproduction.
+#
+#   make test   — tier 1: build + full test suite (the CI gate)
+#   make race   — race tier: go vet + the full suite under -race
+#   make bench  — the root benchmark suite (paper figures + ablations)
+
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

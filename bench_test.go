@@ -20,6 +20,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 	"repro/internal/simlocks"
 	"repro/internal/waiter"
@@ -390,4 +391,32 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkLockstatOverhead is the telemetry guard: the same
+// uncontended Reciprocating acquire/release, bare vs. wrapped with a
+// nil-Stats Instrumented (must stay within 10% of bare — the wrapper
+// is designed to be left on permanently) vs. fully enabled telemetry
+// (the honest price of measuring). All three arms drive the lock
+// through sync.Locker so dispatch cost is identical.
+func BenchmarkLockstatOverhead(b *testing.B) {
+	arms := []struct {
+		name string
+		mk   func() sync.Locker
+	}{
+		{"bare", func() sync.Locker { return new(core.Lock) }},
+		{"nil-stats", func() sync.Locker { return lockstat.Wrap(new(core.Lock), nil) }},
+		{"enabled", func() sync.Locker { return lockstat.Wrap(new(core.Lock), lockstat.New()) }},
+	}
+	for _, arm := range arms {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			l := arm.mk()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+	}
 }

@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/kvstore"
+	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
+	"repro/internal/stats"
 	"repro/internal/table"
 )
 
@@ -25,13 +27,18 @@ func main() {
 	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
 	duration := flag.Duration("duration", 0, "measurement interval")
 	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
-	threads := flag.Int("threads", 4, "reader threads (readwhilewriting)")
+	threads := flag.Int("threads", 4, "reader threads (readwhilewriting and -lockstat readrandom)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	lockstatOn := flag.Bool("lockstat", false, "instrument the DB's central mutex and print per-lock telemetry")
 	flag.Parse()
 
 	fmt.Println(experiments.TrackANote)
 	switch *mode {
 	case "readrandom":
+		if *lockstatOn {
+			readRandomLockstat(*duration, *keys, *runs, *threads, *csv)
+			return
+		}
 		t := experiments.Fig3(*duration, *keys, *runs)
 		if *csv {
 			t.RenderCSV(os.Stdout)
@@ -45,8 +52,17 @@ func main() {
 		}
 		t := table.New(fmt.Sprintf("KV readwhilewriting — %d readers + 1 writer over %d keys", *threads, *keys),
 			"Lock", "Read Mops/s", "Write ops")
+		telemetry := make(map[string]lockstat.Snapshot)
+		var order []string
 		for _, lf := range mutexbench.PaperSet() {
-			db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 256 << 10})
+			mu := lf.New()
+			var st *lockstat.Stats
+			if *lockstatOn {
+				st = lockstat.New()
+				mu = lockstat.Wrap(mu, st)
+				lockstat.InstallWaiterSink(st)
+			}
+			db := kvstore.Open(kvstore.Options{Lock: mu, MemTableBytes: 256 << 10})
 			kvstore.FillSeq(db, *keys, 100)
 			res, wops := kvstore.ReadWhileWriting(db, kvstore.ReadRandomConfig{
 				Threads:  *threads,
@@ -54,14 +70,66 @@ func main() {
 				Duration: d,
 			}, 100)
 			t.Add(lf.Name, table.F(res.Mops, 3), table.U(wops))
+			if st != nil {
+				lockstat.InstallWaiterSink(nil)
+				lockstat.Publish("lockstat.kv."+lf.Name, st)
+				telemetry[lf.Name] = st.Snapshot()
+				order = append(order, lf.Name)
+			}
 		}
 		if *csv {
 			t.RenderCSV(os.Stdout)
 		} else {
 			t.Render(os.Stdout)
 		}
+		if *lockstatOn {
+			fmt.Println()
+			lockstat.FprintReport(os.Stdout, "DB mutex telemetry (readwhilewriting)", order, telemetry, *csv)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "unknown -mode")
 		os.Exit(2)
 	}
+}
+
+// readRandomLockstat is the instrumented variant of the Figure 3 run:
+// the DBImpl mutex of each PaperSet lock is wrapped with telemetry and
+// the readrandom workload is driven at one thread count, reporting
+// throughput alongside the mutex's contention profile.
+func readRandomLockstat(dur time.Duration, keys, runs, threads int, csv bool) {
+	if dur <= 0 {
+		dur = 300 * time.Millisecond
+	}
+	t := table.New(fmt.Sprintf("KV readrandom T=%d over %d keys (median of %d) — instrumented mutex", threads, keys, runs),
+		"Lock", "Mops/s")
+	telemetry := make(map[string]lockstat.Snapshot)
+	var order []string
+	for _, lf := range mutexbench.PaperSet() {
+		st := lockstat.New()
+		lockstat.InstallWaiterSink(st)
+		scores := make([]float64, 0, runs)
+		for r := 0; r < runs; r++ {
+			db := kvstore.Open(kvstore.Options{Lock: lockstat.Wrap(lf.New(), st), MemTableBytes: 256 << 10})
+			kvstore.FillSeq(db, keys, 100)
+			res := kvstore.ReadRandom(db, kvstore.ReadRandomConfig{
+				Threads:  threads,
+				Keyspace: keys,
+				Duration: dur,
+				Seed:     uint64(r),
+			})
+			scores = append(scores, res.Mops)
+		}
+		lockstat.InstallWaiterSink(nil)
+		lockstat.Publish("lockstat.kv."+lf.Name, st)
+		t.Add(lf.Name, table.F(stats.Median(scores), 3))
+		telemetry[lf.Name] = st.Snapshot()
+		order = append(order, lf.Name)
+	}
+	if csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	fmt.Println()
+	lockstat.FprintReport(os.Stdout, "DB mutex telemetry (readrandom)", order, telemetry, csv)
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 	"repro/internal/table"
 )
@@ -29,6 +30,7 @@ func main() {
 	duration := flag.Duration("duration", 300*time.Millisecond, "measurement interval per configuration")
 	runs := flag.Int("runs", 3, "independent runs per configuration (median reported)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	lockstatOn := flag.Bool("lockstat", false, "collect per-lock telemetry (counters + latency histograms) and print it after the throughput table")
 	flag.Parse()
 
 	ncs := 0
@@ -66,10 +68,23 @@ func main() {
 		headers = append(headers, fmt.Sprintf("T=%d", tc))
 	}
 	t := table.New(fmt.Sprintf("MutexBench (%s contention) — aggregate Mops/s, median of %d", *mode, *runs), headers...)
+	telemetry := make(map[string]lockstat.Snapshot)
+	var order []string
 	for _, lf := range lfs {
+		run := lf
+		var st *lockstat.Stats
+		if *lockstatOn {
+			// One Stats per lock algorithm, shared across every
+			// instance, thread count and run. The waiter sink is
+			// installed only while this lock is the one measured, so
+			// spin/yield/park attribution is exact.
+			st = lockstat.New()
+			run.New = lockstat.WrapFactory(lf.New, st)
+			lockstat.InstallWaiterSink(st)
+		}
 		row := []string{lf.Name}
 		for _, tc := range threads {
-			res := mutexbench.Run(lf, mutexbench.Config{
+			res := mutexbench.Run(run, mutexbench.Config{
 				Threads:     tc,
 				Duration:    *duration,
 				CSSteps:     1,
@@ -79,11 +94,23 @@ func main() {
 			row = append(row, table.F(res.Mops, 3))
 		}
 		t.Add(row...)
+		if st != nil {
+			lockstat.InstallWaiterSink(nil)
+			lockstat.Publish("lockstat."+lf.Name, st)
+			telemetry[lf.Name] = st.Snapshot()
+			order = append(order, lf.Name)
+		}
 	}
 	if *csv {
 		t.RenderCSV(os.Stdout)
 	} else {
 		t.Render(os.Stdout)
+	}
+	if *lockstatOn {
+		fmt.Println()
+		lockstat.FprintReport(os.Stdout,
+			fmt.Sprintf("Lock telemetry (%s contention, all thread counts pooled)", *mode),
+			order, telemetry, *csv)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 	"repro/internal/xrand"
 )
@@ -35,6 +36,7 @@ func main() {
 	lockList := flag.String("locks", "all", "comma-separated lock names or 'all'")
 	workers := flag.Int("workers", 8, "concurrent workers")
 	tableSize := flag.Int("table", 16, "locks per table")
+	lockstatOn := flag.Bool("lockstat", false, "run every lock through the telemetry wrapper and print per-type telemetry")
 	flag.Parse()
 
 	lfs := mutexbench.AllSet()
@@ -51,18 +53,42 @@ func main() {
 	}
 
 	per := *duration / time.Duration(len(lfs))
+	telemetry := make(map[string]lockstat.Snapshot)
+	var order []string
 	for _, lf := range lfs {
 		fmt.Printf("%-12s ", lf.Name)
-		ops, acquires := torture(lf, per, *workers, *tableSize)
+		var st *lockstat.Stats
+		if *lockstatOn {
+			// One Stats per lock type across the whole table of
+			// instances: torture is a multi-lock workload, so the
+			// telemetry is per-algorithm, not per-instance.
+			st = lockstat.New()
+			lockstat.InstallWaiterSink(st)
+		}
+		ops, acquires := torture(lf, per, *workers, *tableSize, st)
+		if st != nil {
+			lockstat.InstallWaiterSink(nil)
+			lockstat.Publish("lockstat.torture."+lf.Name, st)
+			telemetry[lf.Name] = st.Snapshot()
+			order = append(order, lf.Name)
+		}
 		fmt.Printf("ok: %d multi-lock ops, %d acquisitions\n", ops, acquires)
 	}
 	fmt.Println("all lock types survived")
+	if *lockstatOn {
+		fmt.Println()
+		lockstat.FprintReport(os.Stdout, "Torture telemetry (per lock type, whole table pooled)", order, telemetry, false)
+	}
 }
 
-func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int) (uint64, uint64) {
+func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int, st *lockstat.Stats) (uint64, uint64) {
 	locks := make([]*guarded, tableSize)
 	for i := range locks {
-		locks[i] = &guarded{mu: lf.New()}
+		mu := lf.New()
+		if st != nil {
+			mu = lockstat.Wrap(mu, st)
+		}
+		locks[i] = &guarded{mu: mu}
 	}
 	var stop atomic.Bool
 	var totalOps, totalAcq atomic.Uint64

@@ -2,11 +2,13 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/atomicstruct"
 	"repro/internal/kvstore"
+	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 )
 
@@ -88,6 +90,65 @@ func TestAtomicStructUnderEveryLock(t *testing.T) {
 			got := a.Load()
 			if got.A != workers*iters || got.E != -workers*iters {
 				t.Fatalf("S = %+v, want A=%d E=%d", got, workers*iters, -workers*iters)
+			}
+		})
+	}
+}
+
+// Integration: every lock variant, run under N-goroutine contention
+// through the lockstat.Instrumented wrapper, must satisfy the
+// telemetry invariants — acquisitions == unlocks == N*M, contended ≤
+// total, and the latency histograms account for every episode.
+func TestInstrumentedInvariantsEveryLock(t *testing.T) {
+	const (
+		goroutines = 6
+		iters      = 300
+	)
+	for _, lf := range mutexbench.AllSet() {
+		lf := lf
+		t.Run(lf.Name, func(t *testing.T) {
+			st := lockstat.New()
+			l := lockstat.Wrap(lf.New(), st)
+			var shared int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l.Lock()
+						shared++
+						if i&31 == 0 {
+							runtime.Gosched() // force queues to form
+						}
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			const want = goroutines * iters
+			if shared != want {
+				t.Fatalf("mutual exclusion broken under wrapper: counter = %d, want %d", shared, want)
+			}
+			s := st.Snapshot()
+			if s.Acquisitions != want || s.Unlocks != want {
+				t.Errorf("acquisitions/unlocks = %d/%d, want %d/%d", s.Acquisitions, s.Unlocks, want, want)
+			}
+			if s.Contended > s.Acquisitions {
+				t.Errorf("contended %d > acquisitions %d", s.Contended, s.Acquisitions)
+			}
+			if s.Handovers > s.Unlocks {
+				t.Errorf("handovers %d > unlocks %d", s.Handovers, s.Unlocks)
+			}
+			if got := s.Acquire.Count(); got != s.Acquisitions {
+				t.Errorf("acquire histogram count %d != acquisitions %d", got, s.Acquisitions)
+			}
+			if got := s.Hold.Count(); got != s.Unlocks {
+				t.Errorf("hold histogram count %d != unlocks %d", got, s.Unlocks)
+			}
+			// Six goroutines on one lock must exhibit some contention.
+			if s.Contended == 0 {
+				t.Errorf("no contended acquisitions recorded across %d contended episodes", want)
 			}
 		})
 	}

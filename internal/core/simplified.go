@@ -63,6 +63,11 @@ func (l *SimplifiedLock) Acquire(e *flagElement) *flagElement {
 	w := waiter.New(l.Policy)
 	for e.gate.Load() == 0 {
 		if l.Park && w.Spins() >= parkThreshold {
+			// A futex park bypasses Pause, so report it to the
+			// telemetry sink directly; each (re-)park counts once.
+			if s := w.Sink(); s != nil {
+				s.CountPark()
+			}
 			futex.Wait(&e.gate, 0)
 			continue
 		}

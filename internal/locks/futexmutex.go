@@ -38,6 +38,11 @@ func (m *FutexMutex) Lock() {
 	// Slow path: advertise waiters and sleep. Swapping 2 both claims
 	// the lock when it was free and marks contention when it wasn't.
 	for m.state.Swap(2) != 0 {
+		// Futex parks bypass Pause; report them to the telemetry
+		// sink through the waiter's attached sink.
+		if s := w.Sink(); s != nil {
+			s.CountPark()
+		}
 		futex.Wait(&m.state, 2)
 	}
 }

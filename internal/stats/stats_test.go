@@ -215,3 +215,139 @@ func TestPercentileMatchesSortedSelection(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Edge case: every summary function must handle the empty sample set
+// without panicking, returning its documented sentinel.
+func TestEmptySampleSet(t *testing.T) {
+	var none []float64
+	for name, got := range map[string]float64{
+		"Median":     Median(none),
+		"Percentile": Percentile(none, 50),
+		"Mean":       Mean(none),
+		"Min":        Min(none),
+		"Max":        Max(none),
+		"JainIndex":  JainIndex(none),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s(empty) = %v, want NaN", name, got)
+		}
+	}
+	if got := StdDev(none); got != 0 {
+		t.Errorf("StdDev(empty) = %v, want 0", got)
+	}
+	if got := DisparityRatio(nil); !math.IsNaN(got) {
+		t.Errorf("DisparityRatio(empty) = %v, want NaN", got)
+	}
+}
+
+// Edge case: a single sample is its own median, mean, min, max and
+// every percentile; spread measures are zero/identity.
+func TestSingleSample(t *testing.T) {
+	xs := []float64{42.5}
+	for name, got := range map[string]float64{
+		"Median": Median(xs),
+		"Mean":   Mean(xs),
+		"Min":    Min(xs),
+		"Max":    Max(xs),
+		"P0":     Percentile(xs, 0),
+		"P50":    Percentile(xs, 50),
+		"P99":    Percentile(xs, 99),
+		"P100":   Percentile(xs, 100),
+	} {
+		if got != 42.5 {
+			t.Errorf("%s([42.5]) = %v, want 42.5", name, got)
+		}
+	}
+	if got := StdDev(xs); got != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", got)
+	}
+	if got := JainIndex(xs); got != 1 {
+		t.Errorf("JainIndex(single) = %v, want 1", got)
+	}
+	if got := DisparityRatio([]int64{7}); got != 1 {
+		t.Errorf("DisparityRatio(single) = %v, want 1", got)
+	}
+}
+
+// Edge case: all-equal samples — zero spread, perfect fairness,
+// every order statistic equal to the common value.
+func TestAllEqualSamples(t *testing.T) {
+	xs := []float64{3, 3, 3, 3, 3, 3}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := Mean(xs); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := StdDev(xs); got != 0 {
+		t.Errorf("StdDev = %v, want 0", got)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if got := Percentile(xs, p); got != 3 {
+			t.Errorf("Percentile(%v) = %v, want 3", p, got)
+		}
+	}
+	if got := JainIndex(xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("JainIndex = %v, want 1", got)
+	}
+	if got := DisparityRatio([]int64{5, 5, 5}); got != 1 {
+		t.Errorf("DisparityRatio = %v, want 1", got)
+	}
+	// All-zero allocation is defined as perfectly fair.
+	if got := JainIndex([]float64{0, 0, 0}); got != 1 {
+		t.Errorf("JainIndex(zeros) = %v, want 1", got)
+	}
+}
+
+// Edge case: histogram bucket boundary values. With n buckets over
+// [lo, hi), a value exactly on an interior boundary belongs to the
+// higher bucket, lo belongs to bucket 0, and out-of-range values are
+// clamped into the first/last bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(0, 10, 10) // buckets [0,1) [1,2) ... [9,10)
+	cases := []struct {
+		x      float64
+		bucket int
+	}{
+		{0, 0},     // lower bound → first bucket
+		{0.999, 0}, // just under first boundary
+		{1, 1},     // interior boundary → higher bucket
+		{5, 5},
+		{8.999, 8},
+		{9, 9},     // last interior boundary
+		{9.999, 9}, // just under upper bound
+		{10, 9},    // upper bound clamps into last bucket
+		{1e9, 9},   // far overflow clamps
+		{-1, 0},    // underflow clamps
+	}
+	for _, c := range cases {
+		before := h.Buckets[c.bucket]
+		h.Add(c.x)
+		if h.Buckets[c.bucket] != before+1 {
+			for i, b := range h.Buckets {
+				if b > 0 {
+					t.Logf("bucket[%d] = %d", i, b)
+				}
+			}
+			t.Fatalf("Add(%v): bucket %d not incremented", c.x, c.bucket)
+		}
+	}
+	if h.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count, len(cases))
+	}
+	// Invalid shapes must panic rather than mis-bucket silently.
+	for _, bad := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 4) },
+		func() { NewHistogram(10, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid histogram shape did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

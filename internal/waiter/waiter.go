@@ -24,8 +24,51 @@ package waiter
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
+
+// Sink receives one callback per Pause, classified by what the pause
+// actually did: a hot spin (CountSpin), a scheduler yield
+// (CountYield), or a blocking wait — sleep or futex park —
+// (CountPark). Counting here, at the policy layer, means no lock
+// algorithm carries instrumentation in its own hot path; the telemetry
+// package (internal/lockstat) implements Sink with atomic counters.
+//
+// Implementations must be safe for concurrent use: many waiters on
+// many goroutines report to the same sink.
+type Sink interface {
+	CountSpin()
+	CountYield()
+	CountPark()
+}
+
+// sinkBox wraps a Sink so the global slot can distinguish "no sink"
+// (nil box) from a cleared sink without atomic.Value's non-nil rule.
+type sinkBox struct{ s Sink }
+
+var globalSink atomic.Pointer[sinkBox]
+
+// SetSink installs s as the process-wide transition sink picked up by
+// every subsequently constructed Waiter (nil uninstalls). Benchmark
+// harnesses install the Stats of the lock currently under measurement
+// around each run; attribution is therefore per-installation-window,
+// which is exact when one lock is hot at a time.
+func SetSink(s Sink) {
+	if s == nil {
+		globalSink.Store(nil)
+		return
+	}
+	globalSink.Store(&sinkBox{s: s})
+}
+
+// ActiveSink returns the currently installed sink, or nil.
+func ActiveSink() Sink {
+	if b := globalSink.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
 
 // Policy selects a busy-wait strategy.
 type Policy int
@@ -56,22 +99,30 @@ const spinBudget = 32
 const yieldBudget = 64
 
 // Waiter tracks progress of one waiting episode. The zero value is
-// ready to use.
+// ready to use (and reports to no sink).
 type Waiter struct {
 	policy Policy
 	n      int
+	sink   Sink
 }
 
-// New returns a Waiter implementing the given policy.
-func New(p Policy) Waiter { return Waiter{policy: p} }
+// New returns a Waiter implementing the given policy, attached to the
+// process-wide sink installed at construction time (if any).
+func New(p Policy) Waiter { return Waiter{policy: p, sink: ActiveSink()} }
+
+// NewWithSink returns a Waiter reporting transitions to s, bypassing
+// the global sink. Intended for tests and for callers that already
+// hold a per-lock Stats.
+func NewWithSink(p Policy, s Sink) Waiter { return Waiter{policy: p, sink: s} }
 
 // Pause performs one unit of polite waiting, escalating according to
-// the policy as the episode lengthens.
+// the policy as the episode lengthens. Each call reports exactly one
+// transition (spin, yield, or park) to the attached sink.
 func (w *Waiter) Pause() {
 	w.n++
 	switch w.policy {
 	case PolicyYield:
-		runtime.Gosched()
+		w.yield()
 	case PolicyBackoff:
 		// Exponential backoff: 1µs doubling to a 256µs cap. Any time
 		// between the lock becoming free and the sleep expiring is
@@ -80,19 +131,19 @@ func (w *Waiter) Pause() {
 		if shift > 8 {
 			shift = 8
 		}
-		time.Sleep(time.Duration(1<<shift) * time.Microsecond)
+		w.park(time.Duration(1<<shift) * time.Microsecond)
 	case PolicySpin:
 		if w.n%spinBudget == 0 {
-			runtime.Gosched()
+			w.yield()
 		} else {
-			cpuRelax()
+			w.relax()
 		}
 	default: // PolicyAdaptive
 		switch {
 		case w.n < spinBudget:
-			cpuRelax()
+			w.relax()
 		case w.n < spinBudget+yieldBudget:
-			runtime.Gosched()
+			w.yield()
 		default:
 			// Escalate to short sleeps; cap the sleep so that a
 			// missed wakeup is bounded-cost.
@@ -100,16 +151,43 @@ func (w *Waiter) Pause() {
 			if d > 100*time.Microsecond {
 				d = 100 * time.Microsecond
 			}
-			time.Sleep(d)
+			w.park(d)
 		}
 	}
 }
 
-// Reset rewinds the waiter so a new waiting episode starts hot.
+func (w *Waiter) relax() {
+	if w.sink != nil {
+		w.sink.CountSpin()
+	}
+	cpuRelax()
+}
+
+func (w *Waiter) yield() {
+	if w.sink != nil {
+		w.sink.CountYield()
+	}
+	runtime.Gosched()
+}
+
+func (w *Waiter) park(d time.Duration) {
+	if w.sink != nil {
+		w.sink.CountPark()
+	}
+	time.Sleep(d)
+}
+
+// Reset rewinds the waiter so a new waiting episode starts hot. The
+// attached sink is retained.
 func (w *Waiter) Reset() { w.n = 0 }
 
 // Spins reports the number of Pause calls performed this episode.
 func (w *Waiter) Spins() int { return w.n }
+
+// Sink returns the transition sink attached to this waiter, or nil.
+// Locks that block outside Pause (futex-style parking) use it to
+// report those parks through the same channel.
+func (w *Waiter) Sink() Sink { return w.sink }
 
 // cpuRelax burns a few cycles without touching shared memory. Go does
 // not expose the PAUSE instruction; a short empty loop keeps the

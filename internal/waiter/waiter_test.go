@@ -76,3 +76,134 @@ func TestZeroValueWaiterUsable(t *testing.T) {
 		t.Fatalf("zero-value waiter Spins() = %d, want 1", w.Spins())
 	}
 }
+
+// recordingSink logs every transition callback in order. Single-
+// goroutine use only.
+type recordingSink struct {
+	events []byte // 's' spin, 'y' yield, 'p' park
+}
+
+func (r *recordingSink) CountSpin()  { r.events = append(r.events, 's') }
+func (r *recordingSink) CountYield() { r.events = append(r.events, 'y') }
+func (r *recordingSink) CountPark()  { r.events = append(r.events, 'p') }
+
+func (r *recordingSink) count(c byte) int {
+	n := 0
+	for _, e := range r.events {
+		if e == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Every Pause must report exactly one transition, with per-policy
+// counts matching the documented escalation schedule.
+func TestSinkTransitionCounts(t *testing.T) {
+	cases := []struct {
+		name                 string
+		policy               Policy
+		pauses               int
+		spins, yields, parks int
+	}{
+		// Adaptive: pauses 1..31 spin, 32..95 yield, 96.. park.
+		{"Adaptive/spin-phase", PolicyAdaptive, spinBudget - 1, spinBudget - 1, 0, 0},
+		{"Adaptive/yield-phase", PolicyAdaptive, spinBudget + 10, spinBudget - 1, 11, 0},
+		// Park phase begins at pause spinBudget+yieldBudget (the first
+		// pause past both budgets), so 5 extra pauses park 6 times.
+		{"Adaptive/park-phase", PolicyAdaptive, spinBudget + yieldBudget + 5, spinBudget - 1, yieldBudget, 6},
+		// Spin: every spinBudget-th pause yields, the rest spin hot.
+		{"Spin", PolicySpin, 2 * spinBudget, 2*spinBudget - 2, 2, 0},
+		// Yield: every pause yields.
+		{"Yield", PolicyYield, 10, 0, 10, 0},
+		// Backoff: every pause is a (sleeping) park.
+		{"Backoff", PolicyBackoff, 5, 0, 0, 5},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rec := &recordingSink{}
+			w := NewWithSink(c.policy, rec)
+			for i := 0; i < c.pauses; i++ {
+				w.Pause()
+			}
+			if len(rec.events) != c.pauses {
+				t.Fatalf("%d events for %d pauses — hooks must fire exactly once per transition", len(rec.events), c.pauses)
+			}
+			if s, y, p := rec.count('s'), rec.count('y'), rec.count('p'); s != c.spins || y != c.yields || p != c.parks {
+				t.Errorf("spin/yield/park = %d/%d/%d, want %d/%d/%d", s, y, p, c.spins, c.yields, c.parks)
+			}
+		})
+	}
+}
+
+// The adaptive policy must escalate monotonically: all spins strictly
+// before the first yield, all yields strictly before the first park.
+func TestAdaptiveTransitionOrdering(t *testing.T) {
+	rec := &recordingSink{}
+	w := NewWithSink(PolicyAdaptive, rec)
+	for i := 0; i < spinBudget+yieldBudget+10; i++ {
+		w.Pause()
+	}
+	phase := 0 // 0 spin, 1 yield, 2 park
+	order := map[byte]int{'s': 0, 'y': 1, 'p': 2}
+	for i, e := range rec.events {
+		p := order[e]
+		if p < phase {
+			t.Fatalf("event %d: %q regresses from phase %d — order must be spin→yield→park", i, e, phase)
+		}
+		phase = p
+	}
+	if phase != 2 {
+		t.Fatalf("escalation ended in phase %d, never parked", phase)
+	}
+}
+
+// Reset starts a new episode (hot again) but keeps the attached sink.
+func TestResetKeepsSink(t *testing.T) {
+	rec := &recordingSink{}
+	w := NewWithSink(PolicyAdaptive, rec)
+	for i := 0; i < spinBudget+yieldBudget; i++ {
+		w.Pause()
+	}
+	if rec.count('p') != 1 {
+		t.Fatalf("parks before reset = %d, want 1", rec.count('p'))
+	}
+	w.Reset()
+	rec.events = nil
+	w.Pause()
+	if len(rec.events) != 1 || rec.events[0] != 's' {
+		t.Fatalf("first pause after Reset = %q, want spin (hot restart with sink attached)", rec.events)
+	}
+}
+
+// New must pick up the global sink at construction; SetSink(nil)
+// uninstalls it.
+func TestGlobalSinkPickup(t *testing.T) {
+	rec := &recordingSink{}
+	SetSink(rec)
+	defer SetSink(nil)
+	w := New(PolicyYield)
+	w.Pause()
+	if rec.count('y') != 1 {
+		t.Fatalf("yield not reported to global sink: %q", rec.events)
+	}
+	if ActiveSink() == nil {
+		t.Fatal("ActiveSink() = nil while installed")
+	}
+	SetSink(nil)
+	if ActiveSink() != nil {
+		t.Fatal("ActiveSink() non-nil after uninstall")
+	}
+	w2 := New(PolicyYield)
+	w2.Pause()
+	if rec.count('y') != 1 {
+		t.Fatal("waiter constructed after uninstall still reports")
+	}
+	// A waiter constructed while the sink was installed keeps it for
+	// its whole episode (sink capture is per-construction).
+	w.Pause()
+	if rec.count('y') != 2 {
+		t.Fatal("pre-uninstall waiter lost its captured sink")
+	}
+}
