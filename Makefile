@@ -3,10 +3,15 @@
 #   make test   — tier 1: build + full test suite (the CI gate)
 #   make race   — race tier: go vet + the full suite under -race
 #   make bench  — the root benchmark suite (paper figures + ablations)
+#   make chaos  — robustness tier: cancellation/bounded-acquisition
+#                 tests under -race, then a seeded fault-injected
+#                 torture run over every lock variant with the stall
+#                 watchdog armed
 
 GO ?= go
+CHAOS_SEED ?= 1
 
-.PHONY: all build test vet race bench
+.PHONY: all build test vet race bench chaos
 
 all: test
 
@@ -24,3 +29,7 @@ race: vet
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+chaos: build
+	$(GO) test -race -run 'TryLock|Bounded|Cancel|Abandon|Chaos|PauseBounded' ./internal/chaos ./internal/bounded ./internal/core ./internal/locks ./internal/waiter
+	$(GO) run -race ./cmd/torture -duration=30s -chaos -seed=$(CHAOS_SEED) -stall-timeout=10s -lockstat

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mutexbench -mode=max|moderate [-locks=TKT,MCS,...] [-threads=1,2,4]
-//	           [-duration=300ms] [-runs=3] [-csv]
+//	           [-duration=300ms] [-runs=3] [-csv] [-chaos] [-seed=1]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
@@ -31,7 +32,15 @@ func main() {
 	runs := flag.Int("runs", 3, "independent runs per configuration (median reported)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	lockstatOn := flag.Bool("lockstat", false, "collect per-lock telemetry (counters + latency histograms) and print it after the throughput table")
+	seed := flag.Uint64("seed", 1, "seed for chaos fault injection")
+	chaosOn := flag.Bool("chaos", false, "arm deterministic fault injection (internal/chaos); results then measure robustness, not clean throughput")
 	flag.Parse()
+
+	if *chaosOn {
+		fmt.Printf("chaos fault injection armed (seed=%d) — throughput numbers are not comparable to clean runs\n", *seed)
+		chaos.Enable(chaos.DefaultConfig(*seed))
+		defer chaos.Disable()
+	}
 
 	ncs := 0
 	if *mode == "moderate" {

@@ -2,15 +2,26 @@
 // lock implementation in the repository: worker goroutines acquire
 // random subsets of a lock table in canonical order (plural locking),
 // mutate lock-protected counters, release in imbalanced order, and
-// randomly churn (exit and get replaced). Invariant violations —
-// mutual exclusion breaches or lost updates — abort with a report.
+// randomly churn (exit and get replaced). A cancellation lane mixes in
+// bounded acquisitions (TryLock / LockFor / LockCtx) that frequently
+// abandon mid-wait. Invariant violations — mutual exclusion breaches
+// or lost updates — abort with a report that includes the run's seed.
+//
+// With -chaos, the internal/chaos fault-injection layer is armed with
+// the run seed: deterministic delays, forced preemptions at
+// linearization points, spurious futex wakeups, and probabilistic
+// TryLock failures. With -stall-timeout > 0, a watchdog aborts the run
+// (dumping the seed, chaos report, telemetry, and all goroutine
+// stacks) if no worker completes an episode within the window.
 //
 // Usage:
 //
 //	torture [-duration=10s] [-locks=all] [-workers=8] [-table=16]
+//	        [-seed=1] [-chaos] [-stall-timeout=0] [-lockstat]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +31,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bounded"
+	"repro/internal/chaos"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 	"repro/internal/xrand"
@@ -27,9 +40,14 @@ import (
 
 type guarded struct {
 	mu     sync.Locker
+	bnd    bounded.Locker // nil when mu is unboundable
 	inside int32
 	count  int64
 }
+
+// runSeed is the seed of the current run, surfaced in every failure
+// report so adversarial schedules are reproducible.
+var runSeed uint64
 
 func main() {
 	duration := flag.Duration("duration", 10*time.Second, "total stress time (split across lock types)")
@@ -37,8 +55,12 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent workers")
 	tableSize := flag.Int("table", 16, "locks per table")
 	lockstatOn := flag.Bool("lockstat", false, "run every lock through the telemetry wrapper and print per-type telemetry")
+	seed := flag.Uint64("seed", 1, "seed for worker schedules and chaos injection")
+	chaosOn := flag.Bool("chaos", false, "arm deterministic fault injection (internal/chaos) with the run seed")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort with a diagnostic dump if no episode completes within this window (0 disables)")
 	flag.Parse()
 
+	runSeed = *seed
 	lfs := mutexbench.AllSet()
 	if *lockList != "all" {
 		lfs = nil
@@ -50,6 +72,12 @@ func main() {
 			}
 			lfs = append(lfs, lf)
 		}
+	}
+
+	fmt.Printf("torture: seed=%d chaos=%v stall-timeout=%v\n", runSeed, *chaosOn, *stallTimeout)
+	if *chaosOn {
+		chaos.Enable(chaos.DefaultConfig(runSeed))
+		defer chaos.Disable()
 	}
 
 	per := *duration / time.Duration(len(lfs))
@@ -65,35 +93,117 @@ func main() {
 			st = lockstat.New()
 			lockstat.InstallWaiterSink(st)
 		}
-		ops, acquires := torture(lf, per, *workers, *tableSize, st)
+		ops, acquires, abandons := torture(lf, per, *workers, *tableSize, st, *stallTimeout)
 		if st != nil {
 			lockstat.InstallWaiterSink(nil)
 			lockstat.Publish("lockstat.torture."+lf.Name, st)
 			telemetry[lf.Name] = st.Snapshot()
 			order = append(order, lf.Name)
 		}
-		fmt.Printf("ok: %d multi-lock ops, %d acquisitions\n", ops, acquires)
+		fmt.Printf("ok: %d multi-lock ops, %d acquisitions, %d abandons\n", ops, acquires, abandons)
 	}
 	fmt.Println("all lock types survived")
 	if *lockstatOn {
 		fmt.Println()
 		lockstat.FprintReport(os.Stdout, "Torture telemetry (per lock type, whole table pooled)", order, telemetry, false)
 	}
+	if *chaosOn {
+		fmt.Println()
+		printChaosReport(os.Stdout)
+	}
 }
 
-func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int, st *lockstat.Stats) (uint64, uint64) {
+// printChaosReport renders the accumulated injection counters.
+func printChaosReport(w *os.File) {
+	rep := chaos.Report()
+	if len(rep) == 0 {
+		fmt.Fprintln(w, "chaos: no injection points hit")
+		return
+	}
+	fmt.Fprintf(w, "chaos injection report (seed=%d):\n", runSeed)
+	fmt.Fprintf(w, "  %-24s %10s %8s %8s %8s %8s\n", "point", "calls", "delay", "preempt", "fail", "wake")
+	for _, ps := range rep {
+		fmt.Fprintf(w, "  %-24s %10d %8d %8d %8d %8d\n",
+			ps.Name, ps.Calls, ps.Delays, ps.Preempts, ps.Fails, ps.Wakes)
+	}
+}
+
+// violation aborts the run, always naming the seed.
+func violation(format string, args ...any) {
+	panic(fmt.Sprintf("(seed %d) ", runSeed) + fmt.Sprintf(format, args...))
+}
+
+// watchdog aborts the process with a diagnostic dump when heartbeat
+// stops advancing for longer than window.
+func watchdog(name string, heartbeat *atomic.Uint64, window time.Duration, st *lockstat.Stats, stop <-chan struct{}) {
+	poll := window / 8
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	last := heartbeat.Load()
+	lastChange := time.Now()
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		cur := heartbeat.Load()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) < window {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "\nWATCHDOG STALL: %s made no progress for %v (seed %d)\n", name, window, runSeed)
+		if chaos.Enabled() {
+			printChaosReport(os.Stderr)
+		}
+		if st != nil {
+			snaps := map[string]lockstat.Snapshot{name: st.Snapshot()}
+			lockstat.FprintReport(os.Stderr, "Telemetry at stall", []string{name}, snaps, false)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "\n-- goroutine dump --\n%s\n", buf[:n])
+		os.Exit(1)
+	}
+}
+
+func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int, st *lockstat.Stats, stallTimeout time.Duration) (uint64, uint64, uint64) {
 	locks := make([]*guarded, tableSize)
 	for i := range locks {
 		mu := lf.New()
 		if st != nil {
-			mu = lockstat.Wrap(mu, st)
+			w := lockstat.Wrap(mu, st)
+			g := &guarded{mu: w}
+			if w.Boundable() {
+				g.bnd = w
+			}
+			locks[i] = g
+			continue
 		}
-		locks[i] = &guarded{mu: mu}
+		g := &guarded{mu: mu}
+		if b, ok := bounded.For(mu); ok {
+			g.bnd = b
+		}
+		locks[i] = g
 	}
 	var stop atomic.Bool
-	var totalOps, totalAcq atomic.Uint64
+	var totalOps, totalAcq, totalAbandon atomic.Uint64
 	var expected atomic.Int64
+	var heartbeat atomic.Uint64
 	var wg sync.WaitGroup
+
+	watchdogStop := make(chan struct{})
+	if stallTimeout > 0 {
+		go watchdog(lf.Name, &heartbeat, stallTimeout, st, watchdogStop)
+	}
+	defer close(watchdogStop)
 
 	// worker performs random multi-lock episodes; maxOps == 0 means
 	// "until stopped" (long-lived workers), otherwise the worker
@@ -119,7 +229,7 @@ func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int,
 			for _, i := range held {
 				locks[i].mu.Lock()
 				if atomic.AddInt32(&locks[i].inside, 1) != 1 {
-					panic(fmt.Sprintf("%s: mutual exclusion violated on lock %d", lf.Name, i))
+					violation("%s: mutual exclusion violated on lock %d", lf.Name, i)
 				}
 			}
 			for _, i := range held {
@@ -137,9 +247,55 @@ func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int,
 			}
 			acq += uint64(k)
 			ops++
+			heartbeat.Add(1)
 		}
 		totalOps.Add(ops)
 		totalAcq.Add(acq)
+	}
+
+	// canceller is the cancellation lane: bounded acquisitions with
+	// short budgets against single random locks, so abandonment paths
+	// run concurrently with the blocking workers. A failed bounded
+	// acquire must leave the waiter lock-free; a successful one is a
+	// normal episode and must uphold the same invariants.
+	canceller := func(seed uint64) {
+		defer wg.Done()
+		rng := xrand.NewXorShift64(seed)
+		var ops, acq, abandons uint64
+		for !stop.Load() {
+			g := locks[rng.Intn(tableSize)]
+			if g.bnd == nil {
+				return // unboundable lock type: no cancellation lane
+			}
+			acquired := false
+			switch rng.Intn(3) {
+			case 0:
+				acquired = g.bnd.TryLock()
+			case 1:
+				acquired = g.bnd.LockFor(time.Duration(rng.Intn(100)) * time.Microsecond)
+			default:
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+rng.Intn(100))*time.Microsecond)
+				acquired = g.bnd.LockCtx(ctx) == nil
+				cancel()
+			}
+			if acquired {
+				if atomic.AddInt32(&g.inside, 1) != 1 {
+					violation("%s: mutual exclusion violated after bounded acquire", lf.Name)
+				}
+				g.count++
+				expected.Add(1)
+				atomic.AddInt32(&g.inside, -1)
+				g.bnd.Unlock()
+				acq++
+			} else {
+				abandons++
+			}
+			ops++
+			heartbeat.Add(1)
+		}
+		totalOps.Add(ops)
+		totalAcq.Add(acq)
+		totalAbandon.Add(abandons)
 	}
 
 	// Fixed long-lived workers plus a churn lane: short-lived workers
@@ -147,12 +303,15 @@ func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int,
 	// and departure (§5: threads created and destroyed dynamically).
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go worker(uint64(w)+1, 0)
+		go worker(runSeed+uint64(w)+1, 0)
 	}
+	wg.Add(2)
+	go canceller(runSeed + 500)
+	go canceller(runSeed + 501)
 	churnDone := make(chan struct{})
 	go func() {
 		defer close(churnDone)
-		seed := uint64(1000)
+		seed := runSeed + 1000
 		for !stop.Load() {
 			var cwg sync.WaitGroup
 			cwg.Add(1)
@@ -179,7 +338,7 @@ func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int,
 		g.mu.Unlock()
 	}
 	if got != expected.Load() {
-		panic(fmt.Sprintf("%s: lost updates: counted %d, expected %d", lf.Name, got, expected.Load()))
+		violation("%s: lost updates: counted %d, expected %d", lf.Name, got, expected.Load())
 	}
-	return totalOps.Load(), totalAcq.Load()
+	return totalOps.Load(), totalAcq.Load(), totalAbandon.Load()
 }

@@ -1,0 +1,169 @@
+// Package bounded defines the repository's cancellable-acquisition
+// contract: every lock that can give up on an acquisition — by
+// deadline (LockFor) or by context (LockCtx) — implements Locker.
+//
+// Two implementation tiers exist:
+//
+//   - Native: the canonical Reciprocating variants (internal/core Lock
+//     and SimplifiedLock) and the queue baselines (internal/locks MCS,
+//     CLH) implement bounded acquisition inside the algorithm, with
+//     safe abandonment of an already-published waiter; TAS/TTAS/ticket
+//     implement it as deadline-aware spinning on the try path.
+//   - Polling: any lock exposing TryLock can be adapted with the
+//     Polling wrapper, which retries TryLock under a deadline-aware
+//     waiter pause. Polling acquisition barges (it never enters the
+//     lock's queue), so it trades the lock's admission order for the
+//     ability to abandon instantly; that is the standard fallback
+//     trade-off (cf. pthread_mutex_timedlock over try-loops).
+//
+// For adapts a sync.Locker to the strongest available tier.
+package bounded
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/waiter"
+)
+
+// ErrUnboundable is returned by bounded entry points of adapters whose
+// underlying lock supports neither native bounded acquisition nor
+// TryLock polling.
+var ErrUnboundable = errors.New("bounded: lock does not support bounded acquisition")
+
+// TryLocker is the non-blocking-acquire surface.
+type TryLocker interface {
+	sync.Locker
+	TryLock() bool
+}
+
+// Locker is the bounded-acquisition contract.
+//
+// LockFor acquires the lock, giving up after d; it reports whether the
+// lock was acquired. LockFor(0) is equivalent to TryLock. After a
+// false return the caller does not hold the lock and the lock remains
+// fully usable by other goroutines.
+//
+// LockCtx acquires the lock unless ctx is cancelled or its deadline
+// passes first, returning nil exactly when the lock was acquired and
+// the context's error otherwise. A waiter that loses the race between
+// cancellation and a lock grant releases the lock before reporting
+// failure — it never returns non-nil while holding the lock.
+type Locker interface {
+	TryLocker
+	LockFor(d time.Duration) bool
+	LockCtx(ctx context.Context) error
+}
+
+// For adapts l to the bounded contract: the lock itself when it
+// implements Locker natively, a Polling wrapper when it only offers
+// TryLock, and ok=false when it supports neither (locks whose
+// admission protocol cannot be abandoned and which expose no
+// non-blocking doorway, e.g. the Gated and TwoLane appendix variants).
+func For(l sync.Locker) (Locker, bool) {
+	if b, ok := l.(Locker); ok {
+		return b, true
+	}
+	if t, ok := l.(TryLocker); ok {
+		return &Polling{L: t}, true
+	}
+	return nil, false
+}
+
+// Boundable reports whether For can adapt l.
+func Boundable(l sync.Locker) bool {
+	_, ok := For(l)
+	return ok
+}
+
+// Polling adapts any TryLock-capable lock to the bounded contract by
+// retrying TryLock under a deadline-aware pause. See the package
+// comment for the admission-order caveat.
+type Polling struct {
+	L      TryLocker
+	Policy waiter.Policy
+}
+
+// Lock acquires the inner lock (unbounded, via the lock's own queue).
+func (p *Polling) Lock() { p.L.Lock() }
+
+// Unlock releases the inner lock.
+func (p *Polling) Unlock() { p.L.Unlock() }
+
+// TryLock attempts a non-blocking acquire of the inner lock.
+func (p *Polling) TryLock() bool { return p.L.TryLock() }
+
+// LockFor implements Locker by polling TryLock until the deadline.
+func (p *Polling) LockFor(d time.Duration) bool {
+	if p.L.TryLock() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	w := waiter.New(p.Policy)
+	for {
+		if p.L.TryLock() {
+			return true
+		}
+		if !w.PauseBounded(deadline, nil) {
+			return false
+		}
+	}
+}
+
+// LockCtx implements Locker by polling TryLock until ctx is done.
+func (p *Polling) LockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.L.TryLock() {
+		return nil
+	}
+	var deadline time.Time
+	if t, ok := ctx.Deadline(); ok {
+		deadline = t
+	}
+	done := ctx.Done()
+	w := waiter.New(p.Policy)
+	for {
+		if p.L.TryLock() {
+			return nil
+		}
+		if !w.PauseBounded(deadline, done) {
+			return ctxError(ctx)
+		}
+	}
+}
+
+// CtxFrom adapts a lock's deadline/done-aware bounded acquire into the
+// LockCtx surface: it maps the context onto (deadline, done), runs the
+// acquire, and converts a false return into the context's error. The
+// native implementations in internal/core and internal/locks share
+// this glue.
+func CtxFrom(ctx context.Context, lockBounded func(deadline time.Time, done <-chan struct{}) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var deadline time.Time
+	if t, ok := ctx.Deadline(); ok {
+		deadline = t
+	}
+	if lockBounded(deadline, ctx.Done()) {
+		return nil
+	}
+	return ctxError(ctx)
+}
+
+// ctxError returns ctx's error, defaulting to DeadlineExceeded for the
+// skew window where the deadline has passed by our clock but the
+// context's own timer has not fired yet.
+func ctxError(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
+}

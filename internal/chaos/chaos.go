@@ -1,0 +1,272 @@
+// Package chaos is the repository's deterministic fault-injection
+// substrate: named injection points threaded through the lock
+// algorithms (internal/core, internal/locks), the waiting layer
+// (internal/waiter, internal/futex) and the kvstore application, all
+// governed by one seeded configuration.
+//
+// Design constraints, in order:
+//
+//  1. Disabled cost ~zero. Every hook reduces to a single atomic
+//     pointer load and a predicted branch when no configuration is
+//     installed, so the points can live permanently inside lock hot
+//     paths (the same discipline as lockstat's nil-Stats fast path).
+//  2. Deterministic per (seed, point, call index). Each point owns a
+//     splitmix64 stream derived from the global seed and the point
+//     name; the k-th hit of a point makes the same delay/preempt/fail
+//     decisions in every run with that seed. The *interleaving* of
+//     goroutines still varies run to run — determinism here means a
+//     failing seed reproduces the same injection pressure, not the
+//     same schedule.
+//  3. Failure-only bias. Injections may add delays, force scheduler
+//     preemptions at linearization points, report spurious wakeups, or
+//     veto a TryLock/LockFor — all of which are legal behaviors of the
+//     underlying primitives. An injection can therefore never *cause*
+//     a correctness violation, only expose one.
+//
+// Typical use (cmd/torture -chaos):
+//
+//	chaos.Enable(chaos.DefaultConfig(seed))
+//	defer chaos.Disable()
+//	... run workload ...
+//	for _, ps := range chaos.Report() { ... }
+package chaos
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects injection probabilities. Probabilities are in [0, 1]
+// and are evaluated independently per hit.
+type Config struct {
+	// Seed drives every per-point decision stream.
+	Seed uint64
+	// Delay is the probability that a Hit injects a sleep of up to
+	// MaxDelay (uniform, deterministic per stream).
+	Delay float64
+	// MaxDelay caps injected delays; zero selects 100µs.
+	MaxDelay time.Duration
+	// Preempt is the probability that a Hit forces a runtime.Gosched,
+	// simulating preemption at the instrumented linearization point.
+	Preempt float64
+	// TryFail is the probability that Fail() vetoes a TryLock/LockFor
+	// attempt (a spurious failure, always legal for those operations).
+	TryFail float64
+	// SpuriousWake is the probability that Wake() reports true,
+	// causing an instrumented blocking wait to return spuriously.
+	SpuriousWake float64
+}
+
+// DefaultConfig returns the torture-harness defaults: aggressive
+// preemption at linearization points, moderate delays, and occasional
+// spurious failures/wakeups.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:         seed,
+		Delay:        0.02,
+		MaxDelay:     100 * time.Microsecond,
+		Preempt:      0.05,
+		TryFail:      0.02,
+		SpuriousWake: 0.05,
+	}
+}
+
+// active holds the installed configuration; nil means disabled. The
+// single pointer load is the entire disabled-path cost of every hook.
+var active atomic.Pointer[Config]
+
+// registry tracks every point ever constructed so Enable can reset
+// counters and Report can enumerate them.
+var (
+	regMu  sync.Mutex
+	points []*Point
+)
+
+// Enable installs cfg and zeroes all point counters. It replaces any
+// previous configuration.
+func Enable(cfg Config) {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 100 * time.Microsecond
+	}
+	regMu.Lock()
+	for _, p := range points {
+		p.reset()
+	}
+	regMu.Unlock()
+	c := cfg
+	active.Store(&c)
+}
+
+// Disable uninstalls the configuration; all hooks revert to no-ops.
+// Accumulated counters are retained until the next Enable so a report
+// can be taken after the run.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether fault injection is currently armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Seed returns the active seed (0 when disabled).
+func Seed() uint64 {
+	if c := active.Load(); c != nil {
+		return c.Seed
+	}
+	return 0
+}
+
+// Point is a named injection site. Construct once at package scope
+// (NewPoint) and call Hit/Fail/Wake from the instrumented code; the
+// handle form keeps the armed path free of map lookups.
+type Point struct {
+	name string
+	hash uint64
+
+	calls    atomic.Uint64
+	delays   atomic.Uint64
+	preempts atomic.Uint64
+	fails    atomic.Uint64
+	wakes    atomic.Uint64
+}
+
+// NewPoint registers and returns a new injection point. Names are
+// dotted paths ("reciprocating.arrive"); each call site should own a
+// distinct name so Report attributes injections usefully.
+func NewPoint(name string) *Point {
+	p := &Point{name: name, hash: fnv64(name)}
+	regMu.Lock()
+	points = append(points, p)
+	regMu.Unlock()
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+func (p *Point) reset() {
+	p.calls.Store(0)
+	p.delays.Store(0)
+	p.preempts.Store(0)
+	p.fails.Store(0)
+	p.wakes.Store(0)
+}
+
+// draw advances the point's decision stream by one call and returns
+// the call's 64-bit noise word. splitmix64 over (seed ^ name-hash) +
+// k·φ is the canonical counter-based stream: call k always draws the
+// same word for a given seed and name.
+func (p *Point) draw(c *Config) uint64 {
+	k := p.calls.Add(1)
+	return splitmix64((c.Seed ^ p.hash) + k*0x9e3779b97f4a7c15)
+}
+
+// Hit possibly injects a scheduler preemption and/or a bounded delay
+// at this point. It is a no-op unless chaos is enabled.
+func (p *Point) Hit() {
+	c := active.Load()
+	if c == nil {
+		return
+	}
+	x := p.draw(c)
+	if c.Preempt > 0 && unit(x) < c.Preempt {
+		p.preempts.Add(1)
+		runtime.Gosched()
+	}
+	y := splitmix64(x)
+	if c.Delay > 0 && unit(y) < c.Delay {
+		p.delays.Add(1)
+		d := time.Duration(splitmix64(y) % uint64(c.MaxDelay))
+		time.Sleep(d)
+	}
+}
+
+// Fail reports whether a TryLock/LockFor attempt at this point should
+// fail spuriously. Always false when chaos is disabled.
+func (p *Point) Fail() bool {
+	c := active.Load()
+	if c == nil {
+		return false
+	}
+	if c.TryFail > 0 && unit(p.draw(c)) < c.TryFail {
+		p.fails.Add(1)
+		return true
+	}
+	return false
+}
+
+// Wake reports whether a blocking wait at this point should return
+// spuriously. Always false when chaos is disabled.
+func (p *Point) Wake() bool {
+	c := active.Load()
+	if c == nil {
+		return false
+	}
+	if c.SpuriousWake > 0 && unit(p.draw(c)) < c.SpuriousWake {
+		p.wakes.Add(1)
+		return true
+	}
+	return false
+}
+
+// PointStat is one row of a chaos report.
+type PointStat struct {
+	Name     string
+	Calls    uint64
+	Delays   uint64
+	Preempts uint64
+	Fails    uint64
+	Wakes    uint64
+}
+
+// Injected sums the injections (everything but plain calls).
+func (s PointStat) Injected() uint64 {
+	return s.Delays + s.Preempts + s.Fails + s.Wakes
+}
+
+// Report returns per-point statistics for every point that was hit at
+// least once, sorted by name. Counters accumulate from the last
+// Enable.
+func Report() []PointStat {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []PointStat
+	for _, p := range points {
+		calls := p.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		out = append(out, PointStat{
+			Name:     p.name,
+			Calls:    calls,
+			Delays:   p.delays.Load(),
+			Preempts: p.preempts.Load(),
+			Fails:    p.fails.Load(),
+			Wakes:    p.wakes.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// splitmix64 is the standard 64-bit finalizer (Vigna); full-period,
+// passes BigCrush when used as a counter-based generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a noise word to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// fnv64 is FNV-1a, used only to fold point names into stream seeds.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

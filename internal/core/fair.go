@@ -183,6 +183,21 @@ func (l *FairLock) Unlock() {
 	}
 }
 
+// TryLock attempts a non-blocking acquire. As with the canonical
+// variant, success leaves the arrival word in the LOCKEDEMPTY state and
+// the normal Release path reverts it; no deferral can occur on a
+// try-acquired episode (there is no successor to defer to).
+func (l *FairLock) TryLock() bool {
+	if chTry.Fail() {
+		return false
+	}
+	if l.arrivals.CompareAndSwap(nil, &lockedEmptySentinel) {
+		l.succ, l.eos, l.defp, l.cur = nil, &lockedEmptySentinel, nil, nil
+		return true
+	}
+	return false
+}
+
 // Deferrals reports how many Bernoulli deferrals have fired.
 func (l *FairLock) Deferrals() uint64 { return l.deferrals.Load() }
 

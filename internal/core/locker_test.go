@@ -234,6 +234,7 @@ func TestTryLock(t *testing.T) {
 		{"FetchAdd", func() tryLocker { return new(FetchAddLock) }},
 		{"SimplifiedEOS", func() tryLocker { return new(SimplifiedEOSLock) }},
 		{"Combined", func() tryLocker { return new(CombinedLock) }},
+		{"Fair", func() tryLocker { return new(FairLock) }},
 	}
 	for _, m := range mks {
 		m := m
@@ -280,6 +281,7 @@ func TestTryLockMixedContention(t *testing.T) {
 		{"FetchAdd", func() tryLocker { return new(FetchAddLock) }},
 		{"SimplifiedEOS", func() tryLocker { return new(SimplifiedEOSLock) }},
 		{"Combined", func() tryLocker { return new(CombinedLock) }},
+		{"Fair", func() tryLocker { return new(FairLock) }},
 	}
 	for _, m := range mks {
 		m := m

@@ -59,6 +59,7 @@ func (l *Lock) Acquire(e *WaitElement) Token {
 	eos := e // anticipate uncontended fast path (line 19)
 
 	tail := l.arrivals.Swap(e) // the doorway: one wait-free exchange
+	chArrive.Hit()
 	if tail != nil {
 		// Contention. Coerce LOCKEDEMPTY to nil (line 25): the
 		// sentinel means "no successor precedes us on this segment".
@@ -95,27 +96,45 @@ func (l *Lock) Release(t Token) {
 	if t.succ != nil {
 		// Entry segment populated: grant the successor, propagating
 		// the end-of-segment identity toward the tail (line 58).
+		chGrant.Hit()
 		t.succ.gate.Store(t.eos)
 		return
 	}
 
-	// Entry segment empty. Try the uncontended fast-path unlock: the
-	// arrival word still holds our own element (fast-path acquire) or
-	// LOCKEDEMPTY (we were granted at a segment end), and reverting
-	// it to nil unlocks (line 66).
-	if !l.PoliteRelease || l.arrivals.Load() == t.eos {
-		if l.arrivals.CompareAndSwap(t.eos, nil) {
+	// Entry segment empty; eos is our unlock marker — our own element
+	// (fast-path acquire) or LOCKEDEMPTY (granted at a segment end).
+	eos := t.eos
+	for {
+		// Try the uncontended fast-path unlock: the arrival word still
+		// holds the marker, and reverting it to nil unlocks (line 66).
+		if !l.PoliteRelease || l.arrivals.Load() == eos {
+			if l.arrivals.CompareAndSwap(eos, nil) {
+				return
+			}
+		}
+
+		// Threads arrived and pushed onto the arrival stack. Detach the
+		// whole segment — it becomes the next entry segment — and grant
+		// its head, conveying the end-of-segment marker (lines 73-76).
+		// Only the lock holder ever detaches, which is what makes the
+		// pop-stack A-B-A immune. (The chaos point sits in the window
+		// between the failed fast-path CAS and the detach Swap — the
+		// window bounded abandonment must respect; see bounded.go.)
+		chDetach.Hit()
+		w := l.arrivals.Swap(&lockedEmptySentinel)
+		if w != eos && w != &lockedEmptySentinel {
+			w.gate.Store(eos)
 			return
 		}
+		// Bounded waiters self-removed the stack back down to our own
+		// marker between the failed CAS and the detach (see bounded.go:
+		// a waiter may restore the tail it displaced). The marker — and
+		// the zombie-terminus role it carried — is now off the stack,
+		// whose root became LOCKEDEMPTY with the Swap above; granting
+		// it would wedge the lock. Retry the unlock with the sentinel
+		// as both the comparand and the conveyed end-of-segment.
+		eos = &lockedEmptySentinel
 	}
-
-	// New threads arrived and pushed onto the arrival stack. Detach
-	// the whole segment — it becomes the next entry segment — and
-	// grant its head, conveying the end-of-segment marker (lines
-	// 73-76). Only the lock holder ever detaches, which is what makes
-	// the pop-stack A-B-A immune.
-	w := l.arrivals.Swap(&lockedEmptySentinel)
-	w.gate.Store(t.eos)
 }
 
 // Lock acquires l, drawing a wait element from the internal pool. It
@@ -145,6 +164,9 @@ func (l *Lock) Unlock() {
 // whether it succeeded. A successful TryLock leaves the arrival word
 // in the LOCKEDEMPTY state, which the normal Release path reverts.
 func (l *Lock) TryLock() bool {
+	if chTry.Fail() {
+		return false
+	}
 	if l.arrivals.CompareAndSwap(nil, &lockedEmptySentinel) {
 		l.succ, l.eos, l.cur = nil, &lockedEmptySentinel, nil
 		return true

@@ -50,6 +50,7 @@ func nemo() *flagElement { return &flagLockedEmptySentinel }
 func (l *SimplifiedLock) Acquire(e *flagElement) *flagElement {
 	e.gate.Store(0)
 	succ := l.arrivals.Swap(e)
+	chSArrive.Hit()
 	if succ == nil {
 		// Fast-path uncontended acquire: publish our element as the
 		// segment terminus (Listing 2 line 23).
@@ -92,15 +93,29 @@ func (l *SimplifiedLock) Release(succ, e *flagElement) {
 		l.grant(succ)
 		return
 	}
-	// Entry list empty: try the uncontended fast-path unlock.
-	k := l.arrivals.Load()
-	if k == e || k == nemo() {
-		if l.arrivals.CompareAndSwap(k, nil) {
+	for {
+		// Entry list empty: try the uncontended fast-path unlock.
+		k := l.arrivals.Load()
+		if k == e || k == nemo() {
+			if l.arrivals.CompareAndSwap(k, nil) {
+				return
+			}
+		}
+		// Arrivals populated: detach the segment and grant its head.
+		chSDetach.Hit()
+		w := l.arrivals.Swap(nemo())
+		if w != e && w != nemo() {
+			l.grant(w)
 			return
 		}
+		// Bounded waiters self-removed the arrival stack back down to
+		// our own fast-path marker between the load and the detach (see
+		// bounded.go); granting it would wedge the lock. The marker is
+		// now off the stack, so its prospective-terminus registration
+		// in the eos word is stale — clear it, then retry the unlock
+		// against the NEMO root the Swap installed.
+		l.eos.Store(nemo())
 	}
-	// Arrivals populated: detach the segment and grant its head.
-	l.grant(l.arrivals.Swap(nemo()))
 }
 
 // parkThreshold is the spin budget before a parking waiter blocks.
@@ -110,6 +125,7 @@ const parkThreshold = 64
 // The store-then-wake order plus futex.Wait's compare-under-lock makes
 // the pairing lose-free.
 func (l *SimplifiedLock) grant(succ *flagElement) {
+	chSGrant.Hit()
 	succ.gate.Store(1)
 	if l.Park {
 		futex.Wake(&succ.gate, 1)
@@ -134,6 +150,9 @@ func (l *SimplifiedLock) Unlock() {
 
 // TryLock attempts a non-blocking acquire.
 func (l *SimplifiedLock) TryLock() bool {
+	if chSTry.Fail() {
+		return false
+	}
 	if l.arrivals.CompareAndSwap(nil, nemo()) {
 		// Keep the eos word consistent with "no zombie terminus" so a
 		// waiter that queues behind this episode cannot observe a

@@ -5,7 +5,8 @@
 // Wait(addr, val) blocks the caller while *addr still contains val at
 // registration time; Wake(addr, n) releases up to n waiters queued on
 // addr. As with the kernel primitive, spurious wakeups are permitted
-// and callers must re-check their predicate in a loop.
+// and callers must re-check their predicate in a loop; the chaos layer
+// (internal/chaos) exercises that obligation by injecting them.
 //
 // The implementation hashes the address into a fixed set of shards,
 // each holding a FIFO of per-waiter channels keyed by address. The
@@ -28,7 +29,14 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/chaos"
 )
+
+// chWait injects spurious wakeups (kernel futexes are allowed to
+// return spuriously; this implementation otherwise never does, so the
+// injection keeps callers honest about re-checking their predicate).
+var chWait = chaos.NewPoint("futex.wait")
 
 const shardCount = 64 // power of two
 
@@ -110,9 +118,13 @@ func shardFor(key uintptr) *shard {
 
 // Wait blocks the caller until a Wake on addr, provided *addr == val at
 // registration time. It returns immediately if the value has already
-// changed. Spurious returns do not occur from this implementation, but
-// callers should still loop, futex-style.
+// changed. Spurious returns do not occur from this implementation
+// except under chaos fault injection, but callers must loop,
+// futex-style, regardless.
 func Wait(addr *atomic.Uint32, val uint32) {
+	if chWait.Wake() {
+		return
+	}
 	key := uintptr(unsafe.Pointer(addr))
 	s := shardFor(key)
 	s.mu.Lock()
@@ -132,7 +144,12 @@ func Wait(addr *atomic.Uint32, val uint32) {
 }
 
 // WaitTimeout is Wait with a deadline; it reports false on timeout.
+// Like Wait, it may return true spuriously under chaos fault
+// injection.
 func WaitTimeout(addr *atomic.Uint32, val uint32, d time.Duration) bool {
+	if chWait.Wake() {
+		return true
+	}
 	key := uintptr(unsafe.Pointer(addr))
 	s := shardFor(key)
 	s.mu.Lock()

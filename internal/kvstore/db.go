@@ -16,7 +16,19 @@ package kvstore
 import (
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
+)
+
+// Chaos points. kvstore.put and kvstore.freeze fire while holding the
+// central mutex, stretching hold times to amplify contention;
+// kvstore.snapshot fires between Get's snapshot and its lock-free
+// search, widening the window in which a stale snapshot must stay
+// consistent under concurrent freezes and compactions.
+var (
+	chKvPut      = chaos.NewPoint("kvstore.put")
+	chKvFreeze   = chaos.NewPoint("kvstore.freeze")
+	chKvSnapshot = chaos.NewPoint("kvstore.snapshot")
 )
 
 // Options configures a DB.
@@ -65,6 +77,7 @@ func Open(opts Options) *DB {
 // Put inserts or updates a key.
 func (db *DB) Put(key, value []byte) {
 	db.mu.Lock()
+	chKvPut.Hit()
 	db.mem.Put(key, value)
 	db.stats.Puts++
 	db.maybeFreezeLocked()
@@ -86,6 +99,7 @@ func (db *DB) maybeFreezeLocked() {
 	if db.mem.Bytes() < db.opts.MemTableBytes {
 		return
 	}
+	chKvFreeze.Hit()
 	frozen := buildRun(db.mem)
 	// Newest first; replace the slice wholesale so concurrent readers
 	// holding the previous snapshot stay consistent.
@@ -107,6 +121,7 @@ func (db *DB) Get(key []byte) ([]byte, bool) {
 	runs := db.runs
 	db.mu.Unlock()
 
+	chKvSnapshot.Hit()
 	val, found := get(mem, runs, key)
 
 	db.mu.Lock()

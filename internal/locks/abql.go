@@ -53,6 +53,31 @@ func (l *ABQLock) Lock() {
 	l.self = idx
 }
 
+// TryLock attempts a non-blocking acquire. Soundness: a posted grant
+// in slot ticket%cap can only belong to ticket itself — a stale-lap
+// coincidence would require more than Capacity simultaneous
+// participants, which is excluded by the lock's usage contract — so
+// observing flag==1 for the current ticket value and then winning the
+// ticket CAS proves the lock was free and hands us that grant. Racing
+// TryLocks are serialized by the CAS; the loser never touches the
+// slot.
+func (l *ABQLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
+	t := l.ticket.Load()
+	idx := t % uint64(len(l.slots))
+	if l.slots[idx].flag.Load() == 0 {
+		return false
+	}
+	if !l.ticket.CompareAndSwap(t, t+1) {
+		return false
+	}
+	l.slots[idx].flag.Store(0)
+	l.self = idx
+	return true
+}
+
 // Unlock releases l, granting the next slot.
 func (l *ABQLock) Unlock() {
 	next := (l.self + 1) % uint64(len(l.slots))

@@ -91,3 +91,19 @@ func (l *ChenLock) Unlock() {
 	w := l.arrivals.Swap(&chenNEMO)
 	l.current.Store(w)
 }
+
+// TryLock attempts a non-blocking acquire: the mirror of the
+// Reciprocating TryLock, claiming the empty arrival word with the
+// locked-empty sentinel and clearing the zombie-terminus word so a
+// waiter queuing behind this episode cannot observe a stale marker.
+func (l *ChenLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
+	if l.arrivals.CompareAndSwap(nil, &chenNEMO) {
+		l.eos.Store(&chenNEMO)
+		l.succ, l.cur = nil, nil
+		return true
+	}
+	return false
+}

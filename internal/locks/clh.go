@@ -14,7 +14,16 @@ import (
 // the source of CLH's extra indirection (§8).
 type clhNode struct {
 	succMustWait atomic.Uint32
-	_            [pad.SectorSize - 4]byte
+	// aband supports bounded acquisition. A waiter that gives up
+	// publishes, in its own node, the predecessor it was spinning on
+	// and then never touches the queue again; the node's unique
+	// successor observes aband, hops its spin target to that
+	// predecessor, and reclaims this node. Any grant already posted in
+	// the predecessor's word persists until the inheriting spinner
+	// consumes it, so abandonment needs no CAS and cannot lose a
+	// wakeup.
+	aband atomic.Pointer[clhNode]
+	_     [pad.SectorSize - 16]byte
 }
 
 var clhPool = sync.Pool{New: func() any { return new(clhNode) }}
@@ -44,20 +53,43 @@ func (l *CLHLock) ensureInit() {
 	}
 	dummy := clhPool.Get().(*clhNode)
 	dummy.succMustWait.Store(0)
+	dummy.aband.Store(nil)
 	if !l.tail.CompareAndSwap(nil, dummy) {
 		clhPool.Put(dummy) // raced; someone else initialized
 	}
 }
 
+// enqueue checks out a fresh node, publishes it as the tail, and
+// returns (node, displaced predecessor).
+func (l *CLHLock) enqueue() (n, pred *clhNode) {
+	n = clhPool.Get().(*clhNode)
+	n.succMustWait.Store(1)
+	n.aband.Store(nil)
+	pred = l.tail.Swap(n)
+	chClhArrive.Hit()
+	return n, pred
+}
+
+// hop advances past an abandoned predecessor: it returns the node the
+// abandoner was spinning on and reclaims the abandoned node, which no
+// other thread can still reference (we were its unique successor and
+// the abandoner's aband store was its final access).
+func hop(pred, a *clhNode) *clhNode {
+	clhPool.Put(pred)
+	return a
+}
+
 // Lock acquires l.
 func (l *CLHLock) Lock() {
 	l.ensureInit()
-	n := clhPool.Get().(*clhNode)
-	n.succMustWait.Store(1)
-	pred := l.tail.Swap(n)
+	n, pred := l.enqueue()
 	// Dependent load chain: spin on the predecessor's node.
 	w := waiter.New(l.Policy)
 	for pred.succMustWait.Load() != 0 {
+		if a := pred.aband.Load(); a != nil {
+			pred = hop(pred, a)
+			continue
+		}
 		w.Pause()
 	}
 	// We own the lock. The predecessor's node is now ours to recycle
@@ -73,7 +105,33 @@ func (l *CLHLock) Unlock() {
 	n.succMustWait.Store(0)
 }
 
-// CLH deliberately offers no TryLock: because nodes circulate through
-// the pool, a load-check-CAS attempt is exposed to A-B-A on the tail
-// (the observed node can be recycled and re-pushed between the check
-// and the CAS), which would break mutual exclusion.
+// TryLock attempts a non-blocking acquire. A load-then-CAS doorway
+// would be unsound here (nodes circulate through the pool, exposing
+// the tail to A-B-A between the check and the CAS), but the
+// abandonment protocol makes a correct TryLock possible: enqueue
+// unconditionally, hop past any abandoned predecessors, check the
+// live predecessor's word once, and on failure abandon the fresh node
+// immediately. Each failed attempt parks one node in the queue for
+// the next arrival to consume, so repeated failures do not accumulate
+// state.
+func (l *CLHLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
+	l.ensureInit()
+	n, pred := l.enqueue()
+	for {
+		if pred.succMustWait.Load() == 0 {
+			clhPool.Put(pred)
+			l.head = n
+			return true
+		}
+		if a := pred.aband.Load(); a != nil {
+			pred = hop(pred, a)
+			continue
+		}
+		chClhAbandon.Hit()
+		n.aband.Store(pred)
+		return false
+	}
+}

@@ -180,7 +180,12 @@ func TestTryLockSemantics(t *testing.T) {
 		{"Ticket", func() tryLocker { return new(TicketLock) }},
 		{"TWA", func() tryLocker { return new(TWALock) }},
 		{"MCS", func() tryLocker { return new(MCSLock) }},
+		{"CLH", func() tryLocker { return new(CLHLock) }},
 		{"HemLock", func() tryLocker { return new(HemLock) }},
+		{"Chen", func() tryLocker { return new(ChenLock) }},
+		{"Retrograde", func() tryLocker { return new(RetrogradeLock) }},
+		{"RetroRand", func() tryLocker { return new(RetrogradeRandLock) }},
+		{"ABQL", func() tryLocker { return NewABQL(8) }},
 		{"FutexMutex", func() tryLocker { return new(FutexMutex) }},
 	}
 	for _, m := range mks {

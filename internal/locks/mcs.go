@@ -20,6 +20,17 @@ type mcsNode struct {
 
 var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
 
+// mcsNode.locked states. A bounded waiter that times out publishes
+// mcsAbandoned with a CAS against mcsWaiting; winning the CAS hands
+// ownership of the node to the eventual releaser, which continues the
+// release through it (unlockNode). Losing the CAS means the grant
+// already landed, so the waiter accepts and immediately releases.
+const (
+	mcsGranted   = 0
+	mcsWaiting   = 1
+	mcsAbandoned = 2
+)
+
 // MCSLock is the classic Mellor-Crummey–Scott queue lock: FIFO, local
 // spinning on one's own node, explicit next pointers (the queue can
 // be edited, unlike CLH/HemLock/Reciprocating). The owner's node is
@@ -38,13 +49,14 @@ type MCSLock struct {
 func (l *MCSLock) Lock() {
 	n := mcsPool.Get().(*mcsNode)
 	n.next.Store(nil)
-	n.locked.Store(1)
+	n.locked.Store(mcsWaiting)
 	pred := l.tail.Swap(n)
+	chMcsArrive.Hit()
 	if pred != nil {
 		// Enqueue behind pred and spin locally on our own node.
 		pred.next.Store(n)
 		w := waiter.New(l.Policy)
-		for n.locked.Load() != 0 {
+		for n.locked.Load() != mcsGranted {
 			w.Pause()
 		}
 	}
@@ -55,25 +67,47 @@ func (l *MCSLock) Lock() {
 func (l *MCSLock) Unlock() {
 	n := l.head
 	l.head = nil
-	if n.next.Load() == nil {
-		// Appears uncontended: try to swing the tail back to nil.
-		if l.tail.CompareAndSwap(n, nil) {
-			mcsPool.Put(n)
+	l.unlockNode(n)
+}
+
+// unlockNode releases the lock held at node n. The grant is a Swap
+// rather than a plain store so the releaser learns whether the
+// successor it just granted had abandoned its acquisition; if so, the
+// successor's node now belongs to the releaser (the abandoning waiter
+// CAS-transferred ownership and will never touch it again) and the
+// release cascades through it until a live waiter or the queue tail is
+// reached.
+func (l *MCSLock) unlockNode(n *mcsNode) {
+	for {
+		if n.next.Load() == nil {
+			// Appears uncontended: try to swing the tail back to nil.
+			if l.tail.CompareAndSwap(n, nil) {
+				mcsPool.Put(n)
+				return
+			}
+			// A successor is mid-enqueue: wait for its link to appear.
+			// This is the non-constant-time release path of MCS (§6).
+			w := waiter.New(l.Policy)
+			for n.next.Load() == nil {
+				w.Pause()
+			}
+		}
+		succ := n.next.Load()
+		chMcsGrant.Hit()
+		old := succ.locked.Swap(mcsGranted)
+		mcsPool.Put(n)
+		if old != mcsAbandoned {
 			return
 		}
-		// A successor is mid-enqueue: wait for its link to appear.
-		// This is the non-constant-time release path of MCS (§6).
-		w := waiter.New(l.Policy)
-		for n.next.Load() == nil {
-			w.Pause()
-		}
+		n = succ
 	}
-	n.next.Load().locked.Store(0)
-	mcsPool.Put(n)
 }
 
 // TryLock attempts a non-blocking acquire.
 func (l *MCSLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
 	n := mcsPool.Get().(*mcsNode)
 	n.next.Store(nil)
 	n.locked.Store(0)

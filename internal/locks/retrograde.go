@@ -38,6 +38,21 @@ func (l *RetrogradeLock) Lock() {
 	}
 }
 
+// TryLock attempts a non-blocking acquire. The CAS on the ticket word
+// is sound because tickets are monotone and Ticket >= Grant always
+// holds: success means the ticket word still equalled the loaded grant
+// value at the CAS, which pins Grant == Ticket (free) at that instant,
+// and we took ticket g exactly as Lock's fetch-add would have. The
+// owner-side segment bookkeeping (top/base) is read only at Unlock, so
+// a try-acquired episode releases identically to a queued one.
+func (l *RetrogradeLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
+	g := l.grant.Load()
+	return l.ticket.CompareAndSwap(g, g+1)
+}
+
 // Unlock releases l, admitting the entry segment in descending ticket
 // order and reprovisioning it from the arrivals when exhausted.
 func (l *RetrogradeLock) Unlock() {
@@ -103,6 +118,17 @@ func (l *RetrogradeRandLock) Lock() {
 	for l.grant.Load() != tx {
 		w.Pause()
 	}
+}
+
+// TryLock attempts a non-blocking acquire; same soundness argument as
+// RetrogradeLock.TryLock (lo/hi/seghi are owner-owned and consulted
+// only at Unlock).
+func (l *RetrogradeRandLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
+	g := l.grant.Load()
+	return l.ticket.CompareAndSwap(g, g+1)
 }
 
 // Unlock releases l.

@@ -28,7 +28,9 @@ func (l *TASLock) Lock() {
 func (l *TASLock) Unlock() { l.word.Store(0) }
 
 // TryLock attempts a non-blocking acquire.
-func (l *TASLock) TryLock() bool { return l.word.Swap(1) == 0 }
+func (l *TASLock) TryLock() bool {
+	return !chLocksTry.Fail() && l.word.Swap(1) == 0
+}
 
 // TTASLock is the "polite" test-and-test-and-set lock [52]: spin
 // reading (shared state, no traffic) and attempt the swap only when
@@ -56,5 +58,5 @@ func (l *TTASLock) Unlock() { l.word.Store(0) }
 
 // TryLock attempts a non-blocking acquire.
 func (l *TTASLock) TryLock() bool {
-	return l.word.Load() == 0 && l.word.Swap(1) == 0
+	return !chLocksTry.Fail() && l.word.Load() == 0 && l.word.Swap(1) == 0
 }

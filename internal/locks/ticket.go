@@ -36,6 +36,9 @@ func (l *TicketLock) Unlock() {
 
 // TryLock attempts a non-blocking acquire.
 func (l *TicketLock) TryLock() bool {
+	if chLocksTry.Fail() {
+		return false
+	}
 	g := l.grant.Load()
 	return l.ticket.CompareAndSwap(g, g+1)
 }

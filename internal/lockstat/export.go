@@ -38,7 +38,7 @@ func InstallWaiterSink(s *Stats) (restore func()) {
 // estimates from the log₂ histograms.
 func BuildTable(title string, names []string, snaps map[string]Snapshot) *table.Table {
 	t := table.New(title,
-		"Lock", "Acquire", "Contended", "Cont%", "Handover",
+		"Lock", "Acquire", "Contended", "Cont%", "Handover", "Abandon",
 		"Spin", "Yield", "Park",
 		"AcqP50", "AcqP99", "HoldP50", "HoldP99")
 	for _, name := range names {
@@ -51,6 +51,7 @@ func BuildTable(title string, names []string, snaps map[string]Snapshot) *table.
 			table.U(s.Contended),
 			table.F(100*s.ContendedFraction(), 1),
 			table.U(s.Handovers),
+			table.U(s.Abandons),
 			table.U(s.Spins),
 			table.U(s.Yields),
 			table.U(s.Parks),

@@ -1,9 +1,12 @@
 package lockstat
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/bounded"
 )
 
 // TryLocker is the non-blocking-acquire interface implemented by the
@@ -44,6 +47,11 @@ type Instrumented struct {
 	inner sync.Locker
 	stats *Stats
 
+	// bnd is the bounded adaptation of inner, resolved once at Wrap
+	// time (nil when inner is unboundable); it backs LockFor/LockCtx
+	// without a per-call interface probe or wrapper allocation.
+	bnd bounded.Locker
+
 	// waiting counts goroutines currently inside inner.Lock. It drives
 	// two classifications: an arriving goroutine that sees waiting > 0
 	// is contended, and an unlock that sees waiting > 0 is a handover.
@@ -58,8 +66,16 @@ type Instrumented struct {
 // Wrap returns l instrumented with s. A nil s disables recording but
 // keeps the wrapper usable (the nil-Stats fast path).
 func Wrap(l sync.Locker, s *Stats) *Instrumented {
-	return &Instrumented{inner: l, stats: s}
+	i := &Instrumented{inner: l, stats: s}
+	if b, ok := bounded.For(l); ok {
+		i.bnd = b
+	}
+	return i
 }
+
+// Boundable reports whether the wrapped lock supports bounded
+// acquisition (LockFor/LockCtx can succeed).
+func (i *Instrumented) Boundable() bool { return i.bnd != nil }
 
 // Stats returns the attached Stats (nil when uninstrumented).
 func (i *Instrumented) Stats() *Stats { return i.stats }
@@ -133,6 +149,60 @@ func (i *Instrumented) TryLock() bool {
 	s.RecordAcquire(false, time.Duration(t1-t0))
 	i.holdStart.Store(t1)
 	return true
+}
+
+// LockFor attempts a bounded acquire of the inner lock, recording an
+// acquisition on success and an abandon on timeout. It reports false
+// immediately when the inner lock is unboundable.
+func (i *Instrumented) LockFor(d time.Duration) bool {
+	b := i.bnd
+	if b == nil {
+		return false
+	}
+	s := i.stats
+	if s == nil {
+		return b.LockFor(d)
+	}
+	t0 := nanotime()
+	i.waiting.Add(1)
+	acquired := b.LockFor(d)
+	i.waiting.Add(-1)
+	t1 := nanotime()
+	if !acquired {
+		s.RecordAbandon()
+		return false
+	}
+	el := time.Duration(t1 - t0)
+	s.RecordAcquire(el >= ContendedThreshold, el)
+	i.holdStart.Store(t1)
+	return true
+}
+
+// LockCtx attempts a context-bounded acquire of the inner lock,
+// recording an acquisition on success and an abandon on cancellation.
+// An unboundable inner lock yields bounded.ErrUnboundable immediately.
+func (i *Instrumented) LockCtx(ctx context.Context) error {
+	b := i.bnd
+	if b == nil {
+		return bounded.ErrUnboundable
+	}
+	s := i.stats
+	if s == nil {
+		return b.LockCtx(ctx)
+	}
+	t0 := nanotime()
+	i.waiting.Add(1)
+	err := b.LockCtx(ctx)
+	i.waiting.Add(-1)
+	t1 := nanotime()
+	if err != nil {
+		s.RecordAbandon()
+		return err
+	}
+	el := time.Duration(t1 - t0)
+	s.RecordAcquire(el >= ContendedThreshold, el)
+	i.holdStart.Store(t1)
+	return nil
 }
 
 // WrapFactory lifts Wrap over a lock constructor: every lock the

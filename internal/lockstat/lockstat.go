@@ -59,6 +59,7 @@ type Stats struct {
 	handovers    counter // unlocks performed while at least one waiter was queued
 	unlocks      counter // total unlocks
 	tryFails     counter // failed TryLock attempts
+	abandons     counter // bounded acquisitions abandoned (timeout/cancel)
 	spins        counter // hot spin iterations (waiter policy layer)
 	yields       counter // scheduler yields (waiter policy layer)
 	parks        counter // blocking waits: policy sleeps + futex parks
@@ -101,6 +102,11 @@ func (s *Stats) RecordRelease(handover bool, held time.Duration) {
 // RecordTryFail records one failed TryLock attempt.
 func (s *Stats) RecordTryFail() { s.tryFails.inc() }
 
+// RecordAbandon records one bounded acquisition (LockFor/LockCtx) that
+// gave up — by deadline or cancellation — without acquiring. Chaos
+// runs read this column as the degradation rate.
+func (s *Stats) RecordAbandon() { s.abandons.inc() }
+
 // Snapshot returns a consistent-enough point-in-time copy for
 // reporting. Individual counters are loaded independently; between
 // loads other goroutines may progress, so cross-counter invariants
@@ -112,6 +118,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Handovers:    s.handovers.load(),
 		Unlocks:      s.unlocks.load(),
 		TryFails:     s.tryFails.load(),
+		Abandons:     s.abandons.load(),
 		Spins:        s.spins.load(),
 		Yields:       s.yields.load(),
 		Parks:        s.parks.load(),
@@ -128,6 +135,7 @@ type Snapshot struct {
 	Handovers    uint64       `json:"handovers"`
 	Unlocks      uint64       `json:"unlocks"`
 	TryFails     uint64       `json:"try_fails"`
+	Abandons     uint64       `json:"abandons"`
 	Spins        uint64       `json:"spins"`
 	Yields       uint64       `json:"yields"`
 	Parks        uint64       `json:"parks"`

@@ -120,9 +120,25 @@ func NewWithSink(p Policy, s Sink) Waiter { return Waiter{policy: p, sink: s} }
 // transition (spin, yield, or park) to the attached sink.
 func (w *Waiter) Pause() {
 	w.n++
+	d, yield := w.plan()
+	switch {
+	case d > 0:
+		w.park(d)
+	case yield:
+		w.yield()
+	default:
+		w.relax()
+	}
+}
+
+// plan computes the next pause step for the current policy without
+// performing it: d > 0 means sleep d, else yield selects a scheduler
+// yield, else a hot spin. Factored out so Pause and PauseBounded share
+// one escalation schedule.
+func (w *Waiter) plan() (d time.Duration, yield bool) {
 	switch w.policy {
 	case PolicyYield:
-		w.yield()
+		return 0, true
 	case PolicyBackoff:
 		// Exponential backoff: 1µs doubling to a 256µs cap. Any time
 		// between the lock becoming free and the sleep expiring is
@@ -131,19 +147,18 @@ func (w *Waiter) Pause() {
 		if shift > 8 {
 			shift = 8
 		}
-		w.park(time.Duration(1<<shift) * time.Microsecond)
+		return time.Duration(1<<shift) * time.Microsecond, false
 	case PolicySpin:
 		if w.n%spinBudget == 0 {
-			w.yield()
-		} else {
-			w.relax()
+			return 0, true
 		}
+		return 0, false
 	default: // PolicyAdaptive
 		switch {
 		case w.n < spinBudget:
-			w.relax()
+			return 0, false
 		case w.n < spinBudget+yieldBudget:
-			w.yield()
+			return 0, true
 		default:
 			// Escalate to short sleeps; cap the sleep so that a
 			// missed wakeup is bounded-cost.
@@ -151,9 +166,65 @@ func (w *Waiter) Pause() {
 			if d > 100*time.Microsecond {
 				d = 100 * time.Microsecond
 			}
-			w.park(d)
+			if d <= 0 {
+				// First park step: a minimal sleep, so the transition
+				// still classifies (and counts) as a park.
+				d = 1
+			}
+			return d, false
 		}
 	}
+}
+
+// deadlineStride is how many hot-spin pauses elapse between budget
+// checks in PauseBounded. Reading the clock (and polling the done
+// channel) every iteration would dominate a short spin; checking every
+// stride keeps the bounded wait within one stride of the unbounded
+// wait's cost while bounding detection latency to a few dozen spins.
+const deadlineStride = 16
+
+// PauseBounded is Pause for deadline- or cancellation-bounded waiting
+// episodes. It follows the same escalation schedule but clamps sleeps
+// to the time remaining, and it polls the budget — deadline and done
+// channel — before pausing: on every step once the episode has
+// escalated past hot spinning, and only at stride boundaries while
+// still spinning hot, so bounded waiting stays off the fast path's
+// critical cycle count.
+//
+// A zero deadline means no time bound; a nil done means no
+// cancellation channel. PauseBounded reports false, without pausing,
+// once the budget is exhausted; the caller must then begin
+// abandonment. It never reports false when both bounds are absent.
+func (w *Waiter) PauseBounded(deadline time.Time, done <-chan struct{}) bool {
+	w.n++
+	d, yield := w.plan()
+	if d > 0 || yield || w.n%deadlineStride == 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return false
+			}
+			if d > rem {
+				d = rem
+			}
+		}
+	}
+	switch {
+	case d > 0:
+		w.park(d)
+	case yield:
+		w.yield()
+	default:
+		w.relax()
+	}
+	return true
 }
 
 func (w *Waiter) relax() {

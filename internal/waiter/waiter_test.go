@@ -207,3 +207,81 @@ func TestGlobalSinkPickup(t *testing.T) {
 		t.Fatal("pre-uninstall waiter lost its captured sink")
 	}
 }
+
+// PauseBounded with no budget at all must never report exhaustion.
+func TestPauseBoundedUnbounded(t *testing.T) {
+	w := New(PolicyAdaptive)
+	for i := 0; i < 500; i++ {
+		if !w.PauseBounded(time.Time{}, nil) {
+			t.Fatal("PauseBounded with no bounds reported exhaustion")
+		}
+	}
+}
+
+// A deadline in the past must be detected within one spin stride, and
+// a live deadline must be detected soon after it passes: the waiter
+// may overshoot by sleep clamping and stride granularity but not by
+// a large factor.
+func TestPauseBoundedDeadline(t *testing.T) {
+	w := New(PolicyAdaptive)
+	expired := time.Now().Add(-time.Millisecond)
+	for i := 0; i < deadlineStride+1; i++ {
+		if !w.PauseBounded(expired, nil) {
+			if i == 0 {
+				t.Log("expired deadline detected on first pause")
+			}
+			goto detected
+		}
+	}
+	t.Fatal("expired deadline not detected within one stride")
+detected:
+
+	w.Reset()
+	const budget = 50 * time.Millisecond
+	deadline := time.Now().Add(budget)
+	start := time.Now()
+	for w.PauseBounded(deadline, nil) {
+		if time.Since(start) > 10*budget {
+			t.Fatal("deadline overshot by 10x")
+		}
+	}
+	if el := time.Since(start); el > 3*budget {
+		t.Fatalf("deadline %v detected after %v", budget, el)
+	}
+}
+
+// Closing the done channel must terminate the episode even with no
+// deadline set.
+func TestPauseBoundedDoneChannel(t *testing.T) {
+	w := New(PolicyAdaptive)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	start := time.Now()
+	for w.PauseBounded(time.Time{}, done) {
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("done-channel close never detected")
+		}
+	}
+}
+
+// Sleeps must be clamped to the remaining budget: with a deadline just
+// ahead, a deeply escalated waiter (which would normally sleep 100us
+// per pause) must still return close to the deadline.
+func TestPauseBoundedClampsSleep(t *testing.T) {
+	w := New(PolicyAdaptive)
+	// Escalate far past the spin and yield budgets.
+	for i := 0; i < 400; i++ {
+		w.Pause()
+	}
+	const budget = 5 * time.Millisecond
+	deadline := time.Now().Add(budget)
+	start := time.Now()
+	for w.PauseBounded(deadline, nil) {
+	}
+	if el := time.Since(start); el > 20*budget {
+		t.Fatalf("escalated waiter overshot %v deadline by %v", budget, el)
+	}
+}
