@@ -1,7 +1,11 @@
-# Test tiers for the Reciprocating Locks reproduction.
+# Test tiers for the Reciprocating Locks reproduction, cheapest first:
 #
+#   make check  — tier 0+1 aggregate: gofmt gate (fails listing any
+#                 unformatted file), go vet, then the full build+test
+#                 suite. The one command to run before pushing.
 #   make test   — tier 1: build + full test suite (the CI gate)
 #   make race   — race tier: go vet + the full suite under -race
+#                 (includes the registry capability-claims tests)
 #   make bench  — the root benchmark suite (paper figures + ablations)
 #   make chaos  — robustness tier: cancellation/bounded-acquisition
 #                 tests under -race, then a seeded fault-injected
@@ -9,14 +13,21 @@
 #                 watchdog armed
 
 GO ?= go
+GOFMT ?= gofmt
 CHAOS_SEED ?= 1
 
-.PHONY: all build test vet race bench chaos
+.PHONY: all build check fmt-check test vet race bench chaos
 
 all: test
 
 build:
 	$(GO) build ./...
+
+check: fmt-check vet test
+
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test: build
 	$(GO) test ./...

@@ -22,6 +22,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/simlocks"
 	"repro/internal/waiter"
 )
@@ -56,7 +57,7 @@ func contend(b *testing.B, l sync.Locker, g int) {
 // BenchmarkUncontended is Figure 1's T=1 point: single-thread
 // acquire+release latency for every lock in the repository.
 func BenchmarkUncontended(b *testing.B) {
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		lf := lf
 		b.Run(lf.Name, func(b *testing.B) {
 			l := lf.New()
@@ -72,7 +73,7 @@ func BenchmarkUncontended(b *testing.B) {
 // BenchmarkFig1aMaxContention: §7.1 maximal contention on real
 // goroutines (empty critical and non-critical sections).
 func BenchmarkFig1aMaxContention(b *testing.B) {
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		for _, g := range []int{2, 4, 8} {
 			g := g
@@ -86,7 +87,7 @@ func BenchmarkFig1aMaxContention(b *testing.B) {
 // BenchmarkFig1bModerateContention: §7.1 with the private-PRNG
 // non-critical section.
 func BenchmarkFig1bModerateContention(b *testing.B) {
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		b.Run(lf.Name, func(b *testing.B) {
 			res := mutexbench.Run(lf, mutexbench.Config{
@@ -154,7 +155,7 @@ func BenchmarkTable1Invalidations(b *testing.B) {
 // BenchmarkFig2aExchange and BenchmarkFig2bCAS: §7.2's lock-striped
 // atomic struct operations.
 func BenchmarkFig2aExchange(b *testing.B) {
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		b.Run(lf.Name, func(b *testing.B) {
 			stripe := atomicstruct.NewStripe(64, lf.New)
@@ -169,7 +170,7 @@ func BenchmarkFig2aExchange(b *testing.B) {
 }
 
 func BenchmarkFig2bCAS(b *testing.B) {
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		b.Run(lf.Name, func(b *testing.B) {
 			stripe := atomicstruct.NewStripe(64, lf.New)
@@ -194,7 +195,7 @@ func BenchmarkFig2bCAS(b *testing.B) {
 
 // BenchmarkFig3ReadRandom: §7.3's KV readrandom per lock algorithm.
 func BenchmarkFig3ReadRandom(b *testing.B) {
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		b.Run(lf.Name, func(b *testing.B) {
 			db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 256 << 10})

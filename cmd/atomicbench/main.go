@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	atomicbench -mode=exchange|cas [-duration=200ms] [-runs=3]
+//	atomicbench -mode=exchange|cas [-locks=paper|all|...|list]
+//	            [-duration=200ms] [-runs=3]
 package main
 
 import (
@@ -14,14 +15,26 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/registry"
 )
 
 func main() {
 	mode := flag.String("mode", "exchange", "operation: exchange (Fig 2a) or cas (Fig 2b)")
+	locksF := registry.NewLocksFlag("paper")
+	flag.Var(locksF, "locks", registry.FlagUsage)
 	duration := flag.Duration("duration", 0, "measurement interval per configuration")
 	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
+
+	lfs, listed, err := locksF.Resolve(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if listed {
+		return
+	}
 
 	var cas bool
 	switch *mode {
@@ -33,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(experiments.TrackANote)
-	t := experiments.Fig2(cas, *duration, *runs)
+	t := experiments.Fig2Locks(lfs, cas, *duration, *runs)
 	if *csv {
 		t.RenderCSV(os.Stdout)
 	} else {

@@ -1,11 +1,12 @@
 // Command kvbench runs the §7.3 experiment (Figure 3): the readrandom
 // workload against the LSM-lite key-value store, whose single coarse
 // central mutex — the DBImpl::Mutex analog — is instantiated with each
-// lock algorithm in turn.
+// selected lock algorithm in turn.
 //
 // Usage:
 //
-//	kvbench [-keys=50000] [-duration=300ms] [-runs=3]
+//	kvbench [-mode=readrandom|readwhilewriting] [-locks=paper|all|...|list]
+//	        [-keys=50000] [-duration=300ms] [-runs=3]
 package main
 
 import (
@@ -17,13 +18,15 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kvstore"
 	"repro/internal/lockstat"
-	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
 
 func main() {
 	mode := flag.String("mode", "readrandom", "workload: readrandom (Figure 3) or readwhilewriting")
+	locksF := registry.NewLocksFlag("paper")
+	flag.Var(locksF, "locks", registry.FlagUsage)
 	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
 	duration := flag.Duration("duration", 0, "measurement interval")
 	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
@@ -32,14 +35,23 @@ func main() {
 	lockstatOn := flag.Bool("lockstat", false, "instrument the DB's central mutex and print per-lock telemetry")
 	flag.Parse()
 
+	lfs, listed, err := locksF.Resolve(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if listed {
+		return
+	}
+
 	fmt.Println(experiments.TrackANote)
 	switch *mode {
 	case "readrandom":
 		if *lockstatOn {
-			readRandomLockstat(*duration, *keys, *runs, *threads, *csv)
+			readRandomLockstat(lfs, *duration, *keys, *runs, *threads, *csv)
 			return
 		}
-		t := experiments.Fig3(*duration, *keys, *runs)
+		t := experiments.Fig3Locks(lfs, *duration, *keys, *runs)
 		if *csv {
 			t.RenderCSV(os.Stdout)
 		} else {
@@ -54,13 +66,18 @@ func main() {
 			"Lock", "Read Mops/s", "Write ops")
 		telemetry := make(map[string]lockstat.Snapshot)
 		var order []string
-		for _, lf := range mutexbench.PaperSet() {
-			mu := lf.New()
+		for _, lf := range lfs {
 			var st *lockstat.Stats
+			var opts []registry.Option
 			if *lockstatOn {
 				st = lockstat.New()
-				mu = lockstat.Wrap(mu, st)
+				opts = append(opts, registry.WithStats(st))
 				lockstat.InstallWaiterSink(st)
+			}
+			mu, err := lf.Build(opts...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
 			}
 			db := kvstore.Open(kvstore.Options{Lock: mu, MemTableBytes: 256 << 10})
 			kvstore.FillSeq(db, *keys, 100)
@@ -93,10 +110,10 @@ func main() {
 }
 
 // readRandomLockstat is the instrumented variant of the Figure 3 run:
-// the DBImpl mutex of each PaperSet lock is wrapped with telemetry and
+// the DBImpl mutex of each selected lock is wrapped with telemetry and
 // the readrandom workload is driven at one thread count, reporting
 // throughput alongside the mutex's contention profile.
-func readRandomLockstat(dur time.Duration, keys, runs, threads int, csv bool) {
+func readRandomLockstat(lfs []registry.Entry, dur time.Duration, keys, runs, threads int, csv bool) {
 	if dur <= 0 {
 		dur = 300 * time.Millisecond
 	}
@@ -104,12 +121,17 @@ func readRandomLockstat(dur time.Duration, keys, runs, threads int, csv bool) {
 		"Lock", "Mops/s")
 	telemetry := make(map[string]lockstat.Snapshot)
 	var order []string
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range lfs {
 		st := lockstat.New()
+		fac, err := lf.Factory(registry.WithStats(st))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		lockstat.InstallWaiterSink(st)
 		scores := make([]float64, 0, runs)
 		for r := 0; r < runs; r++ {
-			db := kvstore.Open(kvstore.Options{Lock: lockstat.Wrap(lf.New(), st), MemTableBytes: 256 << 10})
+			db := kvstore.Open(kvstore.Options{Lock: fac(), MemTableBytes: 256 << 10})
 			kvstore.FillSeq(db, keys, 100)
 			res := kvstore.ReadRandom(db, kvstore.ReadRandomConfig{
 				Threads:  threads,

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	mutexbench -mode=max|moderate [-locks=TKT,MCS,...] [-threads=1,2,4]
-//	           [-duration=300ms] [-runs=3] [-csv] [-chaos] [-seed=1]
+//	mutexbench -mode=max|moderate [-locks=TKT,MCS,...|paper|all|list]
+//	           [-threads=1,2,4] [-duration=300ms] [-runs=3] [-csv]
+//	           [-chaos] [-seed=1]
 package main
 
 import (
@@ -21,12 +22,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/table"
 )
 
 func main() {
 	mode := flag.String("mode", "max", "contention mode: max or moderate")
-	lockList := flag.String("locks", "", "comma-separated lock names (default: the Figure 1 set; 'all' for every lock)")
+	locksF := registry.NewLocksFlag("paper")
+	flag.Var(locksF, "locks", registry.FlagUsage)
 	threadList := flag.String("threads", "1,2,4,8,16,32", "comma-separated goroutine counts")
 	duration := flag.Duration("duration", 300*time.Millisecond, "measurement interval per configuration")
 	runs := flag.Int("runs", 3, "independent runs per configuration (median reported)")
@@ -35,6 +38,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for chaos fault injection")
 	chaosOn := flag.Bool("chaos", false, "arm deterministic fault injection (internal/chaos); results then measure robustness, not clean throughput")
 	flag.Parse()
+
+	lfs, listed, err := locksF.Resolve(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if listed {
+		return
+	}
 
 	if *chaosOn {
 		fmt.Printf("chaos fault injection armed (seed=%d) — throughput numbers are not comparable to clean runs\n", *seed)
@@ -48,21 +60,6 @@ func main() {
 	} else if *mode != "max" {
 		fmt.Fprintln(os.Stderr, "unknown -mode; want max or moderate")
 		os.Exit(2)
-	}
-
-	lfs := mutexbench.PaperSet()
-	if *lockList == "all" {
-		lfs = mutexbench.AllSet()
-	} else if *lockList != "" {
-		lfs = nil
-		for _, name := range strings.Split(*lockList, ",") {
-			lf, ok := mutexbench.ByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown lock %q; known: %v\n", name, names())
-				os.Exit(2)
-			}
-			lfs = append(lfs, lf)
-		}
 	}
 
 	threads, err := parseInts(*threadList)
@@ -88,7 +85,12 @@ func main() {
 			// installed only while this lock is the one measured, so
 			// spin/yield/park attribution is exact.
 			st = lockstat.New()
-			run.New = lockstat.WrapFactory(lf.New, st)
+			fac, err := lf.Factory(registry.WithStats(st))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			run.New = fac
 			lockstat.InstallWaiterSink(st)
 		}
 		row := []string{lf.Name}
@@ -121,14 +123,6 @@ func main() {
 			fmt.Sprintf("Lock telemetry (%s contention, all thread counts pooled)", *mode),
 			order, telemetry, *csv)
 	}
-}
-
-func names() []string {
-	var out []string
-	for _, lf := range mutexbench.AllSet() {
-		out = append(out, lf.Name)
-	}
-	return out
 }
 
 func parseInts(s string) ([]int, error) {

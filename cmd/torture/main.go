@@ -16,8 +16,8 @@
 //
 // Usage:
 //
-//	torture [-duration=10s] [-locks=all] [-workers=8] [-table=16]
-//	        [-seed=1] [-chaos] [-stall-timeout=0] [-lockstat]
+//	torture [-duration=10s] [-locks=all|paper|...|list] [-workers=8]
+//	        [-table=16] [-seed=1] [-chaos] [-stall-timeout=0] [-lockstat]
 package main
 
 import (
@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,7 +33,7 @@ import (
 	"repro/internal/bounded"
 	"repro/internal/chaos"
 	"repro/internal/lockstat"
-	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/xrand"
 )
 
@@ -51,7 +50,8 @@ var runSeed uint64
 
 func main() {
 	duration := flag.Duration("duration", 10*time.Second, "total stress time (split across lock types)")
-	lockList := flag.String("locks", "all", "comma-separated lock names or 'all'")
+	locksF := registry.NewLocksFlag("all")
+	flag.Var(locksF, "locks", registry.FlagUsage)
 	workers := flag.Int("workers", 8, "concurrent workers")
 	tableSize := flag.Int("table", 16, "locks per table")
 	lockstatOn := flag.Bool("lockstat", false, "run every lock through the telemetry wrapper and print per-type telemetry")
@@ -61,17 +61,13 @@ func main() {
 	flag.Parse()
 
 	runSeed = *seed
-	lfs := mutexbench.AllSet()
-	if *lockList != "all" {
-		lfs = nil
-		for _, name := range strings.Split(*lockList, ",") {
-			lf, ok := mutexbench.ByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown lock %q\n", name)
-				os.Exit(2)
-			}
-			lfs = append(lfs, lf)
-		}
+	lfs, listed, err := locksF.Resolve(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if listed {
+		return
 	}
 
 	fmt.Printf("torture: seed=%d chaos=%v stall-timeout=%v\n", runSeed, *chaosOn, *stallTimeout)
@@ -93,7 +89,7 @@ func main() {
 			st = lockstat.New()
 			lockstat.InstallWaiterSink(st)
 		}
-		ops, acquires, abandons := torture(lf, per, *workers, *tableSize, st, *stallTimeout)
+		ops, acquires, abandons := torture(lf, per, *workers, *tableSize, st, *stallTimeout, *chaosOn)
 		if st != nil {
 			lockstat.InstallWaiterSink(nil)
 			lockstat.Publish("lockstat.torture."+lf.Name, st)
@@ -174,21 +170,30 @@ func watchdog(name string, heartbeat *atomic.Uint64, window time.Duration, st *l
 	}
 }
 
-func torture(lf mutexbench.LockFactory, d time.Duration, workers, tableSize int, st *lockstat.Stats, stallTimeout time.Duration) (uint64, uint64, uint64) {
+func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *lockstat.Stats, stallTimeout time.Duration, chaosOn bool) (uint64, uint64, uint64) {
+	// The lock table is built through the registry's canonical
+	// decorator pipeline: a chaos veto shim when fault injection is
+	// armed (spurious TryLock/LockFor failures at the wrapper layer,
+	// uniform across lock types), telemetry when -lockstat is on.
+	var opts []registry.Option
+	if chaosOn {
+		opts = append(opts, registry.WithChaosVeto(""))
+	}
+	if st != nil {
+		opts = append(opts, registry.WithStats(st))
+	}
 	locks := make([]*guarded, tableSize)
 	for i := range locks {
-		mu := lf.New()
-		if st != nil {
-			w := lockstat.Wrap(mu, st)
-			g := &guarded{mu: w}
+		mu, err := lf.Build(opts...)
+		if err != nil {
+			violation("%s: build failed: %v", lf.Name, err)
+		}
+		g := &guarded{mu: mu}
+		if w, ok := mu.(*lockstat.Instrumented); ok {
 			if w.Boundable() {
 				g.bnd = w
 			}
-			locks[i] = g
-			continue
-		}
-		g := &guarded{mu: mu}
-		if b, ok := bounded.For(mu); ok {
+		} else if b, ok := bounded.For(mu); ok {
 			g.bnd = b
 		}
 		locks[i] = g

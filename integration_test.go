@@ -10,12 +10,13 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
+	"repro/internal/registry"
 )
 
 // Integration: the KV store must behave identically no matter which of
-// the repository's 19 lock implementations guards it.
+// every lock implementation in the repository catalog guards it.
 func TestKVStoreUnderEveryLock(t *testing.T) {
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		lf := lf
 		t.Run(lf.Name, func(t *testing.T) {
 			db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 8 << 10})
@@ -59,7 +60,7 @@ func TestKVStoreUnderEveryLock(t *testing.T) {
 // Integration: the lock-striped atomic struct must not lose CAS-loop
 // increments under any lock.
 func TestAtomicStructUnderEveryLock(t *testing.T) {
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		lf := lf
 		t.Run(lf.Name, func(t *testing.T) {
 			stripe := atomicstruct.NewStripe(16, lf.New)
@@ -104,7 +105,7 @@ func TestInstrumentedInvariantsEveryLock(t *testing.T) {
 		goroutines = 6
 		iters      = 300
 	)
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		lf := lf
 		t.Run(lf.Name, func(t *testing.T) {
 			st := lockstat.New()
@@ -157,7 +158,7 @@ func TestInstrumentedInvariantsEveryLock(t *testing.T) {
 // Integration: MutexBench itself must count exactly under every lock
 // (iteration mode is deterministic).
 func TestMutexBenchExactCountsEveryLock(t *testing.T) {
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		lf := lf
 		t.Run(lf.Name, func(t *testing.T) {
 			res := mutexbench.Run(lf, mutexbench.Config{

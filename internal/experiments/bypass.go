@@ -5,7 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/admission"
-	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/table"
 )
 
@@ -73,7 +73,7 @@ func BypassBound(workers, iters int) *table.Table {
 		{"TAS", "unbounded (barging)"},
 	}
 	for _, entry := range set {
-		lf, ok := mutexbench.ByName(entry.name)
+		lf, ok := registry.Lookup(entry.name)
 		if !ok {
 			continue
 		}

@@ -10,8 +10,8 @@ import (
 	"repro/internal/atomicstruct"
 	"repro/internal/core"
 	"repro/internal/kvstore"
-	"repro/internal/locks"
 	"repro/internal/mutexbench"
+	"repro/internal/registry"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -48,7 +48,7 @@ func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
 		headers = append(headers, fmt.Sprintf("T=%d", tc))
 	}
 	t := table.New(fmt.Sprintf("Figure 1 (%s) — MutexBench aggregate Mops/s (median of %d)", label, runs), headers...)
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range registry.Paper() {
 		row := []string{lf.Name}
 		for _, tc := range threads {
 			res := mutexbench.Run(lf, mutexbench.Config{
@@ -65,10 +65,16 @@ func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
 	return t
 }
 
-// Fig2 reproduces §7.2: a shared lock-striped Atomic[S] hammered by T
-// threads with exchange (Figure 2a) or a load/modify/CAS-retry loop
-// (Figure 2b), per lock algorithm.
+// Fig2 reproduces §7.2 over the Figure 1 lock set; Fig2Locks accepts
+// any catalog selection.
 func Fig2(cas bool, dur time.Duration, runs int) *table.Table {
+	return Fig2Locks(registry.Paper(), cas, dur, runs)
+}
+
+// Fig2Locks reproduces §7.2: a shared lock-striped Atomic[S] hammered
+// by T threads with exchange (Figure 2a) or a load/modify/CAS-retry
+// loop (Figure 2b), for each selected lock.
+func Fig2Locks(lfs []registry.Entry, cas bool, dur time.Duration, runs int) *table.Table {
 	if dur <= 0 {
 		dur = 200 * time.Millisecond
 	}
@@ -85,7 +91,7 @@ func Fig2(cas bool, dur time.Duration, runs int) *table.Table {
 		headers = append(headers, fmt.Sprintf("T=%d", tc))
 	}
 	t := table.New(fmt.Sprintf("Figure 2 (%s) — std::atomic<S> ops Mops/s (median of %d)", op, runs), headers...)
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range lfs {
 		row := []string{lf.Name}
 		for _, tc := range threads {
 			scores := make([]float64, 0, runs)
@@ -99,7 +105,7 @@ func Fig2(cas bool, dur time.Duration, runs int) *table.Table {
 	return t
 }
 
-func fig2Once(lf mutexbench.LockFactory, threads int, cas bool, dur time.Duration) float64 {
+func fig2Once(lf registry.Entry, threads int, cas bool, dur time.Duration) float64 {
 	stripe := atomicstruct.NewStripe(64, lf.New)
 	shared := atomicstruct.New[atomicstruct.S](stripe)
 	var stopFlag stopper
@@ -146,9 +152,15 @@ func fig2Once(lf mutexbench.LockFactory, threads int, cas bool, dur time.Duratio
 	return float64(total) / el.Seconds() / 1e6
 }
 
-// Fig3 reproduces §7.3: readrandom over the LSM-lite store guarded by
-// each lock algorithm.
+// Fig3 reproduces §7.3 over the Figure 1 lock set; Fig3Locks accepts
+// any catalog selection.
 func Fig3(dur time.Duration, keys int, runs int) *table.Table {
+	return Fig3Locks(registry.Paper(), dur, keys, runs)
+}
+
+// Fig3Locks reproduces §7.3: readrandom over the LSM-lite store
+// guarded by each selected lock.
+func Fig3Locks(lfs []registry.Entry, dur time.Duration, keys int, runs int) *table.Table {
 	if dur <= 0 {
 		dur = 300 * time.Millisecond
 	}
@@ -164,7 +176,7 @@ func Fig3(dur time.Duration, keys int, runs int) *table.Table {
 		headers = append(headers, fmt.Sprintf("T=%d", tc))
 	}
 	t := table.New(fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", keys, runs), headers...)
-	for _, lf := range mutexbench.PaperSet() {
+	for _, lf := range lfs {
 		row := []string{lf.Name}
 		for _, tc := range threads {
 			scores := make([]float64, 0, runs)
@@ -195,7 +207,7 @@ func UncontendedLatency(iters int) *table.Table {
 		iters = 2_000_000
 	}
 	t := table.New("Uncontended latency — single-thread Lock+Unlock", "Lock", "ns/op")
-	for _, lf := range mutexbench.AllSet() {
+	for _, lf := range registry.All() {
 		l := lf.New()
 		// Warmup.
 		for i := 0; i < 10_000; i++ {
@@ -223,14 +235,17 @@ func MitigationFairness(dur time.Duration) *table.Table {
 	}
 	t := table.New("§9.4 mitigation — long-term admission fairness (8 goroutines, Track A)",
 		"Lock", "Jain", "Max/Min", "Mops")
-	set := []mutexbench.LockFactory{
-		{Name: "Recipro", New: func() sync.Locker { return new(core.Lock) }},
-		{Name: "Fair(1/16)", New: func() sync.Locker { return new(core.FairLock) }},
+	// Catalog entries plus two parameterized FairLock variants that
+	// exist only for this ablation (and so are not catalog members);
+	// "Fair(1/16)" relabels the catalog's default-probability Fair.
+	set := []registry.Entry{
+		fromCatalog("Recipro"),
+		relabel(fromCatalog("Fair"), "Fair(1/16)"),
 		{Name: "Fair(1/4)", New: func() sync.Locker { return &core.FairLock{DeferProb: 64} }},
-		{Name: "TwoLane", New: func() sync.Locker { return new(core.TwoLaneLock) }},
-		{Name: "RetroRand", New: func() sync.Locker { return new(locks.RetrogradeRandLock) }},
-		{Name: "Retrograde", New: func() sync.Locker { return new(locks.RetrogradeLock) }},
-		{Name: "TKT(FIFO)", New: func() sync.Locker { return new(locks.TicketLock) }},
+		fromCatalog("TwoLane"),
+		fromCatalog("RetroRand"),
+		fromCatalog("Retrograde"),
+		relabel(fromCatalog("TKT"), "TKT(FIFO)"),
 	}
 	for _, lf := range set {
 		res := mutexbench.Run(lf, mutexbench.Config{
@@ -242,6 +257,22 @@ func MitigationFairness(dur time.Duration) *table.Table {
 		t.Add(lf.Name, table.F(res.Jain, 4), table.F(res.Disparity, 2), table.F(res.Mops, 3))
 	}
 	return t
+}
+
+// fromCatalog resolves a registry entry, panicking on a bad name —
+// these are compile-time-known experiment sets, not user input.
+func fromCatalog(name string) registry.Entry {
+	e, ok := registry.Lookup(name)
+	if !ok {
+		panic("experiments: unknown catalog lock " + name)
+	}
+	return e
+}
+
+// relabel renames an entry for presentation in an ablation table.
+func relabel(e registry.Entry, name string) registry.Entry {
+	e.Name = name
+	return e
 }
 
 // stopper is a tiny atomic stop flag.

@@ -20,7 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/mutexbench"
+	"repro/internal/registry"
 )
 
 // EnvVar names the selection variable.
@@ -42,7 +42,7 @@ func resolve() {
 		if name == "" {
 			name = DefaultLock
 		}
-		lf, ok := mutexbench.ByName(name)
+		lf, ok := registry.Lookup(name)
 		if !ok {
 			implErr = fmt.Errorf("interpose: unknown %s=%q", EnvVar, name)
 			return

@@ -14,10 +14,12 @@
 package kvstore
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // Chaos points. kvstore.put and kvstore.freeze fire while holding the
@@ -33,8 +35,13 @@ var (
 
 // Options configures a DB.
 type Options struct {
-	// Lock guards the database; nil selects the Reciprocating Lock.
+	// Lock guards the database; nil selects the Reciprocating Lock
+	// (or the LockName catalog entry, when set).
 	Lock sync.Locker
+	// LockName selects the guarding lock from the repository catalog
+	// (internal/registry) by name or alias when Lock is nil. Unknown
+	// names panic in Open. Empty means the default.
+	LockName string
 	// MemTableBytes is the freeze threshold (default 1 MiB).
 	MemTableBytes int
 	// MaxRuns triggers a full merge when exceeded (default 4).
@@ -62,6 +69,13 @@ type DB struct {
 
 // Open creates an empty database.
 func Open(opts Options) *DB {
+	if opts.Lock == nil && opts.LockName != "" {
+		lf, ok := registry.Lookup(opts.LockName)
+		if !ok {
+			panic(fmt.Sprintf("kvstore: unknown Options.LockName %q", opts.LockName))
+		}
+		opts.Lock = lf.New()
+	}
 	if opts.Lock == nil {
 		opts.Lock = new(core.Lock)
 	}

@@ -10,6 +10,9 @@
 // The harness runs each configuration several times and reports the
 // median, as the paper does (median of 7).
 //
+// Locks are selected from the repository-wide catalog
+// (internal/registry); this package owns only the workload.
+//
 // Caveat recorded in EXPERIMENTS.md: under a single-processor Go
 // scheduler, contended results measure scheduling efficiency as much
 // as lock handoff; the coherence simulator (internal/simlocks) owns
@@ -18,72 +21,15 @@
 package mutexbench
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/locks"
+	"repro/internal/registry"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
-
-// LockFactory names a lock implementation.
-type LockFactory struct {
-	Name string
-	New  func() sync.Locker
-}
-
-// PaperSet returns the six locks evaluated in Figure 1, in the
-// paper's legend order.
-func PaperSet() []LockFactory {
-	return []LockFactory{
-		{"TKT", func() sync.Locker { return new(locks.TicketLock) }},
-		{"MCS", func() sync.Locker { return new(locks.MCSLock) }},
-		{"CLH", func() sync.Locker { return new(locks.CLHLock) }},
-		{"TWA", func() sync.Locker { return new(locks.TWALock) }},
-		{"HemLock", func() sync.Locker { return new(locks.HemLock) }},
-		{"Recipro", func() sync.Locker { return new(core.Lock) }},
-	}
-}
-
-// AllSet returns every lock in the repository, including the
-// Reciprocating variants and extra baselines.
-func AllSet() []LockFactory {
-	extra := []LockFactory{
-		{"TAS", func() sync.Locker { return new(locks.TASLock) }},
-		{"TTAS", func() sync.Locker { return new(locks.TTASLock) }},
-		{"Chen", func() sync.Locker { return new(locks.ChenLock) }},
-		{"Retrograde", func() sync.Locker { return new(locks.RetrogradeLock) }},
-		{"RetroRand", func() sync.Locker { return new(locks.RetrogradeRandLock) }},
-		{"Recipro-L2", func() sync.Locker { return new(core.SimplifiedLock) }},
-		{"Recipro-L3", func() sync.Locker { return new(core.RelayLock) }},
-		{"Recipro-L4", func() sync.Locker { return new(core.FetchAddLock) }},
-		{"Recipro-L5", func() sync.Locker { return new(core.SimplifiedEOSLock) }},
-		{"Recipro-L6", func() sync.Locker { return new(core.CombinedLock) }},
-		{"Gated", func() sync.Locker { return new(core.GatedLock) }},
-		{"TwoLane", func() sync.Locker { return new(core.TwoLaneLock) }},
-		{"Fair", func() sync.Locker { return new(core.FairLock) }},
-		{"Recipro-CTR", func() sync.Locker { return new(core.CTRLock) }},
-		{"Recipro-L2park", func() sync.Locker { return &core.SimplifiedLock{Park: true} }},
-		// Real-world defaults for context: Go's runtime mutex and the
-		// classic three-state futex mutex (the pthread_mutex shape §5
-		// contrasts with).
-		{"GoMutex", func() sync.Locker { return new(sync.Mutex) }},
-		{"FutexMutex", func() sync.Locker { return new(locks.FutexMutex) }},
-	}
-	return append(PaperSet(), extra...)
-}
-
-// ByName finds a factory in AllSet.
-func ByName(name string) (LockFactory, bool) {
-	for _, lf := range AllSet() {
-		if lf.Name == name {
-			return lf, true
-		}
-	}
-	return LockFactory{}, false
-}
 
 // Config shapes one benchmark run.
 type Config struct {
@@ -114,28 +60,38 @@ type Result struct {
 	PerThread []uint64 // per-thread ops of the median-defining run
 	Jain      float64
 	Disparity float64
-	Elapsed   time.Duration
+	Elapsed   time.Duration // wall time of the median-defining run
 }
 
-// Run executes cfg against one lock and returns the median result.
-func Run(lf LockFactory, cfg Config) Result {
+// oneRun is the raw outcome of a single run.
+type oneRun struct {
+	mops float64
+	per  []uint64
+	el   time.Duration
+}
+
+// Run executes cfg against one catalog entry and returns the median
+// result. The per-thread vector (and the fairness statistics derived
+// from it) comes from the median-defining run: the run whose score is
+// the median, or — for even run counts, where the median averages the
+// two middle scores — the run whose score is nearest it.
+func Run(lf registry.Entry, cfg Config) Result {
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 1
 	}
 	scores := make([]float64, 0, runs)
-	var medianPerThread []uint64
-	var elapsed time.Duration
+	outs := make([]oneRun, 0, runs)
 	for r := 0; r < runs; r++ {
 		mops, per, el := runOnce(lf, cfg, uint32(r)+cfg.Seed)
 		scores = append(scores, mops)
-		medianPerThread = per
-		elapsed = el
+		outs = append(outs, oneRun{mops: mops, per: per, el: el})
 	}
 	med := stats.Median(scores)
-	perF := make([]float64, len(medianPerThread))
-	counts := make([]int64, len(medianPerThread))
-	for i, v := range medianPerThread {
+	sel := outs[medianIndex(scores, med)]
+	perF := make([]float64, len(sel.per))
+	counts := make([]int64, len(sel.per))
+	for i, v := range sel.per {
 		perF[i] = float64(v)
 		counts[i] = int64(v)
 	}
@@ -144,14 +100,27 @@ func Run(lf LockFactory, cfg Config) Result {
 		Threads:   cfg.Threads,
 		Mops:      med,
 		AllRuns:   scores,
-		PerThread: medianPerThread,
+		PerThread: sel.per,
 		Jain:      stats.JainIndex(perF),
 		Disparity: stats.DisparityRatio(counts),
-		Elapsed:   elapsed,
+		Elapsed:   sel.el,
 	}
 }
 
-func runOnce(lf LockFactory, cfg Config, seed uint32) (float64, []uint64, time.Duration) {
+// medianIndex returns the index of the run whose score is closest to
+// med (exactly the median run for odd run counts; ties keep the
+// earliest run).
+func medianIndex(scores []float64, med float64) int {
+	best := 0
+	for i, s := range scores {
+		if math.Abs(s-med) < math.Abs(scores[best]-med) {
+			best = i
+		}
+	}
+	return best
+}
+
+func runOnce(lf registry.Entry, cfg Config, seed uint32) (float64, []uint64, time.Duration) {
 	l := lf.New()
 	shared := xrand.NewMT19937Seeded(12345 + seed)
 	perThread := make([]uint64, cfg.Threads)
@@ -214,8 +183,8 @@ func runOnce(lf LockFactory, cfg Config, seed uint32) (float64, []uint64, time.D
 	return mops, perThread, el
 }
 
-// Sweep runs cfg across the given thread counts for every factory.
-func Sweep(lfs []LockFactory, threadCounts []int, cfg Config) []Result {
+// Sweep runs cfg across the given thread counts for every entry.
+func Sweep(lfs []registry.Entry, threadCounts []int, cfg Config) []Result {
 	var out []Result
 	for _, lf := range lfs {
 		for _, tc := range threadCounts {

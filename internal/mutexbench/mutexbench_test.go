@@ -3,10 +3,12 @@ package mutexbench
 import (
 	"testing"
 	"time"
+
+	"repro/internal/registry"
 )
 
 func TestRunIterationMode(t *testing.T) {
-	for _, lf := range PaperSet() {
+	for _, lf := range registry.Paper() {
 		lf := lf
 		t.Run(lf.Name, func(t *testing.T) {
 			res := Run(lf, Config{Threads: 4, Iterations: 500, CSSteps: 1, Runs: 1})
@@ -31,7 +33,7 @@ func TestRunIterationMode(t *testing.T) {
 }
 
 func TestRunDurationMode(t *testing.T) {
-	lf, ok := ByName("Recipro")
+	lf, ok := registry.Lookup("Recipro")
 	if !ok {
 		t.Fatal("Recipro missing from registry")
 	}
@@ -46,41 +48,41 @@ func TestRunDurationMode(t *testing.T) {
 }
 
 func TestMedianOfRuns(t *testing.T) {
-	lf, _ := ByName("TKT")
+	lf, _ := registry.Lookup("TKT")
 	res := Run(lf, Config{Threads: 2, Iterations: 300, CSSteps: 1, Runs: 3})
 	if len(res.AllRuns) != 3 {
 		t.Fatalf("runs recorded = %d", len(res.AllRuns))
 	}
 }
 
-func TestSweepShape(t *testing.T) {
-	lfs := PaperSet()[:2]
-	res := Sweep(lfs, []int{1, 2}, Config{Iterations: 100, CSSteps: 1, Runs: 1})
-	if len(res) != 4 {
-		t.Fatalf("sweep rows = %d, want 4", len(res))
+// The PerThread vector (and Jain/Disparity derived from it) must come
+// from the median-defining run, not whichever run happened last.
+func TestMedianIndexSelectsMedianRun(t *testing.T) {
+	cases := []struct {
+		scores []float64
+		med    float64
+		want   int
+	}{
+		{[]float64{3, 1, 2}, 2, 2},             // odd: exact median run
+		{[]float64{5, 1, 9}, 5, 0},             // odd: exact, first position
+		{[]float64{1, 2, 3, 100}, 2.5, 1},      // even: nearest to averaged median (tie → earliest)
+		{[]float64{4, 1, 2, 8}, 3, 0},          // even: 4 (idx 0) and 2 (idx 2) tie at distance 1 → earliest wins
+		{[]float64{7}, 7, 0},                   // single run
+		{[]float64{2, 2, 2}, 2, 0},             // all equal → earliest
+		{[]float64{1, 9, 10.5, 100}, 10.25, 2}, // even: 10.5 strictly nearest (binary-exact values)
+	}
+	for i, c := range cases {
+		if got := medianIndex(c.scores, c.med); got != c.want {
+			t.Errorf("case %d: medianIndex(%v, %v) = %d, want %d", i, c.scores, c.med, got, c.want)
+		}
 	}
 }
 
-func TestRegistryComplete(t *testing.T) {
-	if len(PaperSet()) != 6 {
-		t.Fatalf("paper set has %d locks, want 6 (Figure 1 legend)", len(PaperSet()))
-	}
-	names := map[string]bool{}
-	for _, lf := range AllSet() {
-		if names[lf.Name] {
-			t.Fatalf("duplicate lock name %q", lf.Name)
-		}
-		names[lf.Name] = true
-		l := lf.New()
-		l.Lock()
-		l.Unlock()
-	}
-	for _, want := range []string{"TKT", "MCS", "CLH", "TWA", "HemLock", "Recipro",
-		"Recipro-L2", "Recipro-L3", "Recipro-L4", "Recipro-L5", "Recipro-L6",
-		"Gated", "TwoLane", "Fair", "Chen", "Retrograde", "RetroRand"} {
-		if !names[want] {
-			t.Fatalf("registry missing %q", want)
-		}
+func TestSweepShape(t *testing.T) {
+	lfs := registry.Paper()[:2]
+	res := Sweep(lfs, []int{1, 2}, Config{Iterations: 100, CSSteps: 1, Runs: 1})
+	if len(res) != 4 {
+		t.Fatalf("sweep rows = %d, want 4", len(res))
 	}
 }
 
@@ -88,7 +90,7 @@ func TestRegistryComplete(t *testing.T) {
 // fewer lock acquisitions per second than maximal contention under
 // identical everything else.
 func TestNCSReducesLockPressure(t *testing.T) {
-	lf, _ := ByName("Recipro")
+	lf, _ := registry.Lookup("Recipro")
 	maxC := Run(lf, Config{Threads: 2, Iterations: 2000, CSSteps: 1, NCSMaxSteps: 0, Runs: 1})
 	modC := Run(lf, Config{Threads: 2, Iterations: 2000, CSSteps: 1, NCSMaxSteps: 250, Runs: 1})
 	if modC.Mops >= maxC.Mops {

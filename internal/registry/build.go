@@ -1,0 +1,197 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bounded"
+	"repro/internal/chaos"
+	"repro/internal/lockstat"
+)
+
+// The canonical decorator pipeline. Every harness used to stack the
+// lockstat and bounded wrappers by hand, each in its own order; Build
+// composes them once, innermost to outermost:
+//
+//	base lock → chaos veto → bounded guarantee → lockstat telemetry
+//
+// The order is load-bearing: the veto sits against the raw lock so
+// injected TryLock failures exercise the algorithm's own retry paths;
+// the bounded adaptation wraps the vetoed lock so polling fallbacks
+// feel the injected pressure; and telemetry is outermost so vetoed
+// attempts are recorded as try-failures and abandoned bounded waits as
+// abandons, exactly as real ones are.
+
+// Option configures one Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	stats     *lockstat.Stats
+	statsSet  bool
+	bounded   bool
+	veto      bool
+	vetoPoint string
+}
+
+// WithStats wraps the built lock in lockstat.Instrumented recording
+// into st. A nil st still installs the wrapper (the nil-Stats
+// fast path), which is the cheap-to-leave-on configuration.
+func WithStats(st *lockstat.Stats) Option {
+	return func(c *buildConfig) { c.stats, c.statsSet = st, true }
+}
+
+// WithBounded requires the built lock to support bounded acquisition
+// (LockFor/LockCtx): Build fails for entries that support neither
+// native bounding nor TryLock polling, and otherwise guarantees the
+// returned value implements bounded.Locker.
+func WithBounded() Option {
+	return func(c *buildConfig) { c.bounded = true }
+}
+
+// WithChaosVeto inserts a fault-injection shim that can spuriously
+// veto TryLock and LockFor attempts through a chaos point named
+// point (or "registry.veto.<entry name>" when point is empty). The
+// shim is inert until chaos.Enable arms the process, and a veto is
+// always a legal outcome of the vetoed operation, so it can expose
+// bugs but never cause one. Entries with no TryLock doorway have
+// nothing to veto and pass through unchanged.
+func WithChaosVeto(point string) Option {
+	return func(c *buildConfig) { c.veto, c.vetoPoint = true, point }
+}
+
+// Build looks name up in the catalog and builds it through the
+// decorator pipeline.
+func Build(name string, opts ...Option) (sync.Locker, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, &UnknownLockError{Name: name}
+	}
+	return e.Build(opts...)
+}
+
+// Build constructs a fresh lock and applies the canonical decorator
+// pipeline for the given options.
+func (e Entry) Build(opts ...Option) (sync.Locker, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	l := e.New()
+	if cfg.veto {
+		name := cfg.vetoPoint
+		if name == "" {
+			name = "registry.veto." + e.Name
+		}
+		l = vetoWrap(l, vetoPoint(name))
+	}
+	if cfg.bounded {
+		b, ok := bounded.For(l)
+		if !ok {
+			return nil, fmt.Errorf("registry: lock %s supports no bounded acquisition (no TryLock doorway and no native LockFor)", e.Name)
+		}
+		l = b
+	}
+	if cfg.statsSet {
+		l = lockstat.Wrap(l, cfg.stats)
+	}
+	return l, nil
+}
+
+// Factory validates the pipeline once and returns a constructor that
+// builds a fresh decorated lock per call — the shape the benchmark
+// harnesses need (e.g. one shared Stats, fresh lock per run).
+func (e Entry) Factory(opts ...Option) (func() sync.Locker, error) {
+	if _, err := e.Build(opts...); err != nil {
+		return nil, err
+	}
+	return func() sync.Locker {
+		l, _ := e.Build(opts...)
+		return l
+	}, nil
+}
+
+// vetoPoints interns chaos points by name so repeated Builds of the
+// same entry share one injection stream instead of growing the chaos
+// registry per instance.
+var (
+	vetoMu     sync.Mutex
+	vetoPoints = map[string]*chaos.Point{}
+)
+
+func vetoPoint(name string) *chaos.Point {
+	vetoMu.Lock()
+	defer vetoMu.Unlock()
+	p, ok := vetoPoints[name]
+	if !ok {
+		p = chaos.NewPoint(name)
+		vetoPoints[name] = p
+	}
+	return p
+}
+
+// vetoWrap shields l behind a chaos veto shim matching l's strongest
+// non-blocking surface, so no capability is gained or lost: a
+// bounded.Locker stays natively bounded, a plain TryLocker stays a
+// TryLocker, and a lock with no doorway is returned unchanged.
+func vetoWrap(l sync.Locker, pt *chaos.Point) sync.Locker {
+	if b, ok := l.(bounded.Locker); ok {
+		return &vetoBounded{inner: b, pt: pt}
+	}
+	if t, ok := l.(bounded.TryLocker); ok {
+		return &vetoTry{inner: t, pt: pt}
+	}
+	return l
+}
+
+// vetoTry vetoes TryLock on a plain TryLocker.
+type vetoTry struct {
+	inner bounded.TryLocker
+	pt    *chaos.Point
+}
+
+func (v *vetoTry) Lock()   { v.inner.Lock() }
+func (v *vetoTry) Unlock() { v.inner.Unlock() }
+
+// TryLock attempts the inner doorway unless the chaos point vetoes the
+// attempt (a spurious failure, always legal for TryLock).
+func (v *vetoTry) TryLock() bool {
+	if v.pt.Fail() {
+		return false
+	}
+	return v.inner.TryLock()
+}
+
+// vetoBounded vetoes TryLock and LockFor on a natively bounded lock.
+// LockCtx is deliberately not vetoed: its contract ties a false return
+// to the context's own error, and fabricating one would turn the shim
+// from failure-only into a liar.
+type vetoBounded struct {
+	inner bounded.Locker
+	pt    *chaos.Point
+}
+
+func (v *vetoBounded) Lock()   { v.inner.Lock() }
+func (v *vetoBounded) Unlock() { v.inner.Unlock() }
+
+func (v *vetoBounded) TryLock() bool {
+	if v.pt.Fail() {
+		return false
+	}
+	return v.inner.TryLock()
+}
+
+// LockFor attempts a bounded acquire unless vetoed; a veto is an
+// immediate spurious timeout, which LockFor callers must tolerate
+// anyway.
+func (v *vetoBounded) LockFor(d time.Duration) bool {
+	if v.pt.Fail() {
+		return false
+	}
+	return v.inner.LockFor(d)
+}
+
+func (v *vetoBounded) LockCtx(ctx context.Context) error {
+	return v.inner.LockCtx(ctx)
+}

@@ -1,0 +1,221 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bounded"
+	"repro/internal/chaos"
+	"repro/internal/lockstat"
+)
+
+func TestBuildBare(t *testing.T) {
+	l, err := Build("Recipro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, wrapped := l.(*lockstat.Instrumented); wrapped {
+		t.Fatal("bare Build must not wrap")
+	}
+	l.Lock()
+	l.Unlock()
+
+	if _, err := Build("bogus"); err == nil {
+		t.Fatal("Build of unknown name succeeded")
+	}
+}
+
+func TestBuildWithBounded(t *testing.T) {
+	// Natively bounded: the lock itself satisfies the contract.
+	l, err := Build("MCS", WithBounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := l.(bounded.Locker)
+	if !ok {
+		t.Fatal("WithBounded result does not implement bounded.Locker")
+	}
+	if !b.LockFor(10 * time.Millisecond) {
+		t.Fatal("LockFor failed on unheld lock")
+	}
+	b.Unlock()
+
+	// TryLock-only: the polling adapter must be interposed.
+	l, err = Build("TWA", WithBounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(bounded.Locker); !ok {
+		t.Fatal("polling-tier entry did not gain bounded.Locker")
+	}
+
+	// No doorway at all: Build must fail, not hand back a lock that
+	// cannot honor the request.
+	for _, name := range []string{"Gated", "TwoLane"} {
+		if _, err := Build(name, WithBounded()); err == nil {
+			t.Errorf("Build(%s, WithBounded()) succeeded for an unboundable lock", name)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("error should name the entry: %v", err)
+		}
+	}
+}
+
+func TestBuildWithStats(t *testing.T) {
+	st := lockstat.New()
+	l, err := Build("TKT", WithStats(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := l.(*lockstat.Instrumented)
+	if !ok {
+		t.Fatal("WithStats did not produce an Instrumented lock")
+	}
+	w.Lock()
+	w.Unlock()
+	if snap := st.Snapshot(); snap.Acquisitions != 1 || snap.Unlocks != 1 {
+		t.Fatalf("telemetry not recorded: %+v", snap)
+	}
+	if !w.Boundable() {
+		t.Fatal("instrumented TKT lost boundability")
+	}
+
+	// Telemetry must be outermost: with bounded too, the wrapper still
+	// exposes the Instrumented surface.
+	l, err = Build("TWA", WithStats(lockstat.New()), WithBounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(*lockstat.Instrumented); !ok {
+		t.Fatal("pipeline order broken: Instrumented is not outermost")
+	}
+}
+
+// The veto shim must neither gain nor lose capability tier.
+func TestVetoPreservesTier(t *testing.T) {
+	// Native tier stays native.
+	l, err := Build("MCS", WithChaosVeto("test.veto.mcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(bounded.Locker); !ok {
+		t.Fatal("veto demoted a natively bounded lock")
+	}
+
+	// TryLock tier stays TryLock (and does not become bounded).
+	l, err = Build("TWA", WithChaosVeto("test.veto.twa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(bounded.TryLocker); !ok {
+		t.Fatal("veto lost the TryLock doorway")
+	}
+	if _, ok := l.(bounded.Locker); ok {
+		t.Fatal("veto promoted a TryLock-only lock to bounded.Locker")
+	}
+
+	// No doorway: nothing to veto, lock passes through untouched.
+	e, _ := Lookup("Gated")
+	l, err = e.Build(WithChaosVeto("test.veto.gated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(bounded.TryLocker); ok {
+		t.Fatal("veto invented a TryLock doorway")
+	}
+}
+
+// With chaos disarmed the shim is transparent; with TryFail forced to
+// certainty every TryLock and LockFor attempt is vetoed, while plain
+// Lock and LockCtx are untouched.
+func TestVetoUnderChaos(t *testing.T) {
+	l, err := Build("Recipro", WithChaosVeto("test.veto.recipro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.(bounded.Locker)
+
+	if !b.TryLock() {
+		t.Fatal("disarmed veto blocked TryLock")
+	}
+	b.Unlock()
+
+	chaos.Enable(chaos.Config{Seed: 7, TryFail: 1})
+	defer chaos.Disable()
+
+	if b.TryLock() {
+		t.Fatal("TryLock succeeded under a certain veto")
+	}
+	if b.LockFor(time.Millisecond) {
+		t.Fatal("LockFor succeeded under a certain veto")
+	}
+	// A veto is failure-only: blocking acquisition still works.
+	b.Lock()
+	b.Unlock()
+}
+
+func TestFactory(t *testing.T) {
+	e, _ := Lookup("CLH")
+	fac, err := e.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fac(), fac()
+	if a == b {
+		t.Fatal("Factory returned a shared instance")
+	}
+	a.Lock()
+	// Distinct instances: b must be acquirable while a is held.
+	done := make(chan struct{})
+	go func() {
+		b.Lock()
+		b.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("factory instances share state")
+	}
+	a.Unlock()
+
+	// Invalid pipelines fail at Factory time, not per construction.
+	g, _ := Lookup("Gated")
+	if _, err := g.Factory(WithBounded()); err == nil {
+		t.Fatal("Factory validated an impossible pipeline")
+	}
+}
+
+// Repeated builds with the same veto point must share one chaos
+// point — the injection stream is per-name, not per-instance.
+func TestVetoPointInterning(t *testing.T) {
+	const name = "test.veto.interned"
+	a := vetoPoint(name)
+	b := vetoPoint(name)
+	if a != b {
+		t.Fatal("veto points not interned")
+	}
+}
+
+// The pipeline built concurrently must be race-free (exercised under
+// make race).
+func TestBuildConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := Build("Recipro", WithStats(nil), WithChaosVeto(""), WithBounded())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 100; j++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -38,7 +38,12 @@
 // every table and figure (see DESIGN.md and EXPERIMENTS.md).
 package repro
 
-import "repro/internal/core"
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
 
 // Lock is the canonical Reciprocating Lock (Listing 1).
 type Lock = core.Lock
@@ -75,3 +80,27 @@ type TwoLaneLock = core.TwoLaneLock
 
 // FairLock is the §9.4 Bernoulli-deferral fairness mitigation.
 type FairLock = core.FairLock
+
+// LockInfo describes one entry of the repository-wide lock catalog:
+// its canonical name and aliases, algorithm family, paper-set
+// membership, declared capabilities, and constructor.
+type LockInfo = registry.Entry
+
+// Locks returns the full lock catalog in canonical order — every lock
+// implementation in the repository with its declared capabilities.
+func Locks() []LockInfo { return registry.All() }
+
+// PaperLocks returns the catalog entries for the six algorithms of the
+// paper's Figure 1 comparison set.
+func PaperLocks() []LockInfo { return registry.Paper() }
+
+// NewLock constructs a lock from the catalog by name or alias
+// (case-insensitive, e.g. "Recipro", "MCS", "sync.Mutex"). It reports
+// false when no catalog entry matches.
+func NewLock(name string) (sync.Locker, bool) {
+	lf, ok := registry.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return lf.New(), true
+}
