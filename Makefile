@@ -1,29 +1,40 @@
-# Test tiers for the Reciprocating Locks reproduction, cheapest first:
+# Test tiers for the Reciprocating Locks reproduction, cheapest first
+# (TESTING.md describes when each tier gates a change):
 #
-#   make check  — tier 0+1 aggregate: gofmt gate (fails listing any
-#                 unformatted file), go vet, then the full build+test
-#                 suite. The one command to run before pushing.
-#   make test   — tier 1: build + full test suite (the CI gate)
-#   make race   — race tier: go vet + the full suite under -race
-#                 (includes the registry capability-claims tests)
-#   make bench  — the root benchmark suite (paper figures + ablations)
-#   make chaos  — robustness tier: cancellation/bounded-acquisition
-#                 tests under -race, then a seeded fault-injected
-#                 torture run over every lock variant with the stall
-#                 watchdog armed
+#   make check       — the pre-push aggregate: gofmt gate (fails listing
+#                      any unformatted file), go vet, the full
+#                      build+test suite, the conformance tier, and the
+#                      fuzz smoke.
+#   make test        — tier 1: build + full test suite (the CI gate)
+#   make race        — race tier: go vet + the full suite under -race
+#                      (includes the registry capability-claims tests)
+#   make bench       — the root benchmark suite (paper figures + ablations)
+#   make chaos       — robustness tier: cancellation/bounded-acquisition
+#                      tests under -race, then a seeded fault-injected
+#                      torture run over every lock variant with the stall
+#                      watchdog armed
+#   make conformance — cross-track tier: the full property suite and the
+#                      100-schedule sim/real differential checker over
+#                      every catalog lock (cmd/conformance)
+#   make fuzz-smoke  — a short fuzz pass (FUZZTIME each) over every fuzz
+#                      target: the registry -locks parser, the admission
+#                      cycle detector, and the kvstore differential +
+#                      skiplist targets
 
 GO ?= go
 GOFMT ?= gofmt
 CHAOS_SEED ?= 1
+CONF_SEED ?= 1
+FUZZTIME ?= 5s
 
-.PHONY: all build check fmt-check test vet race bench chaos
+.PHONY: all build check fmt-check test vet race bench chaos conformance fuzz-smoke
 
 all: test
 
 build:
 	$(GO) build ./...
 
-check: fmt-check vet test
+check: fmt-check vet test conformance fuzz-smoke
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -44,3 +55,12 @@ bench:
 chaos: build
 	$(GO) test -race -run 'TryLock|Bounded|Cancel|Abandon|Chaos|PauseBounded' ./internal/chaos ./internal/bounded ./internal/core ./internal/locks ./internal/waiter
 	$(GO) run -race ./cmd/torture -duration=30s -chaos -seed=$(CHAOS_SEED) -stall-timeout=10s -lockstat
+
+conformance: build
+	$(GO) run ./cmd/conformance -locks=all -seed=$(CONF_SEED) -schedules=100
+
+fuzz-smoke: build
+	$(GO) test -run '^$$' -fuzz='^FuzzParseLocks$$' -fuzztime=$(FUZZTIME) ./internal/registry
+	$(GO) test -run '^$$' -fuzz='^FuzzFindCycle$$' -fuzztime=$(FUZZTIME) ./internal/admission
+	$(GO) test -run '^$$' -fuzz='^FuzzDBAgainstMap$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz='^FuzzSkipListOrdering$$' -fuzztime=$(FUZZTIME) ./internal/kvstore

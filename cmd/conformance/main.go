@@ -1,0 +1,115 @@
+// Command conformance runs the cross-track conformance suite from
+// internal/conformance against registry locks: the registry-wide
+// property checks (mutual exclusion under randomized schedules, TryLock
+// soundness, the bounded-acquisition contract with chaos stalls,
+// abandonment safety, unlock-of-unlocked discipline) plus, for entries
+// declaring a sim twin, the differential checker that demands the real
+// lock, its coherence-simulated twin, and the paper's abstract
+// admission model agree on admission order, segment structure, and the
+// bypass bound over seeded deterministic schedules.
+//
+// Usage:
+//
+//	conformance [-locks=all|paper|...|list] [-seed=1] [-schedules=100]
+//	            [-duration=0]
+//
+// With -duration > 0 the suite soaks: it repeats with derived seeds
+// until the budget elapses, reporting each pass. Exit status is 0 only
+// if every check of every selected lock passes (skips are not
+// failures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	locksF := registry.NewLocksFlag("all")
+	fs.Var(locksF, "locks", registry.FlagUsage)
+	seed := fs.Uint64("seed", 1, "base seed for all randomized schedules")
+	schedules := fs.Int("schedules", 100, "differential schedules per twin-declaring lock")
+	duration := fs.Duration("duration", 0, "soak budget: repeat the suite with derived seeds until elapsed (0 = one pass)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	entries, listed, err := locksF.Resolve(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if listed {
+		return 0
+	}
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+
+	fail := false
+	for pass := 0; ; pass++ {
+		o := conformance.Options{Seed: *seed + uint64(pass)*0x9e3779b97f4a7c15, Schedules: *schedules}
+		if pass > 0 {
+			fmt.Fprintf(out, "\nsoak pass %d (seed %#x)\n", pass, o.Seed)
+		}
+		if !runPass(entries, o, out) {
+			fail = true
+		}
+		if deadline.IsZero() || !time.Now().Before(deadline) || fail {
+			break
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+func runPass(entries []registry.Entry, o conformance.Options, out *os.File) bool {
+	ok := true
+	w := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "Lock\tmutex\ttrylock\tbounded\tabandon\tunlock\tdifferential\tdetail")
+	for _, e := range entries {
+		r := conformance.Run(e, o)
+		detail := ""
+		fmt.Fprintf(w, "%s", e.Name)
+		for _, c := range r.Results {
+			switch {
+			case c.Err == nil:
+				fmt.Fprint(w, "\tpass")
+			case conformance.Skipped(c.Err):
+				fmt.Fprint(w, "\tskip")
+			default:
+				ok = false
+				fmt.Fprint(w, "\tFAIL")
+				if detail == "" {
+					detail = fmt.Sprintf("%s: %v", c.Check, c.Err)
+				}
+			}
+		}
+		if detail == "" && r.Diff != nil {
+			detail = fmt.Sprintf("%d schedules, %d events, bypass ≤ %d, %d detaches",
+				r.Diff.Schedules, r.Diff.Events, r.Diff.MaxBypass, r.Diff.Detaches)
+		}
+		fmt.Fprintf(w, "\t%s\n", detail)
+	}
+	w.Flush()
+	if !ok {
+		fmt.Fprintln(out, "\nconformance: FAIL")
+	} else {
+		fmt.Fprintln(out, "\nconformance: all selected locks pass")
+	}
+	return ok
+}

@@ -8,11 +8,23 @@
 //
 //	modelcheck -lock=Recipro -threads=2 -episodes=1 [-budget=500000]
 //	modelcheck -lock=all
+//
+// The exit code distinguishes the three outcomes, so CI can tell a
+// proof from a truncated search:
+//
+//	0 — every selected lock VERIFIED: the full interleaving tree was
+//	    explored within budget and no invariant failed;
+//	1 — a violation was found (the failing schedule is printed);
+//	2 — usage error (unknown lock or flags);
+//	3 — INCOMPLETE: no violation found, but at least one lock's tree
+//	    was not exhausted within -budget. Not a verification result —
+//	    raise -budget or shrink -threads/-episodes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/coherence"
@@ -20,33 +32,33 @@ import (
 )
 
 func main() {
-	lockName := flag.String("lock", "Recipro", "simulated lock name, or 'all'")
-	threads := flag.Int("threads", 2, "simulated threads")
-	episodes := flag.Int("episodes", 1, "episodes per thread")
-	budget := flag.Int("budget", 500_000, "maximum schedules to explore")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	lockName := fs.String("lock", "Recipro", "simulated lock name, or 'all'")
+	threads := fs.Int("threads", 2, "simulated threads")
+	episodes := fs.Int("episodes", 1, "episodes per thread")
+	budget := fs.Int("budget", 500_000, "maximum schedules to explore")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var targets []simlocks.Factory
 	if *lockName == "all" {
-		targets = append(simlocks.All(), simlocks.Variants()...)
-		targets = append(targets, simlocks.FairnessVariants()...)
+		targets = simlocks.Catalog()
 	} else {
 		mk := simlocks.ByName(*lockName)
 		if mk == nil {
-			for _, f := range append(simlocks.Variants(), simlocks.FairnessVariants()...) {
-				if f().Name() == *lockName {
-					mk = f
-				}
-			}
-		}
-		if mk == nil {
-			fmt.Fprintf(os.Stderr, "unknown lock %q; known: %v + variants\n", *lockName, simlocks.Names())
-			os.Exit(2)
+			fmt.Fprintf(errOut, "unknown lock %q; known: %v + variants\n", *lockName, simlocks.Names())
+			return 2
 		}
 		targets = []simlocks.Factory{mk}
 	}
 
-	fail := false
+	fail, incomplete := false, false
 	for _, mk := range targets {
 		name := mk().Name()
 		var counterAddr coherence.Addr
@@ -73,17 +85,22 @@ func main() {
 		switch {
 		case res.Violation != nil:
 			fail = true
-			fmt.Printf("%-14s FAIL after %d schedules: %v\n    schedule: %v\n",
+			fmt.Fprintf(out, "%-14s FAIL after %d schedules: %v\n    schedule: %v\n",
 				name, res.Schedules, res.Violation, res.FailingSchedule)
 		case res.Exhausted:
-			fmt.Printf("%-14s VERIFIED: all %d interleavings pass (%d threads × %d episodes)\n",
+			fmt.Fprintf(out, "%-14s VERIFIED: all %d interleavings pass (%d threads × %d episodes)\n",
 				name, res.Schedules, *threads, *episodes)
 		default:
-			fmt.Printf("%-14s ok over %d-schedule prefix (tree not exhausted; raise -budget)\n",
+			incomplete = true
+			fmt.Fprintf(out, "%-14s INCOMPLETE: %d-schedule budget exhausted before the tree was; no violation found, but this is not a verification — raise -budget\n",
 				name, res.Schedules)
 		}
 	}
-	if fail {
-		os.Exit(1)
+	switch {
+	case fail:
+		return 1
+	case incomplete:
+		return 3
 	}
+	return 0
 }

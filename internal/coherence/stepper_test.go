@@ -1,0 +1,141 @@
+package coherence
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// One full externally-driven interaction: a waiter parks on a gate
+// word, the other thread finishes independently, a harness Poke opens
+// the gate, and the woken thread completes — with admissions, step
+// counts, and the final memory image all observable.
+func TestStepperDrivesThreadsOneOpAtATime(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 2})
+	x := sys.Alloc("x")
+	gate := sys.Alloc("gate")
+	bodies := []func(*Ctx){
+		func(c *Ctx) { c.Admit(); c.Store(x, 7) },
+		func(c *Ctx) {
+			c.AwaitWrite(gate, func(v uint64) bool { return v == 1 })
+			c.Admit()
+			c.Store(x, c.Load(x)+1)
+		},
+	}
+	st := NewStepper(sys, 100, bodies)
+	if st.Threads() != 2 {
+		t.Fatalf("Threads() = %d", st.Threads())
+	}
+	for id := 0; id < 2; id++ {
+		if !st.Runnable(id) || st.Finished(id) || st.Blocked(id) {
+			t.Fatalf("thread %d must start runnable/unfinished/unblocked", id)
+		}
+	}
+
+	st.Step(1) // AwaitWrite: gate is 0, so thread 1 parks.
+	if !st.Blocked(1) || st.Runnable(1) {
+		t.Fatal("thread 1 must park on the closed gate")
+	}
+
+	st.Step(0) // Store x=7.
+	st.Step(0) // body return.
+	if !st.Finished(0) || st.Runnable(0) {
+		t.Fatal("thread 0 must be finished after its last op")
+	}
+	// x and gate are distinct lines (one word per line by default), so
+	// thread 0's store must not have woken the gate waiter.
+	if !st.Blocked(1) {
+		t.Fatal("store to an unrelated line woke the gate waiter")
+	}
+
+	st.Poke(gate, 1)
+	if !st.Runnable(1) {
+		t.Fatal("Poke on the gate line must wake the waiter")
+	}
+	st.Step(1) // Load x.
+	st.Step(1) // Store x+1.
+	st.Step(1) // body return.
+	if !st.Finished(1) {
+		t.Fatal("thread 1 must be finished")
+	}
+
+	if got := sys.Peek(x); got != 8 {
+		t.Fatalf("x = %d, want 8", got)
+	}
+	if got := st.Admissions(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("admissions = %v, want [0 1]", got)
+	}
+	// Counted ops: AwaitWrite, store by 0, load, store — body returns
+	// are not memory operations.
+	if st.Steps() != 4 {
+		t.Fatalf("Steps() = %d, want 4", st.Steps())
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AwaitWrite with an already-satisfied predicate must not park: the
+// blockUnless check runs against the current value at step time.
+func TestStepperAwaitWriteSatisfiedPredicate(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 1})
+	gate := sys.Alloc("gate")
+	sys.InitValue(gate, 1)
+	st := NewStepper(sys, 100, []func(*Ctx){
+		func(c *Ctx) { c.AwaitWrite(gate, func(v uint64) bool { return v == 1 }) },
+	})
+	st.Step(0)
+	if st.Blocked(0) {
+		t.Fatal("AwaitWrite parked despite a satisfied predicate")
+	}
+	st.Step(0)
+	if !st.Finished(0) {
+		t.Fatal("thread did not finish")
+	}
+}
+
+func TestStepperPanicsOnNonRunnableStep(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 1})
+	gate := sys.Alloc("gate")
+	st := NewStepper(sys, 100, []func(*Ctx){
+		func(c *Ctx) { c.AwaitWrite(gate, func(v uint64) bool { return v == 1 }) },
+	})
+	st.Step(0) // parks
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Step on a blocked thread must panic")
+		}
+	}()
+	st.Step(0)
+}
+
+func TestStepperBodyCountMismatchPanics(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 2})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("NewStepper with wrong body count must panic")
+		}
+	}()
+	NewStepper(sys, 100, []func(*Ctx){func(c *Ctx) {}})
+}
+
+// Exceeding the step budget must convert a livelocked harness loop into
+// a loud panic mentioning the budget.
+func TestStepperMaxStepsPanics(t *testing.T) {
+	sys := NewSystem(Config{CPUs: 1})
+	x := sys.Alloc("x")
+	st := NewStepper(sys, 1, []func(*Ctx){
+		func(c *Ctx) { c.Store(x, 1); c.Store(x, 2) },
+	})
+	st.Step(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second op past a 1-step budget must panic")
+		}
+		if !strings.Contains(r.(string), "steps") {
+			t.Fatalf("panic %q does not mention the step budget", r)
+		}
+	}()
+	st.Step(0)
+}

@@ -1,0 +1,77 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// Every twin-declaring entry must survive the differential checker:
+// real lock, sim twin, and abstract model agreeing on admission order,
+// segment structure, and bypass bound over seeded schedules. (The
+// 100-schedule acceptance run is `make conformance`; this keeps a
+// smaller profile in tier-1.)
+func TestDifferentialTwins(t *testing.T) {
+	o := testOptions()
+	twins := TwinEntries()
+	if len(twins) == 0 {
+		t.Fatal("no registry entry declares a sim twin")
+	}
+	for _, e := range twins {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := RunDifferential(e, o.Seed, o.Schedules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Schedules != o.Schedules {
+				t.Fatalf("ran %d schedules, want %d", res.Schedules, o.Schedules)
+			}
+			kind, _ := ModelKindFor(e)
+			if res.MaxBypass > kind.BypassBound() {
+				t.Fatalf("max bypass %d exceeds bound %d", res.MaxBypass, kind.BypassBound())
+			}
+			if kind == KindSegment && res.Detaches == 0 {
+				t.Errorf("no schedule exercised a segment detach — coverage went soft")
+			}
+			if res.SimDetaches >= 0 && res.SimDetaches != res.Detaches {
+				t.Errorf("sim detached %d segments, model expects %d", res.SimDetaches, res.Detaches)
+			}
+		})
+	}
+}
+
+// A differential request for an entry without a twin must fail loudly
+// with ErrNoTwin, not run vacuously.
+func TestDifferentialNoTwin(t *testing.T) {
+	e, ok := registry.Lookup("TAS")
+	if !ok {
+		t.Fatal("TAS missing from catalog")
+	}
+	if e.SimTwin != "" {
+		t.Fatal("test premise broken: TAS now declares a twin")
+	}
+	_, err := RunDifferential(e, 1, 5)
+	var noTwin *ErrNoTwin
+	if !errors.As(err, &noTwin) {
+		t.Fatalf("RunDifferential(TAS) = %v, want ErrNoTwin", err)
+	}
+}
+
+// The differential checker is only trustworthy if it actually rejects
+// a policy mismatch: a FIFO program driven through the segment model's
+// expectations (and vice versa) must diverge somewhere in the sweep.
+func TestDifferentialDetectsPolicyMismatch(t *testing.T) {
+	clh, ok := registry.Lookup("CLH")
+	if !ok {
+		t.Fatal("CLH missing from catalog")
+	}
+	// Lie about the family so ModelKindFor picks the segment model for
+	// a strict-FIFO lock. Some schedule must then fail.
+	liar := clh
+	liar.Family = registry.FamilyReciprocating
+	if _, err := RunDifferential(liar, 1, 50); err == nil {
+		t.Fatal("CLH passed against the segment admission model — the checker cannot distinguish policies")
+	}
+}

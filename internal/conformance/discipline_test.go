@@ -1,0 +1,45 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// The discipline declaration table must cover exactly the probe-able
+// catalog: every non-runtime entry declared, no stale names for locks
+// that left the catalog. (Whether each declaration matches observed
+// behavior is CheckUnlockDiscipline's job, exercised per entry by
+// TestSuiteAllEntries.)
+func TestDisciplineDeclarationsComplete(t *testing.T) {
+	inCatalog := map[string]bool{}
+	for _, e := range registry.All() {
+		if e.Family == registry.FamilyRuntime {
+			if _, ok := unlockDiscipline[e.Name]; ok {
+				t.Errorf("%s: runtime-family entries throw unrecoverably and must not be declared", e.Name)
+			}
+			continue
+		}
+		inCatalog[e.Name] = true
+		if _, ok := DeclaredDiscipline(e); !ok {
+			t.Errorf("%s: no declared unlock-of-unlocked discipline", e.Name)
+		}
+	}
+	for name := range unlockDiscipline {
+		if !inCatalog[name] {
+			t.Errorf("unlockDiscipline declares %q, which is not in the catalog", name)
+		}
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	for d, want := range map[Discipline]string{
+		DisciplineTolerate: "tolerates",
+		DisciplinePanic:    "panics",
+		DisciplineWedge:    "wedges",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("Discipline(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

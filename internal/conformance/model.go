@@ -1,0 +1,154 @@
+// Package conformance is the cross-track correctness harness: one
+// registry-driven property suite that every catalog lock passes
+// through, plus a differential checker that drives a Track A (real Go)
+// lock and its Track B (coherence-simulated) twin through the same
+// deterministic admission schedule and demands identical behavior.
+//
+// Three independent legs produce the admission order for one generated
+// event program:
+//
+//   - an abstract admission model (this file): a few lines of pure
+//     bookkeeping encoding the paper's admission discipline — FIFO for
+//     ticket/queue locks, LIFO-within-segment / FIFO-between-segments
+//     for the Reciprocating family and Chen's stack lock;
+//   - the real lock, serialized by the event driver (real.go) and
+//     observed through lockstat.AdmissionLog and waiter.ArrivalProbe;
+//   - the sim twin, driven one memory operation at a time through
+//     coherence.Stepper (sim.go) with admissions from Ctx.Admit.
+//
+// All three must agree exactly; any divergence — a sim twin drifting
+// from its real lock, or either drifting from the paper's discipline —
+// is a conformance failure.
+package conformance
+
+import "repro/internal/registry"
+
+// ModelKind selects the abstract admission discipline of a lock
+// family.
+type ModelKind int
+
+const (
+	// KindFIFO: strict arrival-order admission (ticket and queue
+	// locks).
+	KindFIFO ModelKind = iota
+	// KindSegment: the paper's Reciprocating discipline — arrivals
+	// push onto a stack; a release with no entry-segment successor
+	// detaches the stack into a new entry segment admitted LIFO, so
+	// admission is LIFO within a segment and FIFO between segments,
+	// with bypass bounded by 2 (§3, §9).
+	KindSegment
+)
+
+// BypassBound is the paper's per-waiter bypass guarantee for the kind:
+// while one thread waits, any single other thread may be admitted at
+// most this many times.
+func (k ModelKind) BypassBound() int {
+	if k == KindSegment {
+		return 2
+	}
+	return 1
+}
+
+// ModelKindFor maps a registry entry to its admission discipline by
+// family. The second result is false for families whose admission
+// order is unspecified (spin, futex, runtime locks are admission-
+// anarchic: whoever's CAS lands first wins).
+func ModelKindFor(e registry.Entry) (ModelKind, bool) {
+	switch e.Family {
+	case registry.FamilyReciprocating, registry.FamilySegment:
+		return KindSegment, true
+	case registry.FamilyQueue, registry.FamilyTicket:
+		return KindFIFO, true
+	default:
+		return 0, false
+	}
+}
+
+// admissionModel replays admission decisions for one event program.
+// arrive and release return the instance admitted by the event, or -1
+// when the event admits nobody (a queued arrival; a release that
+// leaves the lock free).
+type admissionModel interface {
+	arrive(inst int) int
+	release() int
+	holder() int
+	detaches() int
+}
+
+func newModel(kind ModelKind) admissionModel {
+	if kind == KindSegment {
+		return &segmentModel{hold: -1}
+	}
+	return &fifoModel{hold: -1}
+}
+
+// fifoModel admits strictly in arrival order.
+type fifoModel struct {
+	q    []int
+	hold int
+}
+
+func (m *fifoModel) arrive(inst int) int {
+	if m.hold < 0 {
+		m.hold = inst
+		return inst
+	}
+	m.q = append(m.q, inst)
+	return -1
+}
+
+func (m *fifoModel) release() int {
+	if len(m.q) == 0 {
+		m.hold = -1
+		return -1
+	}
+	m.hold = m.q[0]
+	m.q = m.q[1:]
+	return m.hold
+}
+
+func (m *fifoModel) holder() int   { return m.hold }
+func (m *fifoModel) detaches() int { return 0 }
+
+// segmentModel is the paper's two-list discipline (Listing 1 in ~15
+// lines): waiters accumulate on an arrival stack; when the entry
+// segment is empty a release detaches the stack, reversing it into the
+// new entry segment (newest arrival first), and admits its head.
+type segmentModel struct {
+	hold   int
+	entry  []int // detached segment, in admission order
+	stack  []int // arrivals since the last detach, oldest first
+	detach int
+}
+
+func (m *segmentModel) arrive(inst int) int {
+	if m.hold < 0 {
+		m.hold = inst
+		return inst
+	}
+	m.stack = append(m.stack, inst)
+	return -1
+}
+
+func (m *segmentModel) release() int {
+	if len(m.entry) > 0 {
+		m.hold = m.entry[0]
+		m.entry = m.entry[1:]
+		return m.hold
+	}
+	if len(m.stack) == 0 {
+		m.hold = -1
+		return -1
+	}
+	m.detach++
+	for i := len(m.stack) - 1; i >= 0; i-- {
+		m.entry = append(m.entry, m.stack[i])
+	}
+	m.stack = m.stack[:0]
+	m.hold = m.entry[0]
+	m.entry = m.entry[1:]
+	return m.hold
+}
+
+func (m *segmentModel) holder() int   { return m.hold }
+func (m *segmentModel) detaches() int { return m.detach }

@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// EventKind distinguishes program events.
+type EventKind uint8
+
+const (
+	// EvArrive starts one acquisition attempt: instance Inst calls
+	// Lock and either acquires immediately (lock free) or publishes
+	// itself and begins waiting.
+	EvArrive EventKind = iota
+	// EvRelease makes the current holder leave its critical section.
+	EvRelease
+)
+
+// Event is one step of an admission program. For EvArrive, Inst is the
+// arriving instance; for EvRelease it is the expected holder. Admits
+// is the instance the abstract model expects to be admitted by this
+// event, or -1 when the event admits nobody.
+type Event struct {
+	Kind   EventKind
+	Inst   int
+	Admits int
+}
+
+// Program is one deterministic admission schedule: a seeded sequence
+// of arrive/release events over Threads logical threads performing
+// Episodes acquisitions each, together with the abstract model's
+// expected admission order. Each acquisition attempt is a distinct
+// instance (numbered in arrival order); ThreadOf maps instances back
+// to logical threads for fairness/bypass metrics. A logical thread
+// never has two instances in flight at once, which requires the
+// generator to know who holds the lock at each release — that is why
+// the program is generated jointly with (and is specific to) one
+// admission ModelKind.
+type Program struct {
+	Seed      uint64
+	Kind      ModelKind
+	Threads   int
+	Episodes  int
+	Instances int
+	ThreadOf  []int
+	Events    []Event
+	// Expected is the model's admission order over instances; its
+	// length is always Instances.
+	Expected []int
+	// Detaches is the model's segment-detach count (0 for FIFO kinds).
+	Detaches int
+}
+
+// NewProgram generates the deterministic program for (seed, threads,
+// episodes, kind). The generator biases toward arrivals (~60%) so
+// queues build up and segment structure is exercised, and it keeps the
+// program well-formed: a release is only issued while the lock is
+// held, and the final events drain every outstanding holder.
+func NewProgram(seed uint64, threads, episodes int, kind ModelKind) Program {
+	if threads < 1 || episodes < 1 {
+		panic("conformance: NewProgram needs threads, episodes >= 1")
+	}
+	rng := xrand.NewXorShift64(seed)
+	m := newModel(kind)
+	p := Program{Seed: seed, Kind: kind, Threads: threads, Episodes: episodes}
+
+	remaining := make([]int, threads)
+	for t := range remaining {
+		remaining[t] = episodes
+	}
+	inflight := make([]bool, threads)
+	outstanding := 0
+
+	for {
+		var eligible []int
+		for t := 0; t < threads; t++ {
+			if remaining[t] > 0 && !inflight[t] {
+				eligible = append(eligible, t)
+			}
+		}
+		if len(eligible) == 0 && outstanding == 0 {
+			break
+		}
+		arrive := len(eligible) > 0 && (outstanding == 0 || rng.Intn(100) < 60)
+		if arrive {
+			t := eligible[rng.Intn(len(eligible))]
+			inst := len(p.ThreadOf)
+			p.ThreadOf = append(p.ThreadOf, t)
+			remaining[t]--
+			inflight[t] = true
+			outstanding++
+			adm := m.arrive(inst)
+			if adm >= 0 {
+				p.Expected = append(p.Expected, adm)
+			}
+			p.Events = append(p.Events, Event{Kind: EvArrive, Inst: inst, Admits: adm})
+		} else {
+			h := m.holder()
+			inflight[p.ThreadOf[h]] = false
+			outstanding--
+			adm := m.release()
+			if adm >= 0 {
+				p.Expected = append(p.Expected, adm)
+			}
+			p.Events = append(p.Events, Event{Kind: EvRelease, Inst: h, Admits: adm})
+		}
+	}
+	p.Instances = len(p.ThreadOf)
+	p.Detaches = m.detaches()
+	return p
+}
+
+// MaxBypass computes the paper's bypass metric over the program's
+// expected schedule: for each waiting interval (an instance's arrival
+// event to its admission event), the number of admissions of any
+// single other logical thread within the interval. The paper
+// guarantees ≤ 2 for the Reciprocating discipline and FIFO locks give
+// ≤ 1.
+func (p Program) MaxBypass() int {
+	// Event index at which each instance arrives and is admitted.
+	arriveAt := make([]int, p.Instances)
+	admitAt := make([]int, p.Instances)
+	for idx, ev := range p.Events {
+		if ev.Kind == EvArrive {
+			arriveAt[ev.Inst] = idx
+		}
+		if ev.Admits >= 0 {
+			admitAt[ev.Admits] = idx
+		}
+	}
+	max := 0
+	counts := make([]int, p.Threads)
+	for inst := 0; inst < p.Instances; inst++ {
+		for t := range counts {
+			counts[t] = 0
+		}
+		for idx := arriveAt[inst] + 1; idx <= admitAt[inst]; idx++ {
+			if a := p.Events[idx].Admits; a >= 0 && a != inst {
+				counts[p.ThreadOf[a]]++
+				if counts[p.ThreadOf[a]] > max {
+					max = counts[p.ThreadOf[a]]
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks the program's internal consistency (generator
+// self-test): every instance admitted exactly once, events balanced,
+// bypass within the kind's bound.
+func (p Program) Validate() error {
+	if len(p.Expected) != p.Instances {
+		return fmt.Errorf("%d admissions for %d instances", len(p.Expected), p.Instances)
+	}
+	seen := make([]bool, p.Instances)
+	for _, i := range p.Expected {
+		if i < 0 || i >= p.Instances || seen[i] {
+			return fmt.Errorf("admission order %v is not a permutation", p.Expected)
+		}
+		seen[i] = true
+	}
+	arr, rel := 0, 0
+	for _, ev := range p.Events {
+		if ev.Kind == EvArrive {
+			arr++
+		} else {
+			rel++
+		}
+	}
+	if arr != p.Instances || rel != p.Instances {
+		return fmt.Errorf("events unbalanced: %d arrivals, %d releases, %d instances", arr, rel, p.Instances)
+	}
+	if got, bound := p.MaxBypass(), p.Kind.BypassBound(); got > bound {
+		return fmt.Errorf("model bypass %d exceeds the discipline's bound %d", got, bound)
+	}
+	return nil
+}

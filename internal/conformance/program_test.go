@@ -1,0 +1,131 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The segment model is the paper's Listing-1 discipline in miniature;
+// pin it to a hand-traced schedule so generator bugs can't hide behind
+// a model bug that drifts in the same direction.
+//
+// Trace: 0 arrives (admitted), 1 and 2 arrive and stack up. The first
+// release finds the entry segment empty, detaches the stack — newest
+// first — into [2 1] and admits 2. 3 arrives mid-segment. The next
+// release admits 1 from the entry segment (3 keeps waiting: LIFO is
+// per-segment, not global). The third release detaches again for 3.
+func TestSegmentModelKnownSchedule(t *testing.T) {
+	m := &segmentModel{hold: -1}
+	steps := []struct {
+		admit int
+		do    func() int
+	}{
+		{0, func() int { return m.arrive(0) }},
+		{-1, func() int { return m.arrive(1) }},
+		{-1, func() int { return m.arrive(2) }},
+		{2, func() int { return m.release() }},
+		{-1, func() int { return m.arrive(3) }},
+		{1, func() int { return m.release() }},
+		{3, func() int { return m.release() }},
+		{-1, func() int { return m.release() }},
+	}
+	for i, s := range steps {
+		if got := s.do(); got != s.admit {
+			t.Fatalf("step %d: admitted %d, want %d", i, got, s.admit)
+		}
+	}
+	if m.detaches() != 2 {
+		t.Fatalf("detaches = %d, want 2 (one per release-with-empty-entry)", m.detaches())
+	}
+	if m.holder() != -1 {
+		t.Fatalf("holder = %d after final release, want -1", m.holder())
+	}
+}
+
+func TestFIFOModelKnownSchedule(t *testing.T) {
+	m := &fifoModel{hold: -1}
+	if m.arrive(0) != 0 || m.arrive(1) != -1 || m.arrive(2) != -1 {
+		t.Fatal("FIFO arrivals mis-admitted")
+	}
+	for i, want := range []int{1, 2, -1} {
+		if got := m.release(); got != want {
+			t.Fatalf("release %d admitted %d, want %d", i, got, want)
+		}
+	}
+	if m.detaches() != 0 {
+		t.Fatal("FIFO model reported detaches")
+	}
+}
+
+// The generator must produce self-consistent programs for every seed:
+// a valid admission permutation, balanced events, bypass within the
+// discipline's bound, deterministic regeneration, and never two
+// in-flight instances of one logical thread.
+func TestProgramGeneratorInvariants(t *testing.T) {
+	for _, kind := range []ModelKind{KindFIFO, KindSegment} {
+		for seed := uint64(1); seed <= 200; seed++ {
+			threads := 1 + int(seed%5)
+			episodes := 1 + int(seed%3)
+			p := NewProgram(seed, threads, episodes, kind)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("kind %v seed %d: %v", kind, seed, err)
+			}
+			if p.Instances != threads*episodes {
+				t.Fatalf("kind %v seed %d: %d instances, want %d", kind, seed, p.Instances, threads*episodes)
+			}
+			q := NewProgram(seed, threads, episodes, kind)
+			if !reflect.DeepEqual(p, q) {
+				t.Fatalf("kind %v seed %d: regeneration diverged", kind, seed)
+			}
+			inflight := make([]bool, threads)
+			for _, ev := range p.Events {
+				th := p.ThreadOf[ev.Inst]
+				switch ev.Kind {
+				case EvArrive:
+					if inflight[th] {
+						t.Fatalf("kind %v seed %d: thread %d has two instances in flight", kind, seed, th)
+					}
+					inflight[th] = true
+				case EvRelease:
+					inflight[th] = false
+				}
+			}
+		}
+	}
+}
+
+// FIFO programs must admit strictly in arrival order — the property the
+// differential checker leans on for ticket and queue locks.
+func TestFIFOProgramsAdmitInArrivalOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		p := NewProgram(seed, 4, 2, KindFIFO)
+		for i, inst := range p.Expected {
+			if inst != i {
+				t.Fatalf("seed %d: admission %d is instance %d; FIFO must admit in arrival order", seed, i, inst)
+			}
+		}
+		if p.Detaches != 0 {
+			t.Fatalf("seed %d: FIFO program recorded %d detaches", seed, p.Detaches)
+		}
+	}
+}
+
+// The paper's bypass bound of 2 for the Reciprocating discipline is
+// tight: some generated schedule must actually witness bypass 2, or the
+// metric (or the generator's contention bias) has gone soft.
+func TestSegmentBypassBoundIsTight(t *testing.T) {
+	witness := false
+	for seed := uint64(1); seed <= 300; seed++ {
+		p := NewProgram(seed, 4, 3, KindSegment)
+		b := p.MaxBypass()
+		if b > 2 {
+			t.Fatalf("seed %d: bypass %d exceeds the paper's bound 2", seed, b)
+		}
+		if b == 2 {
+			witness = true
+		}
+	}
+	if !witness {
+		t.Fatal("no schedule witnessed bypass 2 — the bound check is vacuous")
+	}
+}

@@ -1,0 +1,156 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/lockstat"
+	"repro/internal/waiter"
+)
+
+// eventTimeout bounds every wait in the real-side driver so a
+// divergence (a lock admitting the wrong waiter, or nobody) surfaces
+// as a diagnostic failure instead of a hang.
+const eventTimeout = 10 * time.Second
+
+// runReal drives a real lock through the program's event script and
+// checks its admission order against the model's expectation.
+//
+// The driver serializes all lock-state transitions, which makes an
+// otherwise racy real lock deterministic: each instance runs on its
+// own goroutine that acquires, reports admission, then blocks on a
+// per-instance release gate until the script releases it. Between
+// script events the lock's state is quiescent — the holder is parked
+// on its gate and every waiter is inside its lock's waiting loop.
+//
+// Two probes make the serialization sound:
+//
+//   - admission is observed through a lockstat.AdmissionLog (which
+//     doubles as a mutual-exclusion check) plus a buffered channel, so
+//     the driver knows exactly when a handoff completed;
+//   - a contended arrival is confirmed through a waiter.ArrivalProbe
+//     installed as the process sink just before the goroutine starts:
+//     every catalog lock publishes its arrival before first pausing,
+//     so the probe's first transition certifies the arrival is visible
+//     to the lock and the next event may be issued. (This is why the
+//     driver must not run in parallel with other sink users.)
+func runReal(l sync.Locker, p Program) error {
+	log := lockstat.NewAdmissionLog()
+	admitted := make(chan int, p.Instances)
+	unlocked := make(chan int, p.Instances)
+	rel := make([]chan struct{}, p.Instances)
+	defer waiter.SetSink(nil)
+
+	body := func(inst int) {
+		l.Lock()
+		log.Enter(inst)
+		admitted <- inst
+		<-rel[inst]
+		log.Exit(inst)
+		l.Unlock()
+		unlocked <- inst
+	}
+
+	recv := func(ch chan int, what string, evIdx int) (int, error) {
+		select {
+		case v := <-ch:
+			return v, nil
+		case <-time.After(eventTimeout):
+			return -1, fmt.Errorf("event %d: timed out waiting for %s (admissions so far %v)",
+				evIdx, what, log.Order())
+		}
+	}
+
+	started, drained := 0, 0
+	gateOpen := make([]bool, p.Instances)
+	// fail unblocks every started instance before reporting a
+	// divergence: with all release gates open the lock drains on its
+	// own, so no goroutine is left spinning in a waiting loop after the
+	// driver walks away. (The admission log keeps recording during the
+	// drain; it is no longer consulted.)
+	fail := func(err error) error {
+		for i := range rel {
+			if rel[i] != nil && !gateOpen[i] {
+				close(rel[i])
+				gateOpen[i] = true
+			}
+		}
+		for drained < started {
+			select {
+			case <-unlocked:
+				drained++
+			case <-time.After(eventTimeout):
+				return err
+			}
+		}
+		return err
+	}
+
+	outstanding := 0
+	holder := -1
+	for evIdx, ev := range p.Events {
+		switch ev.Kind {
+		case EvArrive:
+			inst := ev.Inst
+			rel[inst] = make(chan struct{})
+			probe := waiter.NewArrivalProbe(nil)
+			waiter.SetSink(probe)
+			go body(inst)
+			started++
+			if outstanding == 0 {
+				got, err := recv(admitted, fmt.Sprintf("admission of arriving %d", inst), evIdx)
+				if err != nil {
+					return fail(err)
+				}
+				if got != ev.Admits || got != inst {
+					return fail(fmt.Errorf("event %d: free-lock arrival admitted %d, want %d", evIdx, got, inst))
+				}
+				holder = got
+			} else {
+				// Held lock: wait only for the arrival to become
+				// visible (first waiting transition), not for
+				// admission.
+				select {
+				case <-probe.Published():
+				case <-time.After(eventTimeout):
+					return fail(fmt.Errorf("event %d: arrival %d never published (no waiting transition)", evIdx, inst))
+				}
+			}
+			outstanding++
+		case EvRelease:
+			if holder != ev.Inst {
+				return fail(fmt.Errorf("event %d: driver holder %d, script expects %d", evIdx, holder, ev.Inst))
+			}
+			close(rel[holder])
+			gateOpen[holder] = true
+			if _, err := recv(unlocked, fmt.Sprintf("unlock by %d", holder), evIdx); err != nil {
+				return fail(err)
+			}
+			drained++
+			outstanding--
+			if ev.Admits >= 0 {
+				got, err := recv(admitted, fmt.Sprintf("handoff admission of %d", ev.Admits), evIdx)
+				if err != nil {
+					return fail(err)
+				}
+				if got != ev.Admits {
+					return fail(fmt.Errorf("event %d: admitted %d after release, model expects %d (so far %v, expected %v)",
+						evIdx, got, ev.Admits, log.Order(), p.Expected))
+				}
+				holder = got
+			} else {
+				holder = -1
+			}
+		}
+	}
+
+	if err := log.Err(); err != nil {
+		return err
+	}
+	if got := log.Order(); !reflect.DeepEqual(got, p.Expected) {
+		return fmt.Errorf("admission order %v, model expects %v", got, p.Expected)
+	}
+	return nil
+}

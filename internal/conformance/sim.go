@@ -1,0 +1,112 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/coherence"
+	"repro/internal/simlocks"
+)
+
+// simMaxSteps bounds one sim-side program replay; a replay needs a few
+// hundred operations, so hitting this means the sim lock livelocked.
+const simMaxSteps = 1 << 21
+
+// runSim drives a simulated lock through the same event script as
+// runReal, one memory operation at a time via coherence.Stepper, and
+// checks the admission order recorded by Ctx.Admit against the model.
+//
+// Each instance is one simulated CPU whose body acquires, bumps a
+// guarded counter, parks on a per-instance release line (AwaitWrite —
+// no coherence traffic while held), and releases when the driver Pokes
+// the line. After every script event the driver steps all started
+// threads round-robin to quiescence, so the machine state between
+// events is deterministic and fully settled — the sim analog of
+// runReal's probe-confirmed serialization.
+//
+// It returns the sim lock's detach count when the algorithm exposes
+// one (sim Recipro), else -1.
+func runSim(mk simlocks.Factory, p Program) (int, error) {
+	sys := coherence.NewSystem(coherence.Config{CPUs: p.Instances})
+	lock := mk()
+	lock.Setup(sys, p.Instances)
+	counter := sys.Alloc("conformance.counter")
+	rel := make([]coherence.Addr, p.Instances)
+	for i := range rel {
+		rel[i] = sys.Alloc("conformance.rel")
+	}
+
+	bodies := make([]func(*coherence.Ctx), p.Instances)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(c *coherence.Ctx) {
+			lock.Acquire(c, i)
+			c.Admit()
+			v := c.Load(counter)
+			c.Store(counter, v+1)
+			c.AwaitWrite(rel[i], func(v uint64) bool { return v != 0 })
+			lock.Release(c, i)
+		}
+	}
+	st := coherence.NewStepper(sys, simMaxSteps, bodies)
+
+	started := make([]bool, p.Instances)
+	quiesce := func() {
+		for {
+			progress := false
+			for id := 0; id < p.Instances; id++ {
+				if started[id] && st.Runnable(id) {
+					st.Step(id)
+					progress = true
+				}
+			}
+			if !progress {
+				return
+			}
+		}
+	}
+
+	admitted := 0
+	for evIdx, ev := range p.Events {
+		switch ev.Kind {
+		case EvArrive:
+			started[ev.Inst] = true
+		case EvRelease:
+			st.Poke(rel[ev.Inst], 1)
+		}
+		quiesce()
+		adm := st.Admissions()
+		want := admitted
+		if ev.Admits >= 0 {
+			want++
+		}
+		if len(adm) != want {
+			return -1, fmt.Errorf("event %d (%v): %d admissions, want %d (order %v, expected %v)",
+				evIdx, ev, len(adm), want, adm, p.Expected)
+		}
+		if ev.Admits >= 0 && adm[len(adm)-1] != ev.Admits {
+			return -1, fmt.Errorf("event %d: sim admitted %d, model expects %d (order %v, expected %v)",
+				evIdx, adm[len(adm)-1], ev.Admits, adm, p.Expected)
+		}
+		admitted = want
+	}
+
+	for id := 0; id < p.Instances; id++ {
+		if !st.Finished(id) {
+			return -1, fmt.Errorf("instance %d never finished", id)
+		}
+	}
+	if got := sys.Peek(counter); got != uint64(p.Instances) {
+		return -1, fmt.Errorf("guarded counter = %d, want %d (sim mutual exclusion violated)", got, p.Instances)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		return -1, err
+	}
+	if got := st.Admissions(); !reflect.DeepEqual(got, p.Expected) {
+		return -1, fmt.Errorf("sim admission order %v, model expects %v", got, p.Expected)
+	}
+	if d, ok := lock.(interface{ Detaches() uint64 }); ok {
+		return int(d.Detaches()), nil
+	}
+	return -1, nil
+}

@@ -57,9 +57,15 @@ func (l *HemLock) Lock() {
 	l.self = n
 }
 
-// Unlock releases l.
+// Unlock releases l. Unlocking an unlocked HemLock panics: without
+// the guard the nil owner element would be pooled as a typed nil
+// (sync.Pool's nil check misses it) and poison a later acquisition —
+// of any HemLock instance — with a delayed nil dereference.
 func (l *HemLock) Unlock() {
 	n := l.self
+	if n == nil {
+		panic("locks: HemLock.Unlock of unlocked lock")
+	}
 	l.self = nil
 	if l.tail.Load() == n && l.tail.CompareAndSwap(n, nil) {
 		// Uncontended: constant-time release.

@@ -1,0 +1,83 @@
+package lockstat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AdmissionLog is the admission-order probe of the conformance
+// subsystem: critical sections bracket themselves with Enter/Exit and
+// the log records the order in which the lock admitted them while
+// simultaneously checking mutual exclusion — a second Enter before the
+// holder's Exit is recorded as a violation rather than a panic, so the
+// harness can report it with context.
+//
+// The log is safe for concurrent use; its own mutex orders the
+// bracketing calls, which is sound because callers invoke Enter
+// strictly after acquiring and Exit strictly before releasing the lock
+// under test.
+type AdmissionLog struct {
+	mu     sync.Mutex
+	order  []int
+	inside int
+	holder int
+	err    error
+}
+
+// NewAdmissionLog returns an empty log.
+func NewAdmissionLog() *AdmissionLog { return &AdmissionLog{holder: -1} }
+
+// Enter records admission of id (called immediately after acquiring).
+func (l *AdmissionLog) Enter(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inside != 0 && l.err == nil {
+		l.err = fmt.Errorf("mutual exclusion violated: %d entered while %d holds (admission %d)",
+			id, l.holder, len(l.order))
+	}
+	l.inside++
+	l.holder = id
+	l.order = append(l.order, id)
+}
+
+// Exit records release by id (called immediately before releasing).
+func (l *AdmissionLog) Exit(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if (l.inside != 1 || l.holder != id) && l.err == nil {
+		l.err = fmt.Errorf("unbalanced exit: %d exited with inside=%d holder=%d",
+			id, l.inside, l.holder)
+	}
+	l.inside--
+}
+
+// Order returns a copy of the admission order so far.
+func (l *AdmissionLog) Order() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.order...)
+}
+
+// Len reports the number of admissions so far.
+func (l *AdmissionLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// Last returns the most recently admitted id (-1 when empty).
+func (l *AdmissionLog) Last() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.order) == 0 {
+		return -1
+	}
+	return l.order[len(l.order)-1]
+}
+
+// Err returns the first bracketing violation observed, if any.
+func (l *AdmissionLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -1,0 +1,63 @@
+package lockstat
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAdmissionLogRecordsOrder(t *testing.T) {
+	l := NewAdmissionLog()
+	if l.Len() != 0 || l.Last() != -1 || l.Err() != nil {
+		t.Fatal("fresh log not empty")
+	}
+	for _, id := range []int{3, 1, 2, 1} {
+		l.Enter(id)
+		l.Exit(id)
+	}
+	if got := l.Order(); !reflect.DeepEqual(got, []int{3, 1, 2, 1}) {
+		t.Fatalf("order = %v", got)
+	}
+	if l.Len() != 4 || l.Last() != 1 {
+		t.Fatalf("len=%d last=%d", l.Len(), l.Last())
+	}
+	if l.Err() != nil {
+		t.Fatalf("balanced bracketing reported %v", l.Err())
+	}
+}
+
+// A second Enter before the holder's Exit is the mutual-exclusion
+// violation the log exists to catch; it must be recorded (first
+// violation wins) rather than panicking, and must identify the holder.
+func TestAdmissionLogDetectsOverlap(t *testing.T) {
+	l := NewAdmissionLog()
+	l.Enter(7)
+	l.Enter(9)
+	err := l.Err()
+	if err == nil {
+		t.Fatal("overlapping Enter not detected")
+	}
+	if !strings.Contains(err.Error(), "mutual exclusion") || !strings.Contains(err.Error(), "7") {
+		t.Fatalf("error %q does not identify the violation", err)
+	}
+	l.Exit(9)
+	l.Exit(7)
+	if got := l.Err(); got != err {
+		t.Fatalf("first violation must be sticky; got %v", got)
+	}
+}
+
+func TestAdmissionLogDetectsUnbalancedExit(t *testing.T) {
+	l := NewAdmissionLog()
+	l.Exit(4)
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "unbalanced exit") {
+		t.Fatalf("exit-without-enter reported %v", err)
+	}
+
+	l = NewAdmissionLog()
+	l.Enter(1)
+	l.Exit(2)
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "unbalanced exit") {
+		t.Fatalf("exit by a non-holder reported %v", err)
+	}
+}

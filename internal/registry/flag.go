@@ -69,8 +69,12 @@ func (f *LocksFlag) Resolve(list io.Writer) (entries []Entry, listed bool, err e
 // the output of "-locks list".
 func FprintCatalog(w io.Writer) {
 	t := table.New("Lock catalog — capability matrix",
-		"Lock", "Aliases", "Family", "Paper", "TryLock", "Bounded", "Park", "AllocFree", "Description")
+		"Lock", "Aliases", "Family", "Paper", "TryLock", "Bounded", "Park", "AllocFree", "SimTwin", "Description")
 	for _, e := range All() {
+		twin := e.SimTwin
+		if twin == "" {
+			twin = "-"
+		}
 		t.Add(e.Name,
 			strings.Join(e.Aliases, ","),
 			string(e.Family),
@@ -79,10 +83,12 @@ func FprintCatalog(w io.Writer) {
 			e.BoundedTier(),
 			yn(e.Caps.Has(CapPark)),
 			yn(e.Caps.Has(CapAllocFree)),
+			twin,
 			e.Doc)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "\nBounded: native = abandonable in-algorithm LockFor/LockCtx; polling = TryLock retry fallback (barges).")
+	fmt.Fprintln(w, "SimTwin: the internal/simlocks model checked against this lock by the differential conformance harness.")
 	fmt.Fprintln(w, "Select with -locks=<name,...|paper|all>; names and aliases are case-insensitive.")
 }
 

@@ -57,7 +57,7 @@ func TestLocksFlagList(t *testing.T) {
 			t.Errorf("list output missing entry %s", e.Name)
 		}
 	}
-	for _, h := range []string{"TryLock", "Bounded", "Park", "AllocFree", "Family", "Paper"} {
+	for _, h := range []string{"TryLock", "Bounded", "Park", "AllocFree", "Family", "Paper", "SimTwin"} {
 		if !strings.Contains(out, h) {
 			t.Errorf("list output missing column %s", h)
 		}
@@ -84,6 +84,12 @@ func TestDocsMatrixMatchesCatalog(t *testing.T) {
 		}
 		return "-"
 	}
+	twin := func(e Entry) string {
+		if e.SimTwin == "" {
+			return "-"
+		}
+		return e.SimTwin
+	}
 	var rows []string
 	for _, line := range strings.Split(doc[i+len(begin):j], "\n") {
 		line = strings.TrimSpace(line)
@@ -101,6 +107,7 @@ func TestDocsMatrixMatchesCatalog(t *testing.T) {
 			e.Name, string(e.Family), yn(e.Paper),
 			yn(e.Caps.Has(CapTryLock)), e.BoundedTier(),
 			yn(e.Caps.Has(CapPark)), yn(e.Caps.Has(CapAllocFree)),
+			twin(e),
 		}, " | ") + " |"
 		if rows[k] != want {
 			t.Errorf("ALGORITHMS.md matrix row %d:\n  doc:     %s\n  catalog: %s", k, rows[k], want)

@@ -1,0 +1,93 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseLocks drives arbitrary selection specs through the shared
+// -locks parsing path (LocksFlag.Set → Resolve → Select) and checks
+// its structural guarantees on every input:
+//
+//   - never panics, whatever bytes arrive (junk must produce an
+//     UnknownLockError, not a crash);
+//   - a successful selection is non-empty, duplicate-free, and every
+//     returned entry is a live catalog entry with a usable factory;
+//   - "list" (any case, surrounding space) always lists, never selects;
+//   - resolution is case-insensitive: a spec and its lower-cased form
+//     agree on success and on the selected names.
+func FuzzParseLocks(f *testing.F) {
+	seeds := []string{
+		"paper", "all", "list", " List ", "ALL",
+		"paper,all", "TKT,MCS,CLH", "tkt , mcs ,tkt", "recipro",
+		"Recipro-L2park", "mutex", ",,,", "", "paper,TKT",
+		"no-such-lock", "TKT;MCS", "all,паперъ", "\x00\xff", "TKT,",
+	}
+	for _, e := range All() {
+		seeds = append(seeds, e.Name)
+		seeds = append(seeds, e.Aliases...)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		lf := NewLocksFlag("paper")
+		if err := lf.Set(spec); err != nil {
+			t.Fatalf("Set(%q) = %v; Set defers validation and must not fail", spec, err)
+		}
+		var buf strings.Builder
+		entries, listed, err := lf.Resolve(&buf)
+		if listed {
+			if !strings.EqualFold(strings.TrimSpace(spec), "list") {
+				t.Fatalf("Resolve(%q) listed, but the spec is not 'list'", spec)
+			}
+			if entries != nil || err != nil || !strings.Contains(buf.String(), "Lock catalog") {
+				t.Fatalf("list mode: entries=%v err=%v output=%q", entries, err, buf.String())
+			}
+			return
+		}
+		if err != nil {
+			if entries != nil {
+				t.Fatalf("Resolve(%q) returned entries alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(entries) == 0 {
+			t.Fatalf("Resolve(%q) succeeded with zero entries", spec)
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			if seen[e.Name] {
+				t.Fatalf("Resolve(%q) returned %s twice", spec, e.Name)
+			}
+			seen[e.Name] = true
+			live, ok := Lookup(e.Name)
+			if !ok || live.Name != e.Name {
+				t.Fatalf("Resolve(%q) returned %q, which Lookup does not resolve", spec, e.Name)
+			}
+			if e.New == nil {
+				t.Fatalf("entry %s has a nil factory", e.Name)
+			}
+		}
+		// Case-insensitivity (only meaningful for valid UTF-8: ToLower
+		// replaces invalid bytes with the replacement rune).
+		if utf8.ValidString(spec) {
+			lower := NewLocksFlag("paper")
+			lower.Set(strings.ToLower(spec))
+			lentries, _, lerr := lower.Resolve(&buf)
+			if lerr != nil {
+				t.Fatalf("Resolve(%q) passed but its lower-case form failed: %v", spec, lerr)
+			}
+			if len(lentries) != len(entries) {
+				t.Fatalf("Resolve(%q) selected %d entries, lower-case form %d", spec, len(entries), len(lentries))
+			}
+			for i := range entries {
+				if entries[i].Name != lentries[i].Name {
+					t.Fatalf("Resolve(%q) order diverges from lower-case form at %d: %s vs %s",
+						spec, i, entries[i].Name, lentries[i].Name)
+				}
+			}
+		}
+	})
+}

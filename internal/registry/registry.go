@@ -56,6 +56,14 @@ const (
 	// CapAllocFree: the lock offers the explicit wait-element
 	// Acquire/Release API, allowing allocation-free critical sections.
 	CapAllocFree
+	// CapSimTwin: the entry declares a Track B twin — a deterministic
+	// internal/simlocks re-implementation of the same algorithm — in
+	// its SimTwin field, and the differential conformance checker
+	// (internal/conformance) verifies the two produce identical
+	// admission schedules. The pairing is a promise: CapSimTwin without
+	// a resolvable SimTwin name (or vice versa) fails the registry
+	// tests.
+	CapSimTwin
 )
 
 // Has reports whether c includes every bit of x.
@@ -73,6 +81,7 @@ func (c Capability) String() string {
 		{CapNativeBounded, "NativeBounded"},
 		{CapPark, "Park"},
 		{CapAllocFree, "AllocFree"},
+		{CapSimTwin, "SimTwin"},
 	} {
 		if c.Has(b.bit) {
 			parts = append(parts, b.name)
@@ -114,6 +123,13 @@ type Entry struct {
 	Caps Capability
 	// Doc is a one-line description for the catalog listing.
 	Doc string
+	// SimTwin names the internal/simlocks re-implementation of this
+	// algorithm (its Lock.Name), when one exists; set iff Caps has
+	// CapSimTwin. The name is a string rather than a factory so the
+	// catalog does not pull the coherence simulator into every binary
+	// that selects locks; internal/conformance resolves and enforces
+	// the pairing.
+	SimTwin string
 	// New constructs a fresh, unlocked instance.
 	New func() sync.Locker
 }
@@ -151,29 +167,29 @@ func catalog() []Entry {
 	return []Entry{
 		// --- Figure 1 legend set (paper order) ---
 		{Name: "TKT", Aliases: []string{"Ticket"}, Family: FamilyTicket, Paper: true,
-			Caps: CapTryLock | CapNativeBounded,
-			Doc:  "classic FIFO ticket lock",
-			New:  func() sync.Locker { return new(locks.TicketLock) }},
+			Caps: CapTryLock | CapNativeBounded | CapSimTwin, SimTwin: "TKT",
+			Doc: "classic FIFO ticket lock",
+			New: func() sync.Locker { return new(locks.TicketLock) }},
 		{Name: "MCS", Family: FamilyQueue, Paper: true,
-			Caps: CapTryLock | CapNativeBounded,
-			Doc:  "MCS queue lock, local spinning on own node",
-			New:  func() sync.Locker { return new(locks.MCSLock) }},
+			Caps: CapTryLock | CapNativeBounded | CapSimTwin, SimTwin: "MCS",
+			Doc: "MCS queue lock, local spinning on own node",
+			New: func() sync.Locker { return new(locks.MCSLock) }},
 		{Name: "CLH", Family: FamilyQueue, Paper: true,
-			Caps: CapTryLock | CapNativeBounded,
-			Doc:  "CLH queue lock, spins on predecessor's node",
-			New:  func() sync.Locker { return new(locks.CLHLock) }},
+			Caps: CapTryLock | CapNativeBounded | CapSimTwin, SimTwin: "CLH",
+			Doc: "CLH queue lock, spins on predecessor's node",
+			New: func() sync.Locker { return new(locks.CLHLock) }},
 		{Name: "TWA", Family: FamilyTicket, Paper: true,
-			Caps: CapTryLock,
-			Doc:  "ticket lock with waiting array",
-			New:  func() sync.Locker { return new(locks.TWALock) }},
+			Caps: CapTryLock | CapSimTwin, SimTwin: "TWA",
+			Doc: "ticket lock with waiting array",
+			New: func() sync.Locker { return new(locks.TWALock) }},
 		{Name: "HemLock", Family: FamilyQueue, Paper: true,
-			Caps: CapTryLock,
-			Doc:  "Hemisphere lock, one element per thread",
-			New:  func() sync.Locker { return new(locks.HemLock) }},
+			Caps: CapTryLock | CapSimTwin, SimTwin: "HemLock",
+			Doc: "Hemisphere lock, one element per thread",
+			New: func() sync.Locker { return new(locks.HemLock) }},
 		{Name: "Recipro", Aliases: []string{"Reciprocating", "L1"}, Family: FamilyReciprocating, Paper: true,
-			Caps: CapTryLock | CapNativeBounded | CapAllocFree,
-			Doc:  "canonical Reciprocating Lock (Listing 1)",
-			New:  func() sync.Locker { return new(core.Lock) }},
+			Caps: CapTryLock | CapNativeBounded | CapAllocFree | CapSimTwin, SimTwin: "Recipro",
+			Doc: "canonical Reciprocating Lock (Listing 1)",
+			New: func() sync.Locker { return new(core.Lock) }},
 
 		// --- extra baselines ---
 		{Name: "TAS", Family: FamilySpin,
@@ -185,13 +201,13 @@ func catalog() []Entry {
 			Doc:  "test-and-test-and-set spin lock",
 			New:  func() sync.Locker { return new(locks.TTASLock) }},
 		{Name: "ABQL", Aliases: []string{"Anderson"}, Family: FamilyQueue,
-			Caps: CapTryLock,
-			Doc:  "Anderson array-based queue lock (fixed capacity)",
-			New:  func() sync.Locker { return locks.NewABQL(DefaultABQLCapacity) }},
+			Caps: CapTryLock | CapSimTwin, SimTwin: "ABQL",
+			Doc: "Anderson array-based queue lock (fixed capacity)",
+			New: func() sync.Locker { return locks.NewABQL(DefaultABQLCapacity) }},
 		{Name: "Chen", Family: FamilySegment,
-			Caps: CapTryLock,
-			Doc:  "Chen & Huang segment lock, global spinning",
-			New:  func() sync.Locker { return new(locks.ChenLock) }},
+			Caps: CapTryLock | CapSimTwin, SimTwin: "Chen",
+			Doc: "Chen & Huang segment lock, global spinning",
+			New: func() sync.Locker { return new(locks.ChenLock) }},
 		{Name: "Retrograde", Family: FamilyTicket,
 			Caps: CapTryLock,
 			Doc:  "Listing 7 retrograde ticket lock",
@@ -203,9 +219,9 @@ func catalog() []Entry {
 
 		// --- Reciprocating variants ---
 		{Name: "Recipro-L2", Aliases: []string{"L2", "Simplified"}, Family: FamilyReciprocating,
-			Caps: CapTryLock | CapNativeBounded,
-			Doc:  "Listing 2, eos in the lock body",
-			New:  func() sync.Locker { return new(core.SimplifiedLock) }},
+			Caps: CapTryLock | CapNativeBounded | CapSimTwin, SimTwin: "Recipro-L2",
+			Doc: "Listing 2, eos in the lock body",
+			New: func() sync.Locker { return new(core.SimplifiedLock) }},
 		{Name: "Recipro-L3", Aliases: []string{"L3", "Relay"}, Family: FamilyReciprocating,
 			Caps: CapTryLock,
 			Doc:  "Listing 3, double-swap relay",
@@ -239,9 +255,9 @@ func catalog() []Entry {
 			Doc:  "§10 CTR (consume-the-grant) waiting discipline",
 			New:  func() sync.Locker { return new(core.CTRLock) }},
 		{Name: "Recipro-L2park", Aliases: []string{"L2park"}, Family: FamilyReciprocating,
-			Caps: CapTryLock | CapNativeBounded | CapPark,
-			Doc:  "Listing 2 with §8 futex parking",
-			New:  func() sync.Locker { return &core.SimplifiedLock{Park: true} }},
+			Caps: CapTryLock | CapNativeBounded | CapPark | CapSimTwin, SimTwin: "Recipro-L2",
+			Doc: "Listing 2 with §8 futex parking",
+			New: func() sync.Locker { return &core.SimplifiedLock{Park: true} }},
 
 		// --- real-world defaults for context ---
 		{Name: "GoMutex", Aliases: []string{"Mutex", "sync.Mutex"}, Family: FamilyRuntime,

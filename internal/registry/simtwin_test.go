@@ -1,0 +1,46 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/simlocks"
+)
+
+// The CapSimTwin capability must be an honest claim in both directions:
+// a declared twin name without the capability bit (or vice versa) would
+// silently drop the entry from the differential conformance tier, and a
+// twin name that no longer resolves in simlocks would turn the tier
+// into a hard failure. The paper-set queue/ticket locks and the two
+// Reciprocating variants with simulator models are required to stay in
+// the differential tier.
+func TestSimTwinClaims(t *testing.T) {
+	required := map[string]bool{
+		"Recipro": false, "Recipro-L2": false,
+		"CLH": false, "MCS": false, "TKT": false,
+	}
+	for _, e := range All() {
+		if e.Caps.Has(CapSimTwin) != (e.SimTwin != "") {
+			t.Errorf("%s: CapSimTwin=%v but SimTwin=%q — capability and field must agree",
+				e.Name, e.Caps.Has(CapSimTwin), e.SimTwin)
+		}
+		if e.SimTwin == "" {
+			continue
+		}
+		mk := simlocks.ByName(e.SimTwin)
+		if mk == nil {
+			t.Errorf("%s: sim twin %q does not resolve via simlocks.ByName", e.Name, e.SimTwin)
+			continue
+		}
+		if got := mk().Name(); got != e.SimTwin {
+			t.Errorf("%s: simlocks.ByName(%q) returned model %q", e.Name, e.SimTwin, got)
+		}
+		if _, ok := required[e.Name]; ok {
+			required[e.Name] = true
+		}
+	}
+	for name, seen := range required {
+		if !seen {
+			t.Errorf("%s must declare a sim twin (differential conformance floor)", name)
+		}
+	}
+}

@@ -48,13 +48,23 @@ func All() []Factory {
 }
 
 // ByName returns the factory whose lock has the given name, or nil.
+// All families are searched: the Table 1 set, the Reciprocating
+// variants, and the fairness variants.
 func ByName(name string) Factory {
-	for _, f := range All() {
+	for _, f := range Catalog() {
 		if f().Name() == name {
 			return f
 		}
 	}
 	return nil
+}
+
+// Catalog returns every simulated lock factory: the Table 1 set
+// followed by the Reciprocating variants and the fairness variants.
+func Catalog() []Factory {
+	out := All()
+	out = append(out, Variants()...)
+	return append(out, FairnessVariants()...)
 }
 
 // Names lists all simulated lock names.

@@ -1,0 +1,67 @@
+package waiter
+
+import "sync/atomic"
+
+// ArrivalProbe is a Sink that reports the first waiting transition of a
+// lock-acquisition episode and forwards every transition to an optional
+// inner sink. It exists for admission-schedule instrumentation: every
+// lock in this repository publishes its arrival (swap, fetch-add, or
+// queue link) before constructing a Waiter and pausing, so for a
+// contended acquisition the first transition observed by a
+// freshly-installed probe certifies "this goroutine's arrival is now
+// visible to the lock" — the fact a deterministic admission-schedule
+// driver needs before it may issue the next event.
+//
+// Install with SetSink immediately before starting the arriving
+// goroutine; the probe is picked up by the Waiter the goroutine
+// constructs after publishing itself. Waiters constructed earlier keep
+// the sink that was active at their construction, so concurrent older
+// waiters do not retrigger a new probe.
+type ArrivalProbe struct {
+	inner Sink
+	fired atomic.Bool
+	ch    chan struct{}
+}
+
+// NewArrivalProbe returns a probe forwarding to inner (which may be
+// nil).
+func NewArrivalProbe(inner Sink) *ArrivalProbe {
+	return &ArrivalProbe{inner: inner, ch: make(chan struct{})}
+}
+
+// Published returns a channel closed at the probe's first observed
+// transition.
+func (p *ArrivalProbe) Published() <-chan struct{} { return p.ch }
+
+// Fired reports whether any transition has been observed.
+func (p *ArrivalProbe) Fired() bool { return p.fired.Load() }
+
+func (p *ArrivalProbe) signal() {
+	if p.fired.CompareAndSwap(false, true) {
+		close(p.ch)
+	}
+}
+
+// CountSpin implements Sink.
+func (p *ArrivalProbe) CountSpin() {
+	p.signal()
+	if p.inner != nil {
+		p.inner.CountSpin()
+	}
+}
+
+// CountYield implements Sink.
+func (p *ArrivalProbe) CountYield() {
+	p.signal()
+	if p.inner != nil {
+		p.inner.CountYield()
+	}
+}
+
+// CountPark implements Sink.
+func (p *ArrivalProbe) CountPark() {
+	p.signal()
+	if p.inner != nil {
+		p.inner.CountPark()
+	}
+}
