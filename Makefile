@@ -9,6 +9,13 @@
 #   make race        — race tier: go vet + the full suite under -race
 #                      (includes the registry capability-claims tests)
 #   make bench       — the root benchmark suite (paper figures + ablations)
+#   make bench-json  — regenerate results/bench_baseline.json: a short
+#                      mutexbench sweep emitted in the versioned harness
+#                      JSON schema, the anchor cmd/benchdiff compares
+#                      future runs against
+#   make benchdiff-check — self-diff the committed baseline through
+#                      cmd/benchdiff (schema + comparator smoke; part of
+#                      make check)
 #   make chaos       — robustness tier: cancellation/bounded-acquisition
 #                      tests under -race, then a seeded fault-injected
 #                      torture run over every lock variant with the stall
@@ -26,15 +33,16 @@ GOFMT ?= gofmt
 CHAOS_SEED ?= 1
 CONF_SEED ?= 1
 FUZZTIME ?= 5s
+BENCH_BASELINE ?= results/bench_baseline.json
 
-.PHONY: all build check fmt-check test vet race bench chaos conformance fuzz-smoke
+.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance fuzz-smoke
 
 all: test
 
 build:
 	$(GO) build ./...
 
-check: fmt-check vet test conformance fuzz-smoke
+check: fmt-check vet test conformance fuzz-smoke benchdiff-check
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -51,6 +59,14 @@ race: vet
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+bench-json: build
+	@mkdir -p results
+	$(GO) run ./cmd/mutexbench -locks=paper -threads=1,2,4,8 -duration=100ms -runs=3 -json -out=$(BENCH_BASELINE)
+	$(GO) run ./cmd/benchdiff -check $(BENCH_BASELINE)
+
+benchdiff-check: build
+	$(GO) run ./cmd/benchdiff -check $(BENCH_BASELINE)
 
 chaos: build
 	$(GO) test -race -run 'TryLock|Bounded|Cancel|Abandon|Chaos|PauseBounded' ./internal/chaos ./internal/bounded ./internal/core ./internal/locks ./internal/waiter

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	atomicbench -mode=exchange|cas [-locks=paper|all|...|list]
-//	            [-duration=200ms] [-runs=3]
+//	            [-duration=200ms] [-runs=3] [-json] [-out=file]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/registry"
 )
 
@@ -22,9 +23,11 @@ func main() {
 	mode := flag.String("mode", "exchange", "operation: exchange (Fig 2a) or cas (Fig 2b)")
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
-	duration := flag.Duration("duration", 0, "measurement interval per configuration")
-	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
-	csv := flag.Bool("csv", false, "emit CSV")
+	bf := harness.Register(flag.CommandLine, harness.Spec{
+		Runs:      3,
+		NoThreads: true, // the Figure 2 sweep is fixed
+		NoSeed:    true,
+	})
 	flag.Parse()
 
 	lfs, listed, err := locksF.Resolve(os.Stdout)
@@ -45,11 +48,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown -mode; want exchange or cas")
 		os.Exit(2)
 	}
-	fmt.Println(experiments.TrackANote)
-	t := experiments.Fig2Locks(lfs, cas, *duration, *runs)
-	if *csv {
-		t.RenderCSV(os.Stdout)
+
+	res := experiments.Fig2Results(lfs, cas, bf.Duration, bf.Runs)
+
+	out, closeOut, err := bf.OutputFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeOut()
+
+	if bf.JSON {
+		if err := res.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	op := "exchange"
+	if cas {
+		op = "compare_exchange_strong"
+	}
+	fmt.Fprintln(out, experiments.TrackANote)
+	t := harness.MatrixTable(res,
+		fmt.Sprintf("Figure 2 (%s) — std::atomic<S> ops Mops/s (median of %d)", op, bf.Runs))
+	if bf.CSV {
+		t.RenderCSV(out)
 	} else {
-		t.Render(os.Stdout)
+		t.Render(out)
 	}
 }

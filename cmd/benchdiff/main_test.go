@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// fixture writes a mutexbench-shaped result whose single cell scores
+// score, returning the path.
+func fixture(t *testing.T, dir, name string, score float64) string {
+	t.Helper()
+	res := harness.NewResult("mutexbench", "A", 1)
+	sum := harness.Summarize([]float64{score, score, score})
+	res.Add(harness.Cell{
+		Lock: "TKT", Workload: "max", Threads: 4, Unit: "Mops/s",
+		Score: score, Runs: []float64{score, score, score}, Summary: &sum,
+	})
+	path := filepath.Join(dir, name)
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSelfCheckExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := fixture(t, dir, "base.json", 10)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-check", path}, &out, &errb); code != 0 {
+		t.Fatalf("self-check exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("self-check output: %s", out.String())
+	}
+}
+
+func TestInjectedRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	old := fixture(t, dir, "old.json", 10)
+	next := fixture(t, dir, "new.json", 5) // -50%, far past any gate
+	var out, errb bytes.Buffer
+	if code := run([]string{old, next}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; out: %s err: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report should flag the regression: %s", out.String())
+	}
+}
+
+func TestDirTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	fixture(t, dir, "001.json", 10)
+	fixture(t, dir, "002.json", 10.5)
+	fixture(t, dir, "003.json", 4) // regression at the last step
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errb); code != 1 {
+		t.Fatalf("trajectory exit = %d, want 1; err: %s", code, errb.String())
+	}
+	// Two consecutive diffs rendered.
+	if n := strings.Count(out.String(), "mutexbench: "); n != 2 {
+		t.Fatalf("rendered %d diffs, want 2: %s", n, out.String())
+	}
+}
+
+func TestUsageAndIOErrorsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"missing-a.json", "missing-b.json"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+	dir := t.TempDir()
+	if code := run([]string{"-dir", dir}, &out, &errb); code != 2 {
+		t.Fatalf("empty-dir exit = %d, want 2", code)
+	}
+}
+
+func TestCrossHarnessRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := fixture(t, dir, "a.json", 10)
+	res := harness.NewResult("kvbench", "A", 1)
+	res.Add(harness.Cell{Lock: "TKT", Workload: "max", Threads: 4, Unit: "Mops/s", Score: 10})
+	b := filepath.Join(dir, "b.json")
+	if err := res.WriteFile(b); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{a, b}, &out, &errb); code != 2 {
+		t.Fatalf("cross-harness exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "harness mismatch") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	fairness -mode=table2|longterm|mitigate|llc|retrograde|all
+//	fairness -mode=table2|longterm|mitigate|llc|bypass|tradeoff|latency|retrograde|all
+//	         [-duration=400ms] [-runs=1] [-json] [-out=file]
+//
+// -json emits the versioned harness Result schema and requires a
+// single -mode (a result file is one harness invocation).
 package main
 
 import (
@@ -15,55 +19,92 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 func main() {
 	mode := flag.String("mode", "all", "experiment: table2, longterm, mitigate, llc, bypass, tradeoff, latency, retrograde, all")
-	duration := flag.Duration("duration", 400*time.Millisecond, "Track A measurement interval (mitigate)")
+	bf := harness.Register(flag.CommandLine, harness.Spec{
+		Duration:  400 * time.Millisecond,
+		Runs:      1,
+		NoThreads: true, // each experiment fixes its own thread counts
+		NoSeed:    true, // simulator runs are seeded deterministically
+	})
 	flag.Parse()
+
+	results := map[string]func() *harness.Result{
+		"table2":     func() *harness.Result { return experiments.Table2Report(0, 0) },
+		"longterm":   func() *harness.Result { return experiments.LongTermFairnessResult(0, 0) },
+		"mitigate":   func() *harness.Result { return experiments.MitigationFairnessResult(bf.Duration, bf.Runs) },
+		"llc":        func() *harness.Result { return experiments.LLCResidencyResult(0) },
+		"bypass":     func() *harness.Result { return experiments.BypassBoundResult(0, 0) },
+		"tradeoff":   func() *harness.Result { return experiments.TradeoffResult(0, 0) },
+		"latency":    func() *harness.Result { return experiments.AcquireLatencyResult(0, 0) },
+		"retrograde": func() *harness.Result { return experiments.RetrogradeResult(0) },
+	}
+
+	out, closeOut, err := bf.OutputFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeOut()
+
+	if bf.JSON {
+		mk, ok := results[*mode]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-json needs a single -mode (one result file is one harness invocation)")
+			os.Exit(2)
+		}
+		if err := mk().WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	run := func(m string) bool { return *mode == m || *mode == "all" }
 	any := false
 	if run("table2") {
 		res, t := experiments.Table2(0, 0)
-		t.Render(os.Stdout)
-		fmt.Printf("\nsteady-state cycle: %v\n\n", res.Cycle)
+		t.Render(out)
+		fmt.Fprintf(out, "\nsteady-state cycle: %v\n\n", res.Cycle)
 		any = true
 	}
 	if run("longterm") {
-		experiments.LongTermFairnessSim(0, 0).Render(os.Stdout)
-		fmt.Println()
+		experiments.LongTermFairnessSim(0, 0).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("mitigate") {
-		fmt.Println(experiments.TrackANote)
-		experiments.MitigationFairness(*duration).Render(os.Stdout)
-		fmt.Println()
+		fmt.Fprintln(out, experiments.TrackANote)
+		experiments.MitigationFairness(bf.Duration).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("llc") {
-		experiments.LLCResidency(0).Render(os.Stdout)
-		fmt.Println()
+		experiments.LLCResidency(0).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("bypass") {
-		fmt.Println(experiments.TrackANote)
-		experiments.BypassBound(0, 0).Render(os.Stdout)
-		fmt.Println()
+		fmt.Fprintln(out, experiments.TrackANote)
+		experiments.BypassBound(0, 0).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("tradeoff") {
-		experiments.FairnessThroughputTradeoff(0, 0).Render(os.Stdout)
-		fmt.Println()
+		experiments.FairnessThroughputTradeoff(0, 0).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("latency") {
-		experiments.AcquireLatencyDistribution(0, 0).Render(os.Stdout)
-		fmt.Println()
+		experiments.AcquireLatencyDistribution(0, 0).Render(out)
+		fmt.Fprintln(out)
 		any = true
 	}
 	if run("retrograde") {
-		experiments.RetrogradeEquivalence(0).Render(os.Stdout)
+		experiments.RetrogradeEquivalence(0).Render(out)
 		any = true
 	}
 	if !any {

@@ -6,20 +6,23 @@
 // Usage:
 //
 //	kvbench [-mode=readrandom|readwhilewriting] [-locks=paper|all|...|list]
-//	        [-keys=50000] [-duration=300ms] [-runs=3]
+//	        [-keys=50000] [-duration=300ms] [-runs=3] [-threads=1,2,4]
+//	        [-json] [-out=file] [-lockstat]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/kvstore"
 	"repro/internal/lockstat"
+	"repro/internal/mutexbench"
 	"repro/internal/registry"
-	"repro/internal/stats"
 	"repro/internal/table"
 )
 
@@ -28,11 +31,11 @@ func main() {
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
 	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
-	duration := flag.Duration("duration", 0, "measurement interval")
-	runs := flag.Int("runs", 3, "runs per configuration (median reported)")
-	threads := flag.Int("threads", 4, "reader threads (readwhilewriting and -lockstat readrandom)")
-	csv := flag.Bool("csv", false, "emit CSV")
-	lockstatOn := flag.Bool("lockstat", false, "instrument the DB's central mutex and print per-lock telemetry")
+	bf := harness.Register(flag.CommandLine, harness.Spec{
+		Runs:    3,
+		Threads: "1,2,4,8,16,32",
+	})
+	lockstatOn := flag.Bool("lockstat", false, "instrument the DB's central mutex and attach per-lock telemetry to the report")
 	flag.Parse()
 
 	lfs, listed, err := locksF.Resolve(os.Stdout)
@@ -43,115 +46,121 @@ func main() {
 	if listed {
 		return
 	}
+	if *mode != "readrandom" && *mode != "readwhilewriting" {
+		fmt.Fprintln(os.Stderr, "unknown -mode; want readrandom or readwhilewriting")
+		os.Exit(2)
+	}
+	threads, err := bf.ThreadCounts()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := bf.Duration
+	if d <= 0 {
+		d = 300 * time.Millisecond
+	}
 
-	fmt.Println(experiments.TrackANote)
-	switch *mode {
-	case "readrandom":
+	res := harness.NewResult("kvbench", "A", bf.Seed)
+	res.SetConfig("mode", *mode)
+	res.SetConfig("keys", strconv.Itoa(*keys))
+	res.SetConfig("duration", d.String())
+	res.SetConfig("runs", strconv.Itoa(bf.Runs))
+
+	for _, lf := range lfs {
+		newLock := lf.New
+		var st *lockstat.Stats
 		if *lockstatOn {
-			readRandomLockstat(lfs, *duration, *keys, *runs, *threads, *csv)
-			return
-		}
-		t := experiments.Fig3Locks(lfs, *duration, *keys, *runs)
-		if *csv {
-			t.RenderCSV(os.Stdout)
-		} else {
-			t.Render(os.Stdout)
-		}
-	case "readwhilewriting":
-		d := *duration
-		if d <= 0 {
-			d = 300 * time.Millisecond
-		}
-		t := table.New(fmt.Sprintf("KV readwhilewriting — %d readers + 1 writer over %d keys", *threads, *keys),
-			"Lock", "Read Mops/s", "Write ops")
-		telemetry := make(map[string]lockstat.Snapshot)
-		var order []string
-		for _, lf := range lfs {
-			var st *lockstat.Stats
-			var opts []registry.Option
-			if *lockstatOn {
-				st = lockstat.New()
-				opts = append(opts, registry.WithStats(st))
-				lockstat.InstallWaiterSink(st)
-			}
-			mu, err := lf.Build(opts...)
+			st = lockstat.New()
+			fac, err := lf.Factory(registry.WithStats(st))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			db := kvstore.Open(kvstore.Options{Lock: mu, MemTableBytes: 256 << 10})
-			kvstore.FillSeq(db, *keys, 100)
-			res, wops := kvstore.ReadWhileWriting(db, kvstore.ReadRandomConfig{
-				Threads:  *threads,
+			newLock = fac
+			lockstat.InstallWaiterSink(st)
+		}
+		for _, tc := range threads {
+			cfg := kvstore.ReadRandomConfig{
+				Threads:  tc,
 				Keyspace: *keys,
 				Duration: d,
-			}, 100)
-			t.Add(lf.Name, table.F(res.Mops, 3), table.U(wops))
-			if st != nil {
-				lockstat.InstallWaiterSink(nil)
-				lockstat.Publish("lockstat.kv."+lf.Name, st)
-				telemetry[lf.Name] = st.Snapshot()
-				order = append(order, lf.Name)
+				Seed:     bf.Seed,
 			}
+			var m harness.Measurement
+			if *mode == "readrandom" {
+				m = experiments.KVReadRandomMeasure(lf, newLock, cfg, *keys, bf.Runs)
+			} else {
+				// Every run opens a fresh store; -runs is honored here
+				// too (it used to be silently ignored in this mode).
+				open := func(run harness.RunInfo) *kvstore.DB {
+					db := kvstore.Open(kvstore.Options{Lock: newLock(), MemTableBytes: 256 << 10})
+					kvstore.FillSeq(db, *keys, 100)
+					return db
+				}
+				w := kvstore.ReadWhileWritingWorkload(open, cfg, 100)
+				m = harness.Measure(w, harness.Config{
+					Threads:  tc,
+					Duration: d,
+					Warmup:   bf.Warmup,
+					Runs:     bf.Runs,
+					Seed:     bf.Seed,
+				})
+			}
+			res.Add(harness.CellFromMeasurement(lf.Name, *mode, mutexbench.Unit, m))
 		}
-		if *csv {
-			t.RenderCSV(os.Stdout)
-		} else {
-			t.Render(os.Stdout)
+		if st != nil {
+			lockstat.InstallWaiterSink(nil)
+			lockstat.Publish("lockstat.kv."+lf.Name, st)
+			if res.Lockstat == nil {
+				res.Lockstat = map[string]lockstat.Snapshot{}
+			}
+			res.Lockstat[lf.Name] = st.Snapshot()
 		}
-		if *lockstatOn {
-			fmt.Println()
-			lockstat.FprintReport(os.Stdout, "DB mutex telemetry (readwhilewriting)", order, telemetry, *csv)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -mode")
+	}
+
+	out, closeOut, err := bf.OutputFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-}
+	defer closeOut()
 
-// readRandomLockstat is the instrumented variant of the Figure 3 run:
-// the DBImpl mutex of each selected lock is wrapped with telemetry and
-// the readrandom workload is driven at one thread count, reporting
-// throughput alongside the mutex's contention profile.
-func readRandomLockstat(lfs []registry.Entry, dur time.Duration, keys, runs, threads int, csv bool) {
-	if dur <= 0 {
-		dur = 300 * time.Millisecond
-	}
-	t := table.New(fmt.Sprintf("KV readrandom T=%d over %d keys (median of %d) — instrumented mutex", threads, keys, runs),
-		"Lock", "Mops/s")
-	telemetry := make(map[string]lockstat.Snapshot)
-	var order []string
-	for _, lf := range lfs {
-		st := lockstat.New()
-		fac, err := lf.Factory(registry.WithStats(st))
-		if err != nil {
+	if bf.JSON {
+		if err := res.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		lockstat.InstallWaiterSink(st)
-		scores := make([]float64, 0, runs)
-		for r := 0; r < runs; r++ {
-			db := kvstore.Open(kvstore.Options{Lock: fac(), MemTableBytes: 256 << 10})
-			kvstore.FillSeq(db, keys, 100)
-			res := kvstore.ReadRandom(db, kvstore.ReadRandomConfig{
-				Threads:  threads,
-				Keyspace: keys,
-				Duration: dur,
-				Seed:     uint64(r),
-			})
-			scores = append(scores, res.Mops)
-		}
-		lockstat.InstallWaiterSink(nil)
-		lockstat.Publish("lockstat.kv."+lf.Name, st)
-		t.Add(lf.Name, table.F(stats.Median(scores), 3))
-		telemetry[lf.Name] = st.Snapshot()
-		order = append(order, lf.Name)
+		return
 	}
-	if csv {
-		t.RenderCSV(os.Stdout)
+
+	fmt.Fprintln(out, experiments.TrackANote)
+	if *mode == "readrandom" {
+		t := harness.MatrixTable(res,
+			fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", *keys, bf.Runs))
+		render(t, out, bf.CSV)
 	} else {
-		t.Render(os.Stdout)
+		t := table.New(fmt.Sprintf("KV readwhilewriting — readers + 1 writer over %d keys (median of %d)", *keys, bf.Runs),
+			"Lock", "Readers", "Read Mops/s", "Write ops")
+		for _, c := range res.Cells {
+			t.Add(c.Lock, table.I(int64(c.Threads)), table.F(c.Score, 3),
+				table.U(uint64(c.Extras["writer_ops"])))
+		}
+		render(t, out, bf.CSV)
 	}
-	fmt.Println()
-	lockstat.FprintReport(os.Stdout, "DB mutex telemetry (readrandom)", order, telemetry, csv)
+	if *lockstatOn {
+		fmt.Fprintln(out)
+		var order []string
+		for _, lf := range lfs {
+			order = append(order, lf.Name)
+		}
+		lockstat.FprintReport(out, fmt.Sprintf("DB mutex telemetry (%s)", *mode), order, res.Lockstat, bf.CSV)
+	}
+}
+
+func render(t *table.Table, out *os.File, csv bool) {
+	if csv {
+		t.RenderCSV(out)
+	} else {
+		t.Render(out)
+	}
 }

@@ -7,35 +7,34 @@
 //
 //	mutexbench -mode=max|moderate [-locks=TKT,MCS,...|paper|all|list]
 //	           [-threads=1,2,4] [-duration=300ms] [-runs=3] [-csv]
-//	           [-chaos] [-seed=1]
+//	           [-json] [-out=file] [-chaos] [-seed=1] [-lockstat]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/lockstat"
 	"repro/internal/mutexbench"
 	"repro/internal/registry"
-	"repro/internal/table"
 )
 
 func main() {
 	mode := flag.String("mode", "max", "contention mode: max or moderate")
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
-	threadList := flag.String("threads", "1,2,4,8,16,32", "comma-separated goroutine counts")
-	duration := flag.Duration("duration", 300*time.Millisecond, "measurement interval per configuration")
-	runs := flag.Int("runs", 3, "independent runs per configuration (median reported)")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	lockstatOn := flag.Bool("lockstat", false, "collect per-lock telemetry (counters + latency histograms) and print it after the throughput table")
-	seed := flag.Uint64("seed", 1, "seed for chaos fault injection")
+	bf := harness.Register(flag.CommandLine, harness.Spec{
+		Duration: 300 * time.Millisecond,
+		Runs:     3,
+		Threads:  "1,2,4,8,16,32",
+		Seed:     1,
+	})
+	lockstatOn := flag.Bool("lockstat", false, "collect per-lock telemetry (counters + latency histograms) and attach it to the report")
 	chaosOn := flag.Bool("chaos", false, "arm deterministic fault injection (internal/chaos); results then measure robustness, not clean throughput")
 	flag.Parse()
 
@@ -49,8 +48,8 @@ func main() {
 	}
 
 	if *chaosOn {
-		fmt.Printf("chaos fault injection armed (seed=%d) — throughput numbers are not comparable to clean runs\n", *seed)
-		chaos.Enable(chaos.DefaultConfig(*seed))
+		fmt.Fprintf(os.Stderr, "chaos fault injection armed (seed=%d) — throughput numbers are not comparable to clean runs\n", bf.Seed)
+		chaos.Enable(chaos.DefaultConfig(bf.Seed))
 		defer chaos.Disable()
 	}
 
@@ -62,28 +61,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	threads, err := parseInts(*threadList)
+	threads, err := bf.ThreadCounts()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Println(experiments.TrackANote)
-	headers := []string{"Lock"}
-	for _, tc := range threads {
-		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	cfg := mutexbench.Config{
+		Duration:    bf.Duration,
+		Warmup:      bf.Warmup,
+		CSSteps:     1,
+		NCSMaxSteps: ncs,
+		Runs:        bf.Runs,
+		Seed:        uint32(bf.Seed),
 	}
-	t := table.New(fmt.Sprintf("MutexBench (%s contention) — aggregate Mops/s, median of %d", *mode, *runs), headers...)
-	telemetry := make(map[string]lockstat.Snapshot)
+
+	// One Stats per lock algorithm, shared across every instance,
+	// thread count and run; the waiter sink is installed only while
+	// that lock is the one measured, so spin/yield/park attribution is
+	// exact. That forces a per-lock sweep instead of one SweepResult
+	// call, with the sub-results merged.
+	res := mutexbench.SweepResult(nil, nil, cfg)
+	res.Env = harness.CaptureEnv(bf.Seed)
+	res.SetConfig("mode", *mode)
 	var order []string
 	for _, lf := range lfs {
 		run := lf
 		var st *lockstat.Stats
 		if *lockstatOn {
-			// One Stats per lock algorithm, shared across every
-			// instance, thread count and run. The waiter sink is
-			// installed only while this lock is the one measured, so
-			// spin/yield/park attribution is exact.
 			st = lockstat.New()
 			fac, err := lf.Factory(registry.WithStats(st))
 			if err != nil {
@@ -93,46 +98,46 @@ func main() {
 			run.New = fac
 			lockstat.InstallWaiterSink(st)
 		}
-		row := []string{lf.Name}
-		for _, tc := range threads {
-			res := mutexbench.Run(run, mutexbench.Config{
-				Threads:     tc,
-				Duration:    *duration,
-				CSSteps:     1,
-				NCSMaxSteps: ncs,
-				Runs:        *runs,
-			})
-			row = append(row, table.F(res.Mops, 3))
-		}
-		t.Add(row...)
+		sub := mutexbench.SweepResult([]registry.Entry{run}, threads, cfg)
+		res.Cells = append(res.Cells, sub.Cells...)
 		if st != nil {
 			lockstat.InstallWaiterSink(nil)
 			lockstat.Publish("lockstat."+lf.Name, st)
-			telemetry[lf.Name] = st.Snapshot()
+			if res.Lockstat == nil {
+				res.Lockstat = map[string]lockstat.Snapshot{}
+			}
+			res.Lockstat[lf.Name] = st.Snapshot()
 			order = append(order, lf.Name)
 		}
 	}
-	if *csv {
-		t.RenderCSV(os.Stdout)
+
+	out, closeOut, err := bf.OutputFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeOut()
+
+	if bf.JSON {
+		if err := res.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	fmt.Fprintln(out, experiments.TrackANote)
+	t := harness.MatrixTable(res,
+		fmt.Sprintf("MutexBench (%s contention) — aggregate Mops/s, median of %d", *mode, bf.Runs))
+	if bf.CSV {
+		t.RenderCSV(out)
 	} else {
-		t.Render(os.Stdout)
+		t.Render(out)
 	}
 	if *lockstatOn {
-		fmt.Println()
-		lockstat.FprintReport(os.Stdout,
+		fmt.Fprintln(out)
+		lockstat.FprintReport(out,
 			fmt.Sprintf("Lock telemetry (%s contention, all thread counts pooled)", *mode),
-			order, telemetry, *csv)
+			order, res.Lockstat, bf.CSV)
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad thread count %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

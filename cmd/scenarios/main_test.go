@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// The -json mode must emit the shared versioned schema: three
+// informational cells (one per §4 scenario), round-trippable through
+// the version-checked decoder, with the sustained scenario carrying
+// its admission order.
+func TestScenarioCellsRoundTrip(t *testing.T) {
+	res := harness.NewResult("scenarios", "B", 0)
+	res.Add(uncontended(true))
+	res.Add(onset(true))
+	res.Add(sustained(true))
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := harness.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(back.Cells))
+	}
+	for _, c := range back.Cells {
+		if c.Extras["steps"] <= 0 {
+			t.Fatalf("cell %s has no steps", c.Key())
+		}
+	}
+	last := back.Cells[2]
+	if last.Workload != "sustained" || last.Notes["admission_order"] == "" {
+		t.Fatalf("sustained cell missing admission order: %+v", last)
+	}
+	if last.Extras["admissions"] != 15 { // 5 threads × 3 episodes
+		t.Fatalf("admissions = %v, want 15", last.Extras["admissions"])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/admission"
+	"repro/internal/harness"
 	"repro/internal/registry"
 	"repro/internal/table"
 )
@@ -49,14 +50,25 @@ func recordAdmissions(l sync.Locker, workers, iters int) []int {
 // queues form, so observed bypass is a lower bound for barging locks
 // and an upper-bound check for the bounded ones.
 func BypassBound(workers, iters int) *table.Table {
+	res := BypassBoundResult(workers, iters)
+	t := table.New("§2/§5 — empirical bypass bound (Track A)",
+		"Lock", "MaxBypass", "Guarantee")
+	for _, c := range res.Cells {
+		t.Add(c.Lock, table.I(int64(c.Extras["max_bypass"])), c.Notes["guarantee"])
+	}
+	return t
+}
+
+// BypassBoundResult is BypassBound in the versioned result schema:
+// informational cells whose "max_bypass" extra carries the observed
+// bound and whose notes restate the algorithmic guarantee.
+func BypassBoundResult(workers, iters int) *harness.Result {
 	if workers <= 0 {
 		workers = 6
 	}
 	if iters <= 0 {
 		iters = 4000
 	}
-	t := table.New("§2/§5 — empirical bypass bound (Track A)",
-		"Lock", "MaxBypass", "Guarantee")
 	set := []struct {
 		name      string
 		guarantee string
@@ -72,14 +84,20 @@ func BypassBound(workers, iters int) *table.Table {
 		{"FutexMutex", "unbounded (barging)"},
 		{"TAS", "unbounded (barging)"},
 	}
+	res := harness.NewResult("fairness", "A", 0)
 	for _, entry := range set {
 		lf, ok := registry.Lookup(entry.name)
 		if !ok {
 			continue
 		}
 		sched := recordAdmissions(lf.New(), workers, iters)
-		mb := admission.MaxBypass(sched, workers)
-		t.Add(entry.name, table.I(int64(mb)), entry.guarantee)
+		res.Add(harness.Cell{
+			Lock: entry.name, Workload: "bypass", Threads: workers,
+			Extras: map[string]float64{
+				"max_bypass": float64(admission.MaxBypass(sched, workers)),
+			},
+			Notes: map[string]string{"guarantee": entry.guarantee},
+		})
 	}
-	return t
+	return res
 }

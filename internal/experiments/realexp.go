@@ -3,16 +3,16 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/atomicstruct"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/kvstore"
 	"repro/internal/mutexbench"
 	"repro/internal/registry"
-	"repro/internal/stats"
 	"repro/internal/table"
 )
 
@@ -26,10 +26,11 @@ Contended numbers are scheduler-influenced; the coherence simulator
 // defaultThreads is the Track A sweep (goroutines, not processors).
 func defaultThreads() []int { return []int{1, 2, 4, 8, 16, 32} }
 
-// Fig1Real runs MutexBench (§7.1) for real: the Figure 1 lock set
-// across a goroutine sweep. moderate selects the Figure 1b non-
-// critical section (private MT19937 advanced uniform [0,250) steps).
-func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
+// Fig1RealResult runs MutexBench (§7.1) for real — the Figure 1 lock
+// set across a goroutine sweep — and emits the versioned result
+// schema. moderate selects the Figure 1b non-critical section
+// (private MT19937 advanced uniform [0,250) steps).
+func Fig1RealResult(moderate bool, dur time.Duration, runs int) *harness.Result {
 	if dur <= 0 {
 		dur = 300 * time.Millisecond
 	}
@@ -37,32 +38,29 @@ func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
 		runs = 3
 	}
 	ncs := 0
-	label := "max contention"
 	if moderate {
 		ncs = 250
+	}
+	return mutexbench.SweepResult(registry.Paper(), defaultThreads(), mutexbench.Config{
+		Duration:    dur,
+		CSSteps:     1,
+		NCSMaxSteps: ncs,
+		Runs:        runs,
+	})
+}
+
+// Fig1Real renders Fig1RealResult as the familiar matrix table.
+func Fig1Real(moderate bool, dur time.Duration, runs int) *table.Table {
+	if runs <= 0 {
+		runs = 3
+	}
+	label := "max contention"
+	if moderate {
 		label = "moderate contention"
 	}
-	threads := defaultThreads()
-	headers := []string{"Lock"}
-	for _, tc := range threads {
-		headers = append(headers, fmt.Sprintf("T=%d", tc))
-	}
-	t := table.New(fmt.Sprintf("Figure 1 (%s) — MutexBench aggregate Mops/s (median of %d)", label, runs), headers...)
-	for _, lf := range registry.Paper() {
-		row := []string{lf.Name}
-		for _, tc := range threads {
-			res := mutexbench.Run(lf, mutexbench.Config{
-				Threads:     tc,
-				Duration:    dur,
-				CSSteps:     1,
-				NCSMaxSteps: ncs,
-				Runs:        runs,
-			})
-			row = append(row, table.F(res.Mops, 3))
-		}
-		t.Add(row...)
-	}
-	return t
+	res := Fig1RealResult(moderate, dur, runs)
+	return harness.MatrixTable(res,
+		fmt.Sprintf("Figure 1 (%s) — MutexBench aggregate Mops/s (median of %d)", label, runs))
 }
 
 // Fig2 reproduces §7.2 over the Figure 1 lock set; Fig2Locks accepts
@@ -71,13 +69,73 @@ func Fig2(cas bool, dur time.Duration, runs int) *table.Table {
 	return Fig2Locks(registry.Paper(), cas, dur, runs)
 }
 
-// Fig2Locks reproduces §7.2: a shared lock-striped Atomic[S] hammered
-// by T threads with exchange (Figure 2a) or a load/modify/CAS-retry
-// loop (Figure 2b), for each selected lock.
-func Fig2Locks(lfs []registry.Entry, cas bool, dur time.Duration, runs int) *table.Table {
+// fig2Workload is the §7.2 kernel on the shared engine: a shared
+// lock-striped Atomic[S] hammered with exchange (Figure 2a) or a
+// load/modify/CAS-retry loop (Figure 2b).
+func fig2Workload(lf registry.Entry, cas bool) harness.Workload {
+	var shared *atomicstruct.Atomic[atomicstruct.S]
+	return &harness.WorkloadFunc{
+		SetupFn: func(run harness.RunInfo) {
+			stripe := atomicstruct.NewStripe(64, lf.New)
+			shared = atomicstruct.New[atomicstruct.S](stripe)
+		},
+		WorkerFn: func(id int) func() {
+			local := atomicstruct.S{A: int32(id)}
+			sh := shared
+			if cas {
+				// Figure 2b: load, bump first field, CAS-retry.
+				return func() {
+					cur := sh.Load()
+					for {
+						next := cur
+						next.A++
+						wit, ok := sh.CompareExchange(cur, next)
+						if ok {
+							break
+						}
+						cur = wit
+					}
+				}
+			}
+			// Figure 2a: swap local and shared.
+			return func() {
+				local = sh.Exchange(local)
+			}
+		},
+	}
+}
+
+// Fig2Results reproduces §7.2 for each selected lock, emitting the
+// versioned result schema (workload "exchange" or "cas").
+func Fig2Results(lfs []registry.Entry, cas bool, dur time.Duration, runs int) *harness.Result {
 	if dur <= 0 {
 		dur = 200 * time.Millisecond
 	}
+	if runs <= 0 {
+		runs = 3
+	}
+	workload := "exchange"
+	if cas {
+		workload = "cas"
+	}
+	res := harness.NewResult("atomicbench", "A", 0)
+	res.SetConfig("duration", dur.String())
+	res.SetConfig("runs", strconv.Itoa(runs))
+	for _, lf := range lfs {
+		for _, tc := range defaultThreads() {
+			m := harness.Measure(fig2Workload(lf, cas), harness.Config{
+				Threads:  tc,
+				Duration: dur,
+				Runs:     runs,
+			})
+			res.Add(harness.CellFromMeasurement(lf.Name, workload, mutexbench.Unit, m))
+		}
+	}
+	return res
+}
+
+// Fig2Locks renders Fig2Results as the familiar matrix table.
+func Fig2Locks(lfs []registry.Entry, cas bool, dur time.Duration, runs int) *table.Table {
 	if runs <= 0 {
 		runs = 3
 	}
@@ -85,71 +143,9 @@ func Fig2Locks(lfs []registry.Entry, cas bool, dur time.Duration, runs int) *tab
 	if cas {
 		op = "compare_exchange_strong"
 	}
-	threads := defaultThreads()
-	headers := []string{"Lock"}
-	for _, tc := range threads {
-		headers = append(headers, fmt.Sprintf("T=%d", tc))
-	}
-	t := table.New(fmt.Sprintf("Figure 2 (%s) — std::atomic<S> ops Mops/s (median of %d)", op, runs), headers...)
-	for _, lf := range lfs {
-		row := []string{lf.Name}
-		for _, tc := range threads {
-			scores := make([]float64, 0, runs)
-			for r := 0; r < runs; r++ {
-				scores = append(scores, fig2Once(lf, tc, cas, dur))
-			}
-			row = append(row, table.F(stats.Median(scores), 3))
-		}
-		t.Add(row...)
-	}
-	return t
-}
-
-func fig2Once(lf registry.Entry, threads int, cas bool, dur time.Duration) float64 {
-	stripe := atomicstruct.NewStripe(64, lf.New)
-	shared := atomicstruct.New[atomicstruct.S](stripe)
-	var stopFlag stopper
-	var done sync.WaitGroup
-	ops := make([]uint64, threads)
-	start := time.Now()
-	for t := 0; t < threads; t++ {
-		t := t
-		done.Add(1)
-		go func() {
-			defer done.Done()
-			local := atomicstruct.S{A: int32(t)}
-			var n uint64
-			for !stopFlag.stopped() {
-				if cas {
-					// Figure 2b: load, bump first field, CAS-retry.
-					cur := shared.Load()
-					for {
-						next := cur
-						next.A++
-						wit, ok := shared.CompareExchange(cur, next)
-						if ok {
-							break
-						}
-						cur = wit
-					}
-				} else {
-					// Figure 2a: swap local and shared.
-					local = shared.Exchange(local)
-				}
-				n++
-			}
-			ops[t] = n
-		}()
-	}
-	time.Sleep(dur)
-	stopFlag.stop()
-	done.Wait()
-	el := time.Since(start)
-	var total uint64
-	for _, v := range ops {
-		total += v
-	}
-	return float64(total) / el.Seconds() / 1e6
+	res := Fig2Results(lfs, cas, dur, runs)
+	return harness.MatrixTable(res,
+		fmt.Sprintf("Figure 2 (%s) — std::atomic<S> ops Mops/s (median of %d)", op, runs))
 }
 
 // Fig3 reproduces §7.3 over the Figure 1 lock set; Fig3Locks accepts
@@ -158,9 +154,11 @@ func Fig3(dur time.Duration, keys int, runs int) *table.Table {
 	return Fig3Locks(registry.Paper(), dur, keys, runs)
 }
 
-// Fig3Locks reproduces §7.3: readrandom over the LSM-lite store
-// guarded by each selected lock.
-func Fig3Locks(lfs []registry.Entry, dur time.Duration, keys int, runs int) *table.Table {
+// Fig3Results reproduces §7.3 — readrandom over the LSM-lite store
+// guarded by each selected lock — emitting the versioned result
+// schema. Each run opens and fills a fresh store, so runs are
+// independent as the paper's protocol requires.
+func Fig3Results(lfs []registry.Entry, dur time.Duration, keys int, runs int) *harness.Result {
 	if dur <= 0 {
 		dur = 300 * time.Millisecond
 	}
@@ -170,71 +168,123 @@ func Fig3Locks(lfs []registry.Entry, dur time.Duration, keys int, runs int) *tab
 	if runs <= 0 {
 		runs = 3
 	}
-	threads := defaultThreads()
-	headers := []string{"Lock"}
-	for _, tc := range threads {
-		headers = append(headers, fmt.Sprintf("T=%d", tc))
-	}
-	t := table.New(fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", keys, runs), headers...)
+	res := harness.NewResult("kvbench", "A", 0)
+	res.SetConfig("duration", dur.String())
+	res.SetConfig("keys", strconv.Itoa(keys))
+	res.SetConfig("runs", strconv.Itoa(runs))
 	for _, lf := range lfs {
-		row := []string{lf.Name}
-		for _, tc := range threads {
-			scores := make([]float64, 0, runs)
-			for r := 0; r < runs; r++ {
-				db := kvstore.Open(kvstore.Options{Lock: lf.New(), MemTableBytes: 256 << 10})
-				kvstore.FillSeq(db, keys, 100)
-				res := kvstore.ReadRandom(db, kvstore.ReadRandomConfig{
-					Threads:  tc,
-					Keyspace: keys,
-					Duration: dur,
-					Seed:     uint64(r),
-				})
-				scores = append(scores, res.Mops)
-			}
-			row = append(row, table.F(stats.Median(scores), 3))
+		for _, tc := range defaultThreads() {
+			m := KVReadRandomMeasure(lf, nil, kvstore.ReadRandomConfig{
+				Threads:  tc,
+				Keyspace: keys,
+				Duration: dur,
+			}, keys, runs)
+			res.Add(harness.CellFromMeasurement(lf.Name, "readrandom", mutexbench.Unit, m))
 		}
-		t.Add(row...)
 	}
-	return t
+	return res
 }
 
-// UncontendedLatency measures single-thread acquire+release latency
-// for every lock in the repository (the T=1 point of Figure 1, where
-// the paper reports Ticket fastest, then HemLock, Reciprocating, CLH,
-// MCS).
-func UncontendedLatency(iters int) *table.Table {
+// KVReadRandomMeasure drives the §7.3 readrandom workload for one
+// lock on the shared engine: every run opens a fresh store guarded by
+// a new lock instance (built by newLock when non-nil, else the
+// catalog constructor) and fills it with keys sequential keys.
+func KVReadRandomMeasure(lf registry.Entry, newLock func() sync.Locker, cfg kvstore.ReadRandomConfig, keys, runs int) harness.Measurement {
+	mk := newLock
+	if mk == nil {
+		mk = lf.New
+	}
+	open := func(run harness.RunInfo) *kvstore.DB {
+		db := kvstore.Open(kvstore.Options{Lock: mk(), MemTableBytes: 256 << 10})
+		kvstore.FillSeq(db, keys, 100)
+		return db
+	}
+	w := kvstore.ReadRandomWorkload(open, cfg)
+	return harness.Measure(w, harness.Config{
+		Threads:  cfg.Threads,
+		Duration: cfg.Duration,
+		Runs:     runs,
+		Seed:     cfg.Seed,
+	})
+}
+
+// Fig3Locks renders Fig3Results as the familiar matrix table.
+func Fig3Locks(lfs []registry.Entry, dur time.Duration, keys int, runs int) *table.Table {
+	if keys <= 0 {
+		keys = 50_000
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	res := Fig3Results(lfs, dur, keys, runs)
+	return harness.MatrixTable(res,
+		fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", keys, runs))
+}
+
+// UncontendedLatencyResult measures single-thread acquire+release
+// latency for every lock in the repository (the T=1 point of Figure 1,
+// where the paper reports Ticket fastest, then HemLock, Reciprocating,
+// CLH, MCS). Score is Mops/s (higher is better, like every cell);
+// the ns/op view the table shows is carried as an extra.
+func UncontendedLatencyResult(iters int) *harness.Result {
 	if iters <= 0 {
 		iters = 2_000_000
 	}
-	t := table.New("Uncontended latency — single-thread Lock+Unlock", "Lock", "ns/op")
+	res := harness.NewResult("mutexbench", "A", 0)
+	res.SetConfig("iters", strconv.Itoa(iters))
 	for _, lf := range registry.All() {
-		l := lf.New()
-		// Warmup.
-		for i := 0; i < 10_000; i++ {
-			l.Lock()
-			l.Unlock()
+		var l sync.Locker
+		w := &harness.WorkloadFunc{
+			SetupFn: func(run harness.RunInfo) {
+				l = lf.New()
+				// Warmup.
+				for i := 0; i < 10_000; i++ {
+					l.Lock()
+					l.Unlock()
+				}
+			},
+			WorkerFn: func(id int) func() {
+				lk := l
+				return func() {
+					lk.Lock()
+					lk.Unlock()
+				}
+			},
 		}
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			l.Lock()
-			l.Unlock()
+		m := harness.Measure(w, harness.Config{Threads: 1, Iterations: iters, Runs: 1})
+		c := harness.CellFromMeasurement(lf.Name, "uncontended", mutexbench.Unit, m)
+		out := m.MedianOutcome()
+		c.Extras = map[string]float64{
+			"ns_per_op": float64(out.Elapsed.Nanoseconds()) / float64(iters),
 		}
-		el := time.Since(start)
-		t.Add(lf.Name, table.F(float64(el.Nanoseconds())/float64(iters), 1))
+		res.Add(c)
+	}
+	return res
+}
+
+// UncontendedLatency renders UncontendedLatencyResult as ns/op.
+func UncontendedLatency(iters int) *table.Table {
+	res := UncontendedLatencyResult(iters)
+	t := table.New("Uncontended latency — single-thread Lock+Unlock", "Lock", "ns/op")
+	for _, c := range res.Cells {
+		t.Add(c.Lock, table.F(c.Extras["ns_per_op"], 1))
 	}
 	return t
 }
 
-// MitigationFairness contrasts long-term per-thread admission fairness
-// (§9.2, §9.4) across the plain Reciprocating lock, the Bernoulli-
-// deferral FairLock, the TwoLane formulation, the randomized
+// MitigationFairnessResult contrasts long-term per-thread admission
+// fairness (§9.2, §9.4) across the plain Reciprocating lock, the
+// Bernoulli-deferral FairLock, the TwoLane formulation, the randomized
 // retrograde ticket lock, and FIFO baselines, using real execution.
-func MitigationFairness(dur time.Duration) *table.Table {
+// Jain and disparity come from the median-defining run of each
+// measurement (the engine's invariant).
+func MitigationFairnessResult(dur time.Duration, runs int) *harness.Result {
 	if dur <= 0 {
 		dur = 400 * time.Millisecond
 	}
-	t := table.New("§9.4 mitigation — long-term admission fairness (8 goroutines, Track A)",
-		"Lock", "Jain", "Max/Min", "Mops")
+	if runs <= 0 {
+		runs = 1
+	}
 	// Catalog entries plus two parameterized FairLock variants that
 	// exist only for this ablation (and so are not catalog members);
 	// "Fair(1/16)" relabels the catalog's default-probability Fair.
@@ -247,14 +297,28 @@ func MitigationFairness(dur time.Duration) *table.Table {
 		fromCatalog("Retrograde"),
 		relabel(fromCatalog("TKT"), "TKT(FIFO)"),
 	}
+	res := harness.NewResult("fairness", "A", 0)
+	res.SetConfig("duration", dur.String())
+	res.SetConfig("runs", strconv.Itoa(runs))
 	for _, lf := range set {
-		res := mutexbench.Run(lf, mutexbench.Config{
+		m := mutexbench.Measure(lf, mutexbench.Config{
 			Threads:  8,
 			Duration: dur,
 			CSSteps:  1,
-			Runs:     1,
+			Runs:     runs,
 		})
-		t.Add(lf.Name, table.F(res.Jain, 4), table.F(res.Disparity, 2), table.F(res.Mops, 3))
+		res.Add(harness.CellFromMeasurement(lf.Name, "mitigate", mutexbench.Unit, m))
+	}
+	return res
+}
+
+// MitigationFairness renders MitigationFairnessResult.
+func MitigationFairness(dur time.Duration) *table.Table {
+	res := MitigationFairnessResult(dur, 1)
+	t := table.New("§9.4 mitigation — long-term admission fairness (8 goroutines, Track A)",
+		"Lock", "Jain", "Max/Min", "Mops")
+	for _, c := range res.Cells {
+		t.Add(c.Lock, table.F(c.Jain, 4), table.F(c.Disparity, 2), table.F(c.Score, 3))
 	}
 	return t
 }
@@ -274,11 +338,3 @@ func relabel(e registry.Entry, name string) registry.Entry {
 	e.Name = name
 	return e
 }
-
-// stopper is a tiny atomic stop flag.
-type stopper struct {
-	flag atomic.Bool
-}
-
-func (s *stopper) stop()         { s.flag.Store(true) }
-func (s *stopper) stopped() bool { return s.flag.Load() }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/kvstore"
+	"repro/internal/mutexbench"
+	"repro/internal/registry"
+)
+
+// Every harness family emits the same versioned Result schema; this
+// round-trips one small result per family through the JSON
+// encoder/decoder (which enforces the schema version), so a schema
+// change that breaks any harness's emission fails here, not in CI's
+// benchdiff step.
+func TestAllHarnessResultsRoundTrip(t *testing.T) {
+	lfs := registry.Paper()[:2]
+	d := 5 * time.Millisecond
+	families := map[string]func() *harness.Result{
+		"mutexbench": func() *harness.Result {
+			return mutexbench.SweepResult(lfs, []int{1, 2}, mutexbench.Config{
+				Iterations: 200, CSSteps: 1, Runs: 2,
+			})
+		},
+		"atomicbench": func() *harness.Result { return Fig2Results(lfs[:1], false, d, 1) },
+		"kvbench": func() *harness.Result {
+			res := harness.NewResult("kvbench", "A", 1)
+			m := KVReadRandomMeasure(lfs[0], nil, kvstore.ReadRandomConfig{
+				Threads: 2, Keyspace: 500, Duration: d,
+			}, 500, 1)
+			res.Add(harness.CellFromMeasurement(lfs[0].Name, "readrandom", mutexbench.Unit, m))
+			return res
+		},
+		"fairness-mitigate":   func() *harness.Result { return MitigationFairnessResult(d, 1) },
+		"fairness-longterm":   func() *harness.Result { return LongTermFairnessResult(3, 60) },
+		"fairness-llc":        func() *harness.Result { return LLCResidencyResult(3) },
+		"fairness-bypass":     func() *harness.Result { return BypassBoundResult(3, 200) },
+		"fairness-tradeoff":   func() *harness.Result { return TradeoffResult(3, 60) },
+		"fairness-latency":    func() *harness.Result { return AcquireLatencyResult(3, 60) },
+		"fairness-retrograde": func() *harness.Result { return RetrogradeResult(3) },
+		"cohsim-table2":       func() *harness.Result { return Table2Report(5, 60) },
+	}
+	for name, mk := range families {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			res := mk()
+			if res.Schema != harness.SchemaVersion {
+				t.Fatalf("schema = %d, want %d", res.Schema, harness.SchemaVersion)
+			}
+			if len(res.Cells) == 0 {
+				t.Fatal("no cells emitted")
+			}
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			back, err := harness.Decode(&buf)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if back.Harness != res.Harness || back.Track != res.Track {
+				t.Fatalf("identity lost: %q/%q vs %q/%q", back.Harness, back.Track, res.Harness, res.Track)
+			}
+			if len(back.Cells) != len(res.Cells) {
+				t.Fatalf("cells lost: %d vs %d", len(back.Cells), len(res.Cells))
+			}
+			for i, c := range back.Cells {
+				if c.Key() != res.Cells[i].Key() {
+					t.Fatalf("cell %d key %q vs %q", i, c.Key(), res.Cells[i].Key())
+				}
+			}
+		})
+	}
+}

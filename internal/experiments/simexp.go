@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/admission"
 	"repro/internal/coherence"
+	"repro/internal/harness"
 	"repro/internal/simlocks"
 	"repro/internal/table"
 )
@@ -127,32 +129,28 @@ func Fig1Threads(a Arch) []int {
 	return out
 }
 
-// Fig1Sim reproduces Figures 1a–1d on the simulator: aggregate modeled
-// throughput (episodes per kilocycle) per lock across a thread sweep.
+// Fig1SimResult reproduces Figures 1a–1d on the simulator: aggregate
+// modeled throughput (episodes per kilocycle) per lock across a thread
+// sweep, emitted in the versioned result schema (Track B, so real and
+// modeled curves stay diffable but are never silently compared).
 // moderate=false is maximal contention (empty non-critical section,
 // Figures 1a/1c); moderate=true draws non-critical work uniformly, the
 // Figures 1b/1d configuration.
-func Fig1Sim(a Arch, moderate bool, episodes int) *table.Table {
+func Fig1SimResult(a Arch, moderate bool, episodes int) *harness.Result {
 	if episodes <= 0 {
 		episodes = 200
 	}
-	label := "max contention"
+	workload := "max"
 	var ncs uint64
 	if moderate {
-		label = "moderate contention"
+		workload = "moderate"
 		ncs = 1000
 	}
-	threads := Fig1Threads(a)
-	headers := []string{"Lock"}
-	for _, tc := range threads {
-		headers = append(headers, fmt.Sprintf("T=%d", tc))
-	}
-	t := table.New(
-		fmt.Sprintf("Figure 1 (%s, %s) — modeled throughput, episodes/kcycle", a.Name, label),
-		headers...)
+	res := harness.NewResult("cohsim", "B", 1)
+	res.SetConfig("arch", a.Name)
+	res.SetConfig("episodes", strconv.Itoa(episodes))
 	for _, mk := range simlocks.All() {
-		row := []string{mk().Name()}
-		for _, tc := range threads {
+		for _, tc := range Fig1Threads(a) {
 			out := simlocks.Run(mk, simlocks.Config{
 				Threads:    tc,
 				Episodes:   episodes,
@@ -164,11 +162,30 @@ func Fig1Sim(a Arch, moderate bool, episodes int) *table.Table {
 				NodeCPUs:   a.NodeCPUs,
 				Seed:       1,
 			})
-			row = append(row, table.F(out.Throughput, 3))
+			res.Add(harness.Cell{
+				Lock:     out.Lock,
+				Workload: workload,
+				Threads:  tc,
+				Unit:     "eps/kcycle",
+				Score:    harness.Finite(out.Throughput),
+				Extras: map[string]float64{
+					"events_per_episode": harness.Finite(out.EventsPerEpisode),
+				},
+			})
 		}
-		t.Add(row...)
 	}
-	return t
+	return res
+}
+
+// Fig1Sim renders Fig1SimResult as the familiar matrix table.
+func Fig1Sim(a Arch, moderate bool, episodes int) *table.Table {
+	label := "max contention"
+	if moderate {
+		label = "moderate contention"
+	}
+	res := Fig1SimResult(a, moderate, episodes)
+	return harness.MatrixTable(res,
+		fmt.Sprintf("Figure 1 (%s, %s) — modeled throughput, episodes/kcycle", a.Name, label))
 }
 
 // middleWindow drops the first and last quarter of a schedule,
@@ -342,4 +359,35 @@ func Table2(threads, episodes int) (Table2Result, *table.Table) {
 	t.Add("per-cycle admission disparity", table.F(res.Disparity, 2), "2.00 (§9.2 bound)")
 	t.Add("max bypass observed", table.I(int64(res.MaxBypass)), "<=2 (bounded bypass)")
 	return res, t
+}
+
+// Table2Report converts the §9.1 reproduction into the versioned
+// result schema: one informational cell whose extras carry the cycle
+// period, per-cycle disparity, bypass bound, and palindromicity
+// (1=true), with the detected cycle itself in the notes.
+func Table2Report(threads, episodes int) *harness.Result {
+	if threads <= 0 {
+		threads = 5
+	}
+	t2, _ := Table2(threads, episodes)
+	res := harness.NewResult("cohsim", "B", 1)
+	c := harness.Cell{
+		Lock: "Recipro", Workload: "table2", Threads: threads,
+		Extras: map[string]float64{
+			"cycle_period": float64(len(t2.Cycle)),
+			"disparity":    harness.Finite(t2.Disparity),
+			"max_bypass":   float64(t2.MaxBypass),
+			"palindromic":  b2f(t2.Palindromic),
+		},
+		Notes: map[string]string{"cycle": fmt.Sprintf("%v", t2.Cycle)},
+	}
+	res.Add(c)
+	return res
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

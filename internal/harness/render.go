@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// MatrixTable renders a result's cells as the familiar lock × thread
+// matrix (rows in first-seen lock order, columns in first-seen thread
+// order) — the text twin of the JSON emission, so -json and the
+// default table always agree because both read the same cells.
+func MatrixTable(r *Result, title string) *table.Table {
+	var locks []string
+	var threads []int
+	seenLock := map[string]bool{}
+	seenT := map[int]bool{}
+	score := map[string]float64{}
+	for _, c := range r.Cells {
+		if !seenLock[c.Lock] {
+			seenLock[c.Lock] = true
+			locks = append(locks, c.Lock)
+		}
+		if !seenT[c.Threads] {
+			seenT[c.Threads] = true
+			threads = append(threads, c.Threads)
+		}
+		score[fmt.Sprintf("%s|%d", c.Lock, c.Threads)] = c.Score
+	}
+	headers := []string{"Lock"}
+	for _, tc := range threads {
+		headers = append(headers, fmt.Sprintf("T=%d", tc))
+	}
+	t := table.New(title, headers...)
+	for _, l := range locks {
+		row := []string{l}
+		for _, tc := range threads {
+			if v, ok := score[fmt.Sprintf("%s|%d", l, tc)]; ok {
+				row = append(row, table.F(v, 3))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	r := NewResult("mutexbench", "A", 9)
+	r.SetConfig("mode", "max")
+	sum := Summarize([]float64{1, 2, 3})
+	r.Add(Cell{
+		Lock: "Recipro", Workload: "max", Threads: 4, Unit: "Mops/s",
+		Score: 2, Runs: []float64{1, 2, 3}, Summary: &sum,
+		Jain: 0.97, Disparity: 1.4, PerWorker: []uint64{10, 11, 9, 10},
+		Extras: map[string]float64{"hits": 5},
+	})
+	r.Add(Cell{Lock: "TKT", Workload: "max", Threads: 4, Unit: "Mops/s", Score: 1.5})
+	return r
+}
+
+// The shared round-trip test: what every harness emits must decode
+// back identically through the version-checked decoder.
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Schema != SchemaVersion || got.Harness != "mutexbench" || got.Track != "A" {
+		t.Fatalf("identity fields lost: %+v", got)
+	}
+	if got.Config["mode"] != "max" {
+		t.Fatalf("config lost: %v", got.Config)
+	}
+	if len(got.Cells) != 2 {
+		t.Fatalf("cells = %d", len(got.Cells))
+	}
+	c := got.Cells[0]
+	if c.Lock != "Recipro" || c.Score != 2 || c.Summary == nil || c.Summary.Median != 2 {
+		t.Fatalf("cell lost fields: %+v", c)
+	}
+	if c.Extras["hits"] != 5 || len(c.PerWorker) != 4 || len(c.Runs) != 3 {
+		t.Fatalf("cell payload lost: %+v", c)
+	}
+	if got.Env.GOMAXPROCS <= 0 || got.Env.GoVersion == "" || got.Env.Seed != 9 {
+		t.Fatalf("env lost: %+v", got.Env)
+	}
+}
+
+// Future (or past) schema versions must fail loudly at decode time,
+// never silently misparse.
+func TestDecodeRejectsWrongSchemaVersion(t *testing.T) {
+	cases := []string{
+		`{"schema": 2, "harness": "mutexbench", "env": {}, "cells": []}`,
+		`{"schema": 0, "harness": "mutexbench", "env": {}, "cells": []}`,
+		`{"harness": "mutexbench", "env": {}, "cells": []}`, // missing version
+	}
+	for i, in := range cases {
+		_, err := Decode(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("case %d: wrong-version document decoded without error", i)
+		}
+		if !strings.Contains(err.Error(), "schema version") {
+			t.Fatalf("case %d: unhelpful error %v", i, err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	path := t.TempDir() + "/r.json"
+	r := sampleResult()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Cells) != 2 {
+		t.Fatalf("cells = %d", len(got.Cells))
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	c := Cell{Lock: "MCS", Workload: "readrandom", Threads: 8}
+	if c.Key() != "readrandom|MCS|T=8" {
+		t.Fatalf("key = %q", c.Key())
+	}
+}
+
+func TestMatrixTable(t *testing.T) {
+	r := sampleResult()
+	r.Add(Cell{Lock: "Recipro", Workload: "max", Threads: 8, Unit: "Mops/s", Score: 3.25})
+	tab := MatrixTable(r, "title")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	s := tab.String()
+	for _, want := range []string{"T=4", "T=8", "Recipro", "TKT", "3.250"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	// TKT has no T=8 cell: rendered as a hole, not dropped.
+	if !strings.Contains(s, "-") {
+		t.Fatalf("missing-cell hole not rendered:\n%s", s)
+	}
+}

@@ -3,9 +3,10 @@ package kvstore
 import (
 	"encoding/binary"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/harness"
+	"repro/internal/pad"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -52,102 +53,168 @@ type ReadRandomResult struct {
 	Elapsed   time.Duration
 }
 
-// ReadWhileWriting mirrors db_bench's readwhilewriting workload: the
-// configured reader threads run the readrandom loop while one
-// dedicated writer continuously overwrites random keys. The writer
-// rate is reported alongside; this leans on the central mutex from
-// both sides, including the freeze/compaction paths.
-func ReadWhileWriting(db *DB, cfg ReadRandomConfig, valueSize int) (ReadRandomResult, uint64) {
-	var writerOps uint64
-	stopW := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		rng := xrand.NewXorShift64(cfg.Seed | 1)
-		val := make([]byte, valueSize)
-		for {
-			select {
-			case <-stopW:
-				return
-			default:
-			}
-			db.Put(Key(uint64(rng.Intn(cfg.Keyspace))), val)
-			writerOps++
-		}
-	}()
-	res := ReadRandom(db, cfg)
-	close(stopW)
-	wg.Wait()
-	return res, writerOps
+// ReadWhileWritingWorkload mirrors db_bench's readwhilewriting
+// workload on the shared engine: the engine's workers run the
+// readrandom loop while one dedicated writer goroutine (started in
+// Setup, joined in Teardown) continuously overwrites random keys.
+// The writer tally is exported as the "writer_ops" extra; this leans
+// on the central mutex from both sides, including the
+// freeze/compaction paths.
+func ReadWhileWritingWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRandomConfig, valueSize int) harness.Workload {
+	var (
+		db        *DB
+		writerOps uint64
+		stopW     chan struct{}
+		wg        sync.WaitGroup
+	)
+	keyspace := cfg.Keyspace
+	if keyspace <= 0 {
+		keyspace = 1
+	}
+	var reads harness.Workload
+	return &harness.WorkloadFunc{
+		SetupFn: func(run harness.RunInfo) {
+			reads = ReadRandomWorkload(func(harness.RunInfo) *DB { return db }, cfg)
+			db = openDB(run)
+			reads.Setup(run)
+			writerOps = 0
+			stopW = make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := xrand.NewXorShift64(run.Seed | 1)
+				val := make([]byte, valueSize)
+				for {
+					select {
+					case <-stopW:
+						return
+					default:
+					}
+					db.Put(Key(uint64(rng.Intn(keyspace))), val)
+					writerOps++
+				}
+			}()
+		},
+		WorkerFn: func(id int) func() { return reads.Worker(id) },
+		TeardownFn: func() {
+			close(stopW)
+			wg.Wait()
+			reads.Teardown()
+		},
+		ExtrasFn: func() map[string]float64 {
+			extras := reads.(harness.ExtraMetrics).Extras()
+			extras["writer_ops"] = float64(writerOps)
+			return extras
+		},
+	}
 }
 
-// ReadRandom runs T reader threads, each looping: generate a random
-// key, read it from the database (db_bench --benchmarks=readrandom
-// with a fixed duration, as modified in §7.3).
-func ReadRandom(db *DB, cfg ReadRandomConfig) ReadRandomResult {
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
-	if cfg.Keyspace <= 0 {
-		cfg.Keyspace = 1
-	}
-	perThread := make([]uint64, cfg.Threads)
-	var hits atomic.Uint64
-	var stop atomic.Bool
+// ReadWhileWriting runs one readwhilewriting pass over db, returning
+// the reader result and the writer's operation tally.
+func ReadWhileWriting(db *DB, cfg ReadRandomConfig, valueSize int) (ReadRandomResult, uint64) {
+	w := ReadWhileWritingWorkload(func(harness.RunInfo) *DB { return db }, cfg, valueSize)
+	m := harness.Measure(w, engineConfig(cfg))
+	res := resultFromMeasurement(m)
+	return res, uint64(m.MedianOutcome().Extras["writer_ops"])
+}
 
-	var begin, done sync.WaitGroup
-	begin.Add(1)
-	start := time.Now()
-	for t := 0; t < cfg.Threads; t++ {
-		t := t
-		done.Add(1)
-		go func() {
-			defer done.Done()
-			rng := xrand.NewXorShift64(uint64(t)*0x9e3779b97f4a7c15 + cfg.Seed + 1)
-			var ops, myHits uint64
-			begin.Wait()
-			for {
-				if cfg.OpsPerThread > 0 && ops >= uint64(cfg.OpsPerThread) {
-					break
+// hitCounter is a sector-padded per-worker hit tally (the harness
+// engine owns the op counters; hits are workload-specific).
+type hitCounter struct {
+	n uint64
+	_ [pad.SectorSize - 8]byte
+}
+
+// ReadRandomWorkload adapts the §7.3 readrandom loop to the shared
+// benchmark engine. openDB is called once per run and must return a
+// freshly populated store; pass a closure returning the same *DB to
+// reuse one store across runs (the single-run ReadRandom entry point
+// does exactly that).
+func ReadRandomWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRandomConfig) harness.Workload {
+	var (
+		db   *DB
+		seed uint64
+		hits []hitCounter
+	)
+	keyspace := cfg.Keyspace
+	if keyspace <= 0 {
+		keyspace = 1
+	}
+	return &harness.WorkloadFunc{
+		SetupFn: func(run harness.RunInfo) {
+			db = openDB(run)
+			seed = run.Seed
+			hits = make([]hitCounter, run.Threads)
+		},
+		WorkerFn: func(id int) func() {
+			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + seed + 1)
+			d, h := db, &hits[id]
+			return func() {
+				k := Key(uint64(rng.Intn(keyspace)))
+				if _, ok := d.Get(k); ok {
+					h.n++
 				}
-				if cfg.OpsPerThread == 0 && stop.Load() {
-					break
-				}
-				k := Key(uint64(rng.Intn(cfg.Keyspace)))
-				if _, ok := db.Get(k); ok {
-					myHits++
-				}
-				ops++
 			}
-			perThread[t] = ops
-			hits.Add(myHits)
-		}()
+		},
+		ExtrasFn: func() map[string]float64 {
+			var total uint64
+			for i := range hits {
+				total += hits[i].n
+			}
+			return map[string]float64{"hits": float64(total)}
+		},
 	}
-	begin.Done()
-	if cfg.OpsPerThread == 0 {
-		d := cfg.Duration
-		if d <= 0 {
-			d = time.Second
-		}
-		time.Sleep(d)
-		stop.Store(true)
-	}
-	done.Wait()
-	el := time.Since(start)
+}
 
+// engineConfig maps the readrandom config onto the shared engine. The
+// legacy 1s default duration is preserved.
+func engineConfig(cfg ReadRandomConfig) harness.Config {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	d := cfg.Duration
+	if cfg.OpsPerThread == 0 && d <= 0 {
+		d = time.Second
+	}
+	if cfg.OpsPerThread > 0 {
+		d = 0
+	}
+	return harness.Config{
+		Threads:    threads,
+		Duration:   d,
+		Iterations: cfg.OpsPerThread,
+		Runs:       1,
+		Seed:       cfg.Seed,
+	}
+}
+
+// resultFromMeasurement converts the median-defining run of m into the
+// package's result type.
+func resultFromMeasurement(m harness.Measurement) ReadRandomResult {
+	sel := m.MedianOutcome()
 	var total uint64
-	perF := make([]float64, cfg.Threads)
-	for i, v := range perThread {
+	perF := make([]float64, len(sel.PerWorker))
+	for i, v := range sel.PerWorker {
 		total += v
 		perF[i] = float64(v)
 	}
 	return ReadRandomResult{
 		Ops:       total,
-		Mops:      float64(total) / el.Seconds() / 1e6,
-		Hits:      hits.Load(),
-		PerThread: perThread,
+		Mops:      m.Median,
+		Hits:      uint64(sel.Extras["hits"]),
+		PerThread: sel.PerWorker,
 		Jain:      stats.JainIndex(perF),
-		Elapsed:   el,
+		Elapsed:   sel.Elapsed,
 	}
+}
+
+// ReadRandom runs T reader threads over db, each looping: generate a
+// random key, read it from the database
+// (db_bench --benchmarks=readrandom with a fixed duration, as
+// modified in §7.3). One run on the shared engine; multi-run median
+// selection belongs to callers driving Measure directly.
+func ReadRandom(db *DB, cfg ReadRandomConfig) ReadRandomResult {
+	w := ReadRandomWorkload(func(harness.RunInfo) *DB { return db }, cfg)
+	return resultFromMeasurement(harness.Measure(w, engineConfig(cfg)))
 }

@@ -4,14 +4,14 @@
 // completed iterations. The critical section advances a shared MT19937
 // generator one step; the moderate-contention variant's non-critical
 // section draws a uniform value in [0, 250) from a private MT19937 and
-// advances that private generator that many steps, with the final
-// generator outputs consumed so the work cannot be optimized away.
+// advances that private generator that many steps, with the generator
+// state retained across operations so the work cannot be optimized
+// away.
 //
-// The harness runs each configuration several times and reports the
-// median, as the paper does (median of 7).
-//
-// Locks are selected from the repository-wide catalog
-// (internal/registry); this package owns only the workload.
+// This package owns only the workload; the run loop — phases, repeated
+// runs, median-of-N selection, per-worker padded counters — is the
+// shared engine in internal/harness, and locks are selected from the
+// repository-wide catalog (internal/registry).
 //
 // Caveat recorded in EXPERIMENTS.md: under a single-processor Go
 // scheduler, contended results measure scheduling efficiency as much
@@ -21,15 +21,17 @@
 package mutexbench
 
 import (
-	"math"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/registry"
-	"repro/internal/stats"
 	"repro/internal/xrand"
 )
+
+// Unit is the primary metric unit this workload reports.
+const Unit = "Mops/s"
 
 // Config shapes one benchmark run.
 type Config struct {
@@ -38,6 +40,9 @@ type Config struct {
 	// per thread bounds the run instead (deterministic, test-friendly).
 	Duration   time.Duration
 	Iterations int
+	// Warmup runs the workload unmeasured before each measurement
+	// interval (duration mode only).
+	Warmup time.Duration
 	// CSSteps is how many steps the critical section advances the
 	// shared PRNG (the paper uses 1).
 	CSSteps int
@@ -63,124 +68,76 @@ type Result struct {
 	Elapsed   time.Duration // wall time of the median-defining run
 }
 
-// oneRun is the raw outcome of a single run.
-type oneRun struct {
-	mops float64
-	per  []uint64
-	el   time.Duration
+// engineConfig maps cfg onto the shared engine.
+func engineConfig(cfg Config) harness.Config {
+	return harness.Config{
+		Threads:    cfg.Threads,
+		Duration:   cfg.Duration,
+		Iterations: cfg.Iterations,
+		Warmup:     cfg.Warmup,
+		Runs:       cfg.Runs,
+		Seed:       uint64(cfg.Seed),
+	}
+}
+
+// Workload returns the §7.1 MutexBench kernel over one catalog entry
+// as a harness workload: each run instantiates a fresh lock and a
+// fresh shared generator; each worker captures a private generator.
+func Workload(lf registry.Entry, cfg Config) harness.Workload {
+	var (
+		l      sync.Locker
+		shared *xrand.MT19937
+		seed   uint32
+	)
+	return &harness.WorkloadFunc{
+		SetupFn: func(run harness.RunInfo) {
+			seed = uint32(run.Seed)
+			l = lf.New()
+			shared = xrand.NewMT19937Seeded(12345 + seed)
+		},
+		WorkerFn: func(id int) func() {
+			private := xrand.NewMT19937Seeded(uint32(id)*2654435761 + seed + 1)
+			lk, sh := l, shared
+			cs, ncs := cfg.CSSteps, cfg.NCSMaxSteps
+			return func() {
+				lk.Lock()
+				for s := 0; s < cs; s++ {
+					sh.Uint32()
+				}
+				lk.Unlock()
+				if ncs > 0 {
+					n := int(private.Uint32n(uint32(ncs)))
+					private.Skip(n)
+				}
+			}
+		},
+	}
+}
+
+// Measure runs cfg against one catalog entry on the shared engine and
+// returns the raw measurement (all runs plus the median-defining run
+// index).
+func Measure(lf registry.Entry, cfg Config) harness.Measurement {
+	return harness.Measure(Workload(lf, cfg), engineConfig(cfg))
 }
 
 // Run executes cfg against one catalog entry and returns the median
 // result. The per-thread vector (and the fairness statistics derived
-// from it) comes from the median-defining run: the run whose score is
-// the median, or — for even run counts, where the median averages the
-// two middle scores — the run whose score is nearest it.
+// from it) comes from the median-defining run — the engine's
+// invariant, pinned by tests there.
 func Run(lf registry.Entry, cfg Config) Result {
-	runs := cfg.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	scores := make([]float64, 0, runs)
-	outs := make([]oneRun, 0, runs)
-	for r := 0; r < runs; r++ {
-		mops, per, el := runOnce(lf, cfg, uint32(r)+cfg.Seed)
-		scores = append(scores, mops)
-		outs = append(outs, oneRun{mops: mops, per: per, el: el})
-	}
-	med := stats.Median(scores)
-	sel := outs[medianIndex(scores, med)]
-	perF := make([]float64, len(sel.per))
-	counts := make([]int64, len(sel.per))
-	for i, v := range sel.per {
-		perF[i] = float64(v)
-		counts[i] = int64(v)
-	}
+	m := Measure(lf, cfg)
+	sel := m.MedianOutcome()
 	return Result{
 		Name:      lf.Name,
 		Threads:   cfg.Threads,
-		Mops:      med,
-		AllRuns:   scores,
-		PerThread: sel.per,
-		Jain:      stats.JainIndex(perF),
-		Disparity: stats.DisparityRatio(counts),
-		Elapsed:   sel.el,
+		Mops:      m.Median,
+		AllRuns:   m.Scores,
+		PerThread: sel.PerWorker,
+		Jain:      m.Jain(),
+		Disparity: m.Disparity(),
+		Elapsed:   sel.Elapsed,
 	}
-}
-
-// medianIndex returns the index of the run whose score is closest to
-// med (exactly the median run for odd run counts; ties keep the
-// earliest run).
-func medianIndex(scores []float64, med float64) int {
-	best := 0
-	for i, s := range scores {
-		if math.Abs(s-med) < math.Abs(scores[best]-med) {
-			best = i
-		}
-	}
-	return best
-}
-
-func runOnce(lf registry.Entry, cfg Config, seed uint32) (float64, []uint64, time.Duration) {
-	l := lf.New()
-	shared := xrand.NewMT19937Seeded(12345 + seed)
-	perThread := make([]uint64, cfg.Threads)
-	var stop atomic.Bool
-	var sink atomic.Uint32
-
-	var begin, done sync.WaitGroup
-	begin.Add(1)
-	start := time.Now()
-	for t := 0; t < cfg.Threads; t++ {
-		t := t
-		done.Add(1)
-		go func() {
-			defer done.Done()
-			private := xrand.NewMT19937Seeded(uint32(t)*2654435761 + seed + 1)
-			var ops uint64
-			begin.Wait()
-			for {
-				if cfg.Iterations > 0 && ops >= uint64(cfg.Iterations) {
-					break
-				}
-				if cfg.Iterations == 0 && stop.Load() {
-					break
-				}
-				l.Lock()
-				for s := 0; s < cfg.CSSteps; s++ {
-					shared.Uint32()
-				}
-				l.Unlock()
-				if cfg.NCSMaxSteps > 0 {
-					n := int(private.Uint32n(uint32(cfg.NCSMaxSteps)))
-					private.Skip(n)
-				}
-				ops++
-			}
-			// Consume the private generator so the NCS work cannot
-			// be elided.
-			sink.Add(private.Uint32())
-			perThread[t] = ops
-		}()
-	}
-	begin.Done()
-	if cfg.Iterations == 0 {
-		d := cfg.Duration
-		if d <= 0 {
-			d = time.Second
-		}
-		time.Sleep(d)
-		stop.Store(true)
-	}
-	done.Wait()
-	el := time.Since(start)
-	_ = sink.Load()
-
-	total := uint64(0)
-	for _, v := range perThread {
-		total += v
-	}
-	mops := float64(total) / el.Seconds() / 1e6
-	return mops, perThread, el
 }
 
 // Sweep runs cfg across the given thread counts for every entry.
@@ -194,4 +151,27 @@ func Sweep(lfs []registry.Entry, threadCounts []int, cfg Config) []Result {
 		}
 	}
 	return out
+}
+
+// SweepResult runs the sweep and renders it directly as the versioned
+// harness result schema (workload "max" or "moderate" by NCS).
+func SweepResult(lfs []registry.Entry, threadCounts []int, cfg Config) *harness.Result {
+	workload := "max"
+	if cfg.NCSMaxSteps > 0 {
+		workload = "moderate"
+	}
+	res := harness.NewResult("mutexbench", "A", uint64(cfg.Seed))
+	res.SetConfig("duration", cfg.Duration.String())
+	res.SetConfig("runs", strconv.Itoa(cfg.Runs))
+	res.SetConfig("cs_steps", strconv.Itoa(cfg.CSSteps))
+	res.SetConfig("ncs_max_steps", strconv.Itoa(cfg.NCSMaxSteps))
+	for _, lf := range lfs {
+		for _, tc := range threadCounts {
+			c := cfg
+			c.Threads = tc
+			m := Measure(lf, c)
+			res.Add(harness.CellFromMeasurement(lf.Name, workload, Unit, m))
+		}
+	}
+	return res
 }

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Percentile clamps out-of-range ranks: anything at or below 0 is the
+// minimum, anything at or past 100 the maximum — callers passing a
+// computed rank (e.g. 100*(1-1/n)) must not fall off either end.
+func TestPercentileClampsOutOfRangeRanks(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	for _, p := range []float64{-10, -0.001, 0} {
+		if got := Percentile(xs, p); got != 1 {
+			t.Errorf("Percentile(%v) = %v, want min 1", p, got)
+		}
+	}
+	for _, p := range []float64{100, 100.001, 150} {
+		if got := Percentile(xs, p); got != 9 {
+			t.Errorf("Percentile(%v) = %v, want max 9", p, got)
+		}
+	}
+	// Single-element input: every rank, in-range or not, is that element.
+	for _, p := range []float64{-5, 0, 37, 100, 200} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, want 7", p, got)
+		}
+	}
+}
+
+// A NaN sample behaves per sort.Float64s: NaNs order below every real
+// value, so one NaN shifts the order statistics like a -Inf sample
+// would, rather than poisoning the median. Mean, by contrast,
+// propagates NaN arithmetically. Both behaviors are relied on by the
+// harness (scores are finite by construction; a NaN would signal a
+// driver bug and should surface loudly in Mean/StdDev summaries).
+func TestNaNSampleBehavior(t *testing.T) {
+	nan := math.NaN()
+	// Sorted view: [NaN, 2, 4, 6] — even length, median (2+4)/2.
+	if got := Median([]float64{2, nan, 4, 6}); got != 3 {
+		t.Errorf("Median with NaN sample = %v, want 3 (NaN sorts below reals)", got)
+	}
+	// Odd length with NaN landing at the middle index is impossible
+	// (NaN sorts first), so only an all-NaN input yields a NaN median.
+	if got := Median([]float64{nan}); !math.IsNaN(got) {
+		t.Errorf("Median([NaN]) = %v, want NaN", got)
+	}
+	if got := Mean([]float64{1, nan, 3}); !math.IsNaN(got) {
+		t.Errorf("Mean with NaN sample = %v, want NaN (arithmetic propagation)", got)
+	}
+	if got := StdDev([]float64{1, nan, 3}); !math.IsNaN(got) {
+		t.Errorf("StdDev with NaN sample = %v, want NaN", got)
+	}
+}
+
+// Jain's index over an all-zero admission vector is defined as 1
+// (perfectly fair: everyone got equally nothing), never 0/0 = NaN —
+// the harness hits this for zero-duration or instantly-stopped runs.
+func TestJainAllZeroAdmissions(t *testing.T) {
+	if got := JainIndex([]float64{0, 0, 0, 0}); got != 1 {
+		t.Errorf("JainIndex(all-zero) = %v, want 1", got)
+	}
+	if got := DisparityRatio([]int64{0, 0, 0}); got != 1 {
+		t.Errorf("DisparityRatio(all-zero) = %v, want 1", got)
+	}
+}
