@@ -10,9 +10,11 @@
 #                      (includes the registry capability-claims tests)
 #   make bench       — the root benchmark suite (paper figures + ablations)
 #   make bench-json  — regenerate results/bench_baseline.json: a short
-#                      mutexbench sweep emitted in the versioned harness
-#                      JSON schema, the anchor cmd/benchdiff compares
-#                      future runs against
+#                      mutexbench sweep plus a sharded kvbench sweep
+#                      (shard count × lock matrix), each emitted in the
+#                      versioned harness JSON schema and merged with
+#                      benchdiff -merge into the single anchor file
+#                      cmd/benchdiff compares future runs against
 #   make benchdiff-check — self-diff the committed baseline through
 #                      cmd/benchdiff (schema + comparator smoke; part of
 #                      make check)
@@ -25,8 +27,8 @@
 #                      every catalog lock (cmd/conformance)
 #   make fuzz-smoke  — a short fuzz pass (FUZZTIME each) over every fuzz
 #                      target: the registry -locks parser, the admission
-#                      cycle detector, and the kvstore differential +
-#                      skiplist targets
+#                      cycle detector, and the kvstore differential,
+#                      sharded-batch differential + skiplist targets
 
 GO ?= go
 GOFMT ?= gofmt
@@ -62,7 +64,10 @@ bench:
 
 bench-json: build
 	@mkdir -p results
-	$(GO) run ./cmd/mutexbench -locks=paper -threads=1,2,4,8 -duration=100ms -runs=3 -json -out=$(BENCH_BASELINE)
+	$(GO) run ./cmd/mutexbench -locks=paper -threads=1,2,4,8 -duration=100ms -runs=3 -json -out=results/.mutexbench.part.json
+	$(GO) run ./cmd/kvbench -mode=readrandom -locks=Recipro,MCS,GoMutex -shards=1,4 -threads=1,2,4 -keys=20000 -duration=80ms -runs=3 -json -out=results/.kvbench.part.json
+	$(GO) run ./cmd/benchdiff -merge -name=suite -out=$(BENCH_BASELINE) results/.mutexbench.part.json results/.kvbench.part.json
+	rm -f results/.mutexbench.part.json results/.kvbench.part.json
 	$(GO) run ./cmd/benchdiff -check $(BENCH_BASELINE)
 
 benchdiff-check: build
@@ -79,4 +84,5 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz='^FuzzParseLocks$$' -fuzztime=$(FUZZTIME) ./internal/registry
 	$(GO) test -run '^$$' -fuzz='^FuzzFindCycle$$' -fuzztime=$(FUZZTIME) ./internal/admission
 	$(GO) test -run '^$$' -fuzz='^FuzzDBAgainstMap$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz='^FuzzShardedBatch$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzSkipListOrdering$$' -fuzztime=$(FUZZTIME) ./internal/kvstore

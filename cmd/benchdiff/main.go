@@ -15,6 +15,15 @@
 //	                                timestamp-named) order
 //	benchdiff -check file.json      self-diff smoke test: a file must
 //	                                compare clean against itself
+//	benchdiff -merge -out=baseline.json a.json b.json ...
+//	                                combine several harness results
+//	                                (same track, disjoint cells) into
+//	                                one baseline under the merged
+//	                                harness name (-name, default
+//	                                "suite") — the only sanctioned way
+//	                                a baseline spans harness commands,
+//	                                since plain diffs refuse
+//	                                cross-harness comparisons
 //
 // Exit status: 0 no regressions, 1 at least one regression flagged,
 // 2 usage or I/O error (including schema-version mismatches and
@@ -44,12 +53,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noiseMult := fs.Float64("noise-mult", def.NoiseMult, "noise widening: gate = max(threshold, noise-mult × run CV)")
 	dir := fs.String("dir", "", "diff each consecutive pair of *.json files in this directory")
 	check := fs.String("check", "", "self-diff this result file (schema + comparator smoke test)")
+	merge := fs.Bool("merge", false, "merge the argument result files into one baseline (requires -out)")
+	mergeName := fs.String("name", "suite", "merged harness name for -merge")
+	mergeOut := fs.String("out", "", "output path for -merge")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	opt := harness.DiffOptions{Threshold: *threshold, NoiseMult: *noiseMult}
 
 	switch {
+	case *merge:
+		if fs.NArg() < 1 || *mergeOut == "" || *check != "" || *dir != "" {
+			fmt.Fprintln(stderr, "usage: benchdiff -merge -out=baseline.json [-name=suite] a.json [b.json ...]")
+			return 2
+		}
+		ins := make([]*harness.Result, 0, fs.NArg())
+		for _, p := range fs.Args() {
+			r, err := harness.ReadFile(p)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			ins = append(ins, r)
+		}
+		merged, err := harness.Merge(*mergeName, ins...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := merged.WriteFile(*mergeOut); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "merged %d file(s), %d cell(s) → %s (harness %q)\n",
+			len(ins), len(merged.Cells), *mergeOut, merged.Harness)
+		return 0
+
 	case *check != "":
 		if fs.NArg() != 0 || *dir != "" {
 			fmt.Fprintln(stderr, "-check takes no other arguments")

@@ -80,6 +80,51 @@ func TestUsageAndIOErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// -merge combines a mutexbench and a kvbench result into one baseline
+// that then passes -check — the bench-json recipe in the Makefile.
+func TestMergeProducesCheckableBaseline(t *testing.T) {
+	dir := t.TempDir()
+	a := fixture(t, dir, "a.json", 10)
+	res := harness.NewResult("kvbench", "A", 1)
+	res.Add(harness.Cell{Lock: "TKT", Workload: "readrandom/s4", Threads: 4, Unit: "Mops/s", Score: 3})
+	b := filepath.Join(dir, "b.json")
+	if err := res.WriteFile(b); err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "merged.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-merge", "-out", merged, a, b}, &out, &errb); code != 0 {
+		t.Fatalf("merge exit = %d, stderr: %s", code, errb.String())
+	}
+	got, err := harness.ReadFile(merged)
+	if err != nil {
+		t.Fatalf("merged file unreadable: %v", err)
+	}
+	if got.Harness != "suite" || len(got.Cells) != 2 {
+		t.Fatalf("merged: harness %q, %d cells", got.Harness, len(got.Cells))
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check", merged}, &out, &errb); code != 0 {
+		t.Fatalf("merged baseline fails -check: %s", errb.String())
+	}
+
+	// Same file twice: the collision must surface as a usage error.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-merge", "-out", merged, a, a}, &out, &errb); code != 2 {
+		t.Fatalf("duplicate merge exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "collision") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+
+	// -merge without -out is a usage error.
+	if code := run([]string{"-merge", a, b}, &out, &errb); code != 2 {
+		t.Fatal("merge without -out accepted")
+	}
+}
+
 func TestCrossHarnessRefused(t *testing.T) {
 	dir := t.TempDir()
 	a := fixture(t, dir, "a.json", 10)

@@ -3,7 +3,9 @@
 // property checks (mutual exclusion under randomized schedules, TryLock
 // soundness, the bounded-acquisition contract with chaos stalls,
 // abandonment safety, unlock-of-unlocked discipline) plus, for entries
-// declaring a sim twin, the differential checker that demands the real
+// declaring a sim twin, the shard-aware store properties (per-shard
+// mutual exclusion and untorn cross-shard batches in the sharded
+// kvstore) and the differential checker that demands the real
 // lock, its coherence-simulated twin, and the paper's abstract
 // admission model agree on admission order, segment structure, and the
 // bypass bound over seeded deterministic schedules.
@@ -80,7 +82,7 @@ func run(args []string, out *os.File) int {
 func runPass(entries []registry.Entry, o conformance.Options, out *os.File) bool {
 	ok := true
 	w := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "Lock\tmutex\ttrylock\tbounded\tabandon\tunlock\tdifferential\tdetail")
+	fmt.Fprintln(w, "Lock\tmutex\ttrylock\tbounded\tabandon\tunlock\tshard-mutex\tshard-iter\tdifferential\tdetail")
 	for _, e := range entries {
 		r := conformance.Run(e, o)
 		detail := ""

@@ -1,11 +1,18 @@
-// Command kvbench runs the §7.3 experiment (Figure 3): the readrandom
-// workload against the LSM-lite key-value store, whose single coarse
-// central mutex — the DBImpl::Mutex analog — is instantiated with each
-// selected lock algorithm in turn.
+// Command kvbench runs the §7.3 experiment (Figure 3) and its sharded
+// extension: the readrandom and readwhilewriting workloads against the
+// LSM-lite key-value store, whose guarding lock — the DBImpl::Mutex
+// analog — is instantiated with each selected lock algorithm in turn.
+// With -shards=1 (the default) the store is the paper's single coarse
+// central mutex; larger counts hash-partition the keyspace across
+// per-shard locks, making shard count × lock algorithm a full harness
+// matrix. -mode=predict additionally runs the coarse-grained-locking
+// prediction experiment: a model calibrated at T=1,S=1 versus measured
+// throughput at every matrix point.
 //
 // Usage:
 //
-//	kvbench [-mode=readrandom|readwhilewriting] [-locks=paper|all|...|list]
+//	kvbench [-mode=readrandom|readwhilewriting|predict]
+//	        [-locks=paper|all|...|list] [-shards=1,4,16]
 //	        [-keys=50000] [-duration=300ms] [-runs=3] [-threads=1,2,4]
 //	        [-json] [-out=file] [-lockstat]
 package main
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -27,15 +35,16 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "readrandom", "workload: readrandom (Figure 3) or readwhilewriting")
+	mode := flag.String("mode", "readrandom", "workload: readrandom (Figure 3), readwhilewriting, or predict (coarse-vs-sharded model)")
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
 	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
+	shardsF := flag.String("shards", "1", "comma-separated shard counts (1 = the coarse central-mutex store)")
 	bf := harness.Register(flag.CommandLine, harness.Spec{
 		Runs:    3,
 		Threads: "1,2,4,8,16,32",
 	})
-	lockstatOn := flag.Bool("lockstat", false, "instrument the DB's central mutex and attach per-lock telemetry to the report")
+	lockstatOn := flag.Bool("lockstat", false, "instrument the store's lock(s) and attach per-lock telemetry to the report (sharded stores pool all shards into one snapshot)")
 	flag.Parse()
 
 	lfs, listed, err := locksF.Resolve(os.Stdout)
@@ -46,8 +55,8 @@ func main() {
 	if listed {
 		return
 	}
-	if *mode != "readrandom" && *mode != "readwhilewriting" {
-		fmt.Fprintln(os.Stderr, "unknown -mode; want readrandom or readwhilewriting")
+	if *mode != "readrandom" && *mode != "readwhilewriting" && *mode != "predict" {
+		fmt.Fprintln(os.Stderr, "unknown -mode; want readrandom, readwhilewriting, or predict")
 		os.Exit(2)
 	}
 	threads, err := bf.ThreadCounts()
@@ -55,14 +64,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	shardCounts, err := harness.ParseThreads(*shardsF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-shards: %v\n", err)
+		os.Exit(2)
+	}
 	d := bf.Duration
 	if d <= 0 {
 		d = 300 * time.Millisecond
 	}
 
+	out, closeOut, err := bf.OutputFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeOut()
+
+	if *mode == "predict" {
+		res := experiments.ShardPredictionResult(lfs, shardCounts, threads, d, *keys, bf.Runs, bf.Seed)
+		if bf.JSON {
+			if err := res.WriteJSON(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return
+		}
+		fmt.Fprintln(out, experiments.TrackANote)
+		render(experiments.ShardPredictionTable(res), out, bf.CSV)
+		return
+	}
+
 	res := harness.NewResult("kvbench", "A", bf.Seed)
 	res.SetConfig("mode", *mode)
 	res.SetConfig("keys", strconv.Itoa(*keys))
+	res.SetConfig("shards", *shardsF)
 	res.SetConfig("duration", d.String())
 	res.SetConfig("runs", strconv.Itoa(bf.Runs))
 
@@ -79,34 +115,38 @@ func main() {
 			newLock = fac
 			lockstat.InstallWaiterSink(st)
 		}
-		for _, tc := range threads {
-			cfg := kvstore.ReadRandomConfig{
-				Threads:  tc,
-				Keyspace: *keys,
-				Duration: d,
-				Seed:     bf.Seed,
-			}
-			var m harness.Measurement
-			if *mode == "readrandom" {
-				m = experiments.KVReadRandomMeasure(lf, newLock, cfg, *keys, bf.Runs)
-			} else {
-				// Every run opens a fresh store; -runs is honored here
-				// too (it used to be silently ignored in this mode).
-				open := func(run harness.RunInfo) *kvstore.DB {
-					db := kvstore.Open(kvstore.Options{Lock: newLock(), MemTableBytes: 256 << 10})
-					kvstore.FillSeq(db, *keys, 100)
-					return db
-				}
-				w := kvstore.ReadWhileWritingWorkload(open, cfg, 100)
-				m = harness.Measure(w, harness.Config{
+		for _, sc := range shardCounts {
+			workload := experiments.ShardWorkload(*mode, sc)
+			for _, tc := range threads {
+				cfg := kvstore.ReadRandomConfig{
 					Threads:  tc,
+					Keyspace: *keys,
 					Duration: d,
-					Warmup:   bf.Warmup,
-					Runs:     bf.Runs,
 					Seed:     bf.Seed,
-				})
+				}
+				var m harness.Measurement
+				if *mode == "readrandom" {
+					m = experiments.KVShardedReadRandomMeasure(lf, newLock, sc, cfg, *keys, bf.Runs)
+				} else {
+					// Every run opens a fresh store; -runs is honored here
+					// too (it used to be silently ignored in this mode).
+					mk, sc := newLock, sc
+					open := func(run harness.RunInfo) kvstore.Store {
+						db := experiments.OpenKVStore(mk, sc)
+						kvstore.FillSeq(db, *keys, 100)
+						return db
+					}
+					w := kvstore.ReadWhileWritingWorkload(open, cfg, 100)
+					m = harness.Measure(w, harness.Config{
+						Threads:  tc,
+						Duration: d,
+						Warmup:   bf.Warmup,
+						Runs:     bf.Runs,
+						Seed:     bf.Seed,
+					})
+				}
+				res.Add(harness.CellFromMeasurement(lf.Name, workload, mutexbench.Unit, m))
 			}
-			res.Add(harness.CellFromMeasurement(lf.Name, *mode, mutexbench.Unit, m))
 		}
 		if st != nil {
 			lockstat.InstallWaiterSink(nil)
@@ -118,13 +158,6 @@ func main() {
 		}
 	}
 
-	out, closeOut, err := bf.OutputFile()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	defer closeOut()
-
 	if bf.JSON {
 		if err := res.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -135,14 +168,20 @@ func main() {
 
 	fmt.Fprintln(out, experiments.TrackANote)
 	if *mode == "readrandom" {
-		t := harness.MatrixTable(res,
-			fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d)", *keys, bf.Runs))
+		// Row labels carry the shard suffix ("Recipro/s4") so a shard
+		// sweep gets one row per (lock, shard count) instead of
+		// colliding on the lock name.
+		t := harness.MatrixTableBy(res,
+			fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d; /sN = N shards)", *keys, bf.Runs),
+			func(c harness.Cell) string {
+				return c.Lock + strings.TrimPrefix(c.Workload, *mode)
+			})
 		render(t, out, bf.CSV)
 	} else {
 		t := table.New(fmt.Sprintf("KV readwhilewriting — readers + 1 writer over %d keys (median of %d)", *keys, bf.Runs),
-			"Lock", "Readers", "Read Mops/s", "Write ops")
+			"Workload", "Lock", "Readers", "Read Mops/s", "Write ops")
 		for _, c := range res.Cells {
-			t.Add(c.Lock, table.I(int64(c.Threads)), table.F(c.Score, 3),
+			t.Add(c.Workload, c.Lock, table.I(int64(c.Threads)), table.F(c.Score, 3),
 				table.U(uint64(c.Extras["writer_ops"])))
 		}
 		render(t, out, bf.CSV)
@@ -153,7 +192,7 @@ func main() {
 		for _, lf := range lfs {
 			order = append(order, lf.Name)
 		}
-		lockstat.FprintReport(out, fmt.Sprintf("DB mutex telemetry (%s)", *mode), order, res.Lockstat, bf.CSV)
+		lockstat.FprintReport(out, fmt.Sprintf("store lock telemetry (%s)", *mode), order, res.Lockstat, bf.CSV)
 	}
 }
 

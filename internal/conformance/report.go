@@ -44,6 +44,8 @@ func Run(e registry.Entry, o Options) Report {
 	add("bounded", CheckBounded(e, o))
 	add("abandon", CheckAbandonment(e, o))
 	add("unlock", CheckUnlockDiscipline(e))
+	add("shard-mutex", CheckShardedMutualExclusion(e, o))
+	add("shard-iter", CheckShardedIterator(e, o))
 	if e.SimTwin == "" {
 		add("differential", skipError("no sim twin"))
 	} else {

@@ -190,12 +190,22 @@ func Fig3Results(lfs []registry.Entry, dur time.Duration, keys int, runs int) *h
 // a new lock instance (built by newLock when non-nil, else the
 // catalog constructor) and fills it with keys sequential keys.
 func KVReadRandomMeasure(lf registry.Entry, newLock func() sync.Locker, cfg kvstore.ReadRandomConfig, keys, runs int) harness.Measurement {
+	return KVShardedReadRandomMeasure(lf, newLock, 1, cfg, keys, runs)
+}
+
+// KVShardedReadRandomMeasure generalizes KVReadRandomMeasure to the
+// sharded store: shards ≤ 1 opens the coarse Figure 3 DB, larger
+// counts open a ShardedDB whose per-shard locks come from the same
+// factory and whose per-shard memtable budget is the coarse budget
+// split evenly, so the total in-memory working set matches across the
+// shard sweep.
+func KVShardedReadRandomMeasure(lf registry.Entry, newLock func() sync.Locker, shards int, cfg kvstore.ReadRandomConfig, keys, runs int) harness.Measurement {
 	mk := newLock
 	if mk == nil {
 		mk = lf.New
 	}
-	open := func(run harness.RunInfo) *kvstore.DB {
-		db := kvstore.Open(kvstore.Options{Lock: mk(), MemTableBytes: 256 << 10})
+	open := func(run harness.RunInfo) kvstore.Store {
+		db := OpenKVStore(mk, shards)
 		kvstore.FillSeq(db, keys, 100)
 		return db
 	}
@@ -206,6 +216,39 @@ func KVReadRandomMeasure(lf registry.Entry, newLock func() sync.Locker, cfg kvst
 		Runs:     runs,
 		Seed:     cfg.Seed,
 	})
+}
+
+// kvMemTableBytes is the total memtable budget of every kvbench store
+// (split across shards for the sharded shape).
+const kvMemTableBytes = 256 << 10
+
+// OpenKVStore opens the benchmark store at the given shard count —
+// the coarse DB for shards ≤ 1, a ShardedDB otherwise — with the
+// shared memtable budget and one lock per shard from mk.
+func OpenKVStore(mk func() sync.Locker, shards int) kvstore.Store {
+	if shards <= 1 {
+		return kvstore.Open(kvstore.Options{Lock: mk(), MemTableBytes: kvMemTableBytes})
+	}
+	per := kvMemTableBytes / shards
+	if per < 4<<10 {
+		per = 4 << 10
+	}
+	return kvstore.OpenSharded(kvstore.ShardedOptions{
+		Shards:        shards,
+		NewLock:       mk,
+		MemTableBytes: per,
+	})
+}
+
+// ShardWorkload names a workload cell at a shard count: the base name
+// for the coarse store, "<base>/s<N>" for N shards — keeping coarse
+// cell keys identical to the pre-sharding schema so existing baselines
+// stay comparable.
+func ShardWorkload(base string, shards int) string {
+	if shards <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s/s%d", base, shards)
 }
 
 // Fig3Locks renders Fig3Results as the familiar matrix table.

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeCombinesDisjointResults(t *testing.T) {
+	a := sampleResult() // mutexbench: max|Recipro|T=4, max|TKT|T=4
+	b := NewResult("kvbench", "A", 9)
+	b.SetConfig("mode", "readrandom")
+	b.Add(Cell{Lock: "Recipro", Workload: "readrandom/s4", Threads: 4, Unit: "Mops/s", Score: 3})
+
+	m, err := Merge("suite", a, b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if m.Harness != "suite" || m.Track != "A" || m.Schema != SchemaVersion {
+		t.Fatalf("merged identity: %+v", m)
+	}
+	if len(m.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(m.Cells))
+	}
+	// Per-source config survives under prefixed keys.
+	if m.Config["mutexbench.mode"] != "max" || m.Config["kvbench.mode"] != "readrandom" {
+		t.Fatalf("config provenance lost: %v", m.Config)
+	}
+	// The merged file must self-diff clean like any other result.
+	if _, err := Diff(m, m, DefaultDiffOptions()); err != nil {
+		t.Fatalf("merged result does not self-diff: %v", err)
+	}
+}
+
+func TestMergeRejectsCollisionsAndMismatches(t *testing.T) {
+	a := sampleResult()
+	if _, err := Merge("suite", a, sampleResult()); err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("duplicate cells accepted: %v", err)
+	}
+
+	bTrack := NewResult("simbench", "B", 9)
+	bTrack.Add(Cell{Lock: "MCS", Workload: "sim", Threads: 2, Unit: "Mops/s", Score: 1})
+	if _, err := Merge("suite", a, bTrack); err == nil || !strings.Contains(err.Error(), "track") {
+		t.Fatalf("cross-track merge accepted: %v", err)
+	}
+
+	if _, err := Merge("suite"); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge("", a); err == nil {
+		t.Fatal("empty merged name accepted")
+	}
+}

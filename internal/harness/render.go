@@ -10,22 +10,34 @@ import (
 // matrix (rows in first-seen lock order, columns in first-seen thread
 // order) — the text twin of the JSON emission, so -json and the
 // default table always agree because both read the same cells.
+//
+// Rows are keyed by lock name alone, so results whose cells span
+// several workloads (e.g. a shard sweep) must use MatrixTableBy with a
+// label that disambiguates, or later workloads silently overwrite
+// earlier ones.
 func MatrixTable(r *Result, title string) *table.Table {
+	return MatrixTableBy(r, title, func(c Cell) string { return c.Lock })
+}
+
+// MatrixTableBy is MatrixTable with a caller-chosen row label: cells
+// sharing a label share a row, columns are still thread counts.
+func MatrixTableBy(r *Result, title string, rowLabel func(Cell) string) *table.Table {
 	var locks []string
 	var threads []int
 	seenLock := map[string]bool{}
 	seenT := map[int]bool{}
 	score := map[string]float64{}
 	for _, c := range r.Cells {
-		if !seenLock[c.Lock] {
-			seenLock[c.Lock] = true
-			locks = append(locks, c.Lock)
+		label := rowLabel(c)
+		if !seenLock[label] {
+			seenLock[label] = true
+			locks = append(locks, label)
 		}
 		if !seenT[c.Threads] {
 			seenT[c.Threads] = true
 			threads = append(threads, c.Threads)
 		}
-		score[fmt.Sprintf("%s|%d", c.Lock, c.Threads)] = c.Score
+		score[fmt.Sprintf("%s|%d", label, c.Threads)] = c.Score
 	}
 	headers := []string{"Lock"}
 	for _, tc := range threads {

@@ -37,7 +37,7 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
-// Write applies the batch under one acquisition of the central mutex.
+// Write applies the batch under one acquisition of the store's mutex.
 // Operations apply in order; a freeze is considered at most once, at
 // the end, so a batch lands in a single memtable generation whenever
 // it fits.
@@ -46,7 +46,16 @@ func (db *DB) Write(b *Batch) {
 		return
 	}
 	db.mu.Lock()
-	for _, op := range b.ops {
+	db.applyLocked(b.ops)
+	db.mu.Unlock()
+}
+
+// applyLocked applies ops in order and considers one freeze at the
+// end. The caller holds db's lock — directly (DB.Write) or through
+// the sharded store's stripe table, which holds every involved shard
+// lock while a cross-shard batch applies.
+func (db *DB) applyLocked(ops []batchOp) {
+	for _, op := range ops {
 		if op.delete {
 			db.mem.Delete(op.key)
 			db.stats.Deletes++
@@ -56,5 +65,4 @@ func (db *DB) Write(b *Batch) {
 		}
 	}
 	db.maybeFreezeLocked()
-	db.mu.Unlock()
 }

@@ -19,10 +19,10 @@ func Key(i uint64) []byte {
 	return b[:]
 }
 
-// FillSeq populates db with n sequential keys carrying valueSize-byte
-// values — the paper's population step
+// FillSeq populates db (coarse or sharded) with n sequential keys
+// carrying valueSize-byte values — the paper's population step
 // (db_bench --benchmarks=fillseq).
-func FillSeq(db *DB, n int, valueSize int) {
+func FillSeq(db Store, n int, valueSize int) {
 	val := make([]byte, valueSize)
 	for i := range val {
 		val[i] = byte(i)
@@ -58,11 +58,11 @@ type ReadRandomResult struct {
 // readrandom loop while one dedicated writer goroutine (started in
 // Setup, joined in Teardown) continuously overwrites random keys.
 // The writer tally is exported as the "writer_ops" extra; this leans
-// on the central mutex from both sides, including the
-// freeze/compaction paths.
-func ReadWhileWritingWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRandomConfig, valueSize int) harness.Workload {
+// on the store's lock(s) from both sides — the single coarse mutex,
+// or each key's shard lock — including the freeze/compaction paths.
+func ReadWhileWritingWorkload(openDB func(run harness.RunInfo) Store, cfg ReadRandomConfig, valueSize int) harness.Workload {
 	var (
-		db        *DB
+		db        Store
 		writerOps uint64
 		stopW     chan struct{}
 		wg        sync.WaitGroup
@@ -74,7 +74,7 @@ func ReadWhileWritingWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRand
 	var reads harness.Workload
 	return &harness.WorkloadFunc{
 		SetupFn: func(run harness.RunInfo) {
-			reads = ReadRandomWorkload(func(harness.RunInfo) *DB { return db }, cfg)
+			reads = ReadRandomWorkload(func(harness.RunInfo) Store { return db }, cfg)
 			db = openDB(run)
 			reads.Setup(run)
 			writerOps = 0
@@ -111,8 +111,8 @@ func ReadWhileWritingWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRand
 
 // ReadWhileWriting runs one readwhilewriting pass over db, returning
 // the reader result and the writer's operation tally.
-func ReadWhileWriting(db *DB, cfg ReadRandomConfig, valueSize int) (ReadRandomResult, uint64) {
-	w := ReadWhileWritingWorkload(func(harness.RunInfo) *DB { return db }, cfg, valueSize)
+func ReadWhileWriting(db Store, cfg ReadRandomConfig, valueSize int) (ReadRandomResult, uint64) {
+	w := ReadWhileWritingWorkload(func(harness.RunInfo) Store { return db }, cfg, valueSize)
 	m := harness.Measure(w, engineConfig(cfg))
 	res := resultFromMeasurement(m)
 	return res, uint64(m.MedianOutcome().Extras["writer_ops"])
@@ -127,12 +127,12 @@ type hitCounter struct {
 
 // ReadRandomWorkload adapts the §7.3 readrandom loop to the shared
 // benchmark engine. openDB is called once per run and must return a
-// freshly populated store; pass a closure returning the same *DB to
-// reuse one store across runs (the single-run ReadRandom entry point
-// does exactly that).
-func ReadRandomWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRandomConfig) harness.Workload {
+// freshly populated store (coarse or sharded); pass a closure
+// returning the same Store to reuse one store across runs (the
+// single-run ReadRandom entry point does exactly that).
+func ReadRandomWorkload(openDB func(run harness.RunInfo) Store, cfg ReadRandomConfig) harness.Workload {
 	var (
-		db   *DB
+		db   Store
 		seed uint64
 		hits []hitCounter
 	)
@@ -149,6 +149,17 @@ func ReadRandomWorkload(openDB func(run harness.RunInfo) *DB, cfg ReadRandomConf
 		WorkerFn: func(id int) func() {
 			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + seed + 1)
 			d, h := db, &hits[id]
+			if cd, ok := db.(*DB); ok {
+				// Devirtualized coarse fast path: identical codegen to
+				// the pre-Store loop, so coarse-vs-sharded comparisons
+				// measure locking granularity, not interface dispatch.
+				return func() {
+					k := Key(uint64(rng.Intn(keyspace)))
+					if _, ok := cd.Get(k); ok {
+						h.n++
+					}
+				}
+			}
 			return func() {
 				k := Key(uint64(rng.Intn(keyspace)))
 				if _, ok := d.Get(k); ok {
@@ -214,7 +225,7 @@ func resultFromMeasurement(m harness.Measurement) ReadRandomResult {
 // (db_bench --benchmarks=readrandom with a fixed duration, as
 // modified in §7.3). One run on the shared engine; multi-run median
 // selection belongs to callers driving Measure directly.
-func ReadRandom(db *DB, cfg ReadRandomConfig) ReadRandomResult {
-	w := ReadRandomWorkload(func(harness.RunInfo) *DB { return db }, cfg)
+func ReadRandom(db Store, cfg ReadRandomConfig) ReadRandomResult {
+	w := ReadRandomWorkload(func(harness.RunInfo) Store { return db }, cfg)
 	return resultFromMeasurement(harness.Measure(w, engineConfig(cfg)))
 }

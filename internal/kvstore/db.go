@@ -1,16 +1,27 @@
 // Package kvstore is an LSM-lite in-memory key-value store built as
-// the Figure 3 substrate: like LevelDB, the entire database is
-// guarded by one coarse central mutex (DBImpl::Mutex), acquired
-// briefly to snapshot state on the read path and for the whole write
-// path. The lock guarding the store is pluggable, so the §7.3
-// readrandom experiment can vary the lock algorithm under an
+// the Figure 3 substrate, offered at two locking granularities behind
+// one Store interface:
+//
+//   - DB is the faithful Figure 3 shape: like LevelDB, the entire
+//     database is guarded by one coarse central mutex (DBImpl::Mutex),
+//     acquired briefly to snapshot state on the read path and for the
+//     whole write path.
+//   - ShardedDB hash-partitions the keyspace across independent
+//     shards, each its own DB guarded by its own lock, with a striped
+//     lock table (canonical ascending acquisition order) making
+//     cross-shard batches and iterator snapshots atomic and
+//     deadlock-free.
+//
+// In both shapes the guarding lock is pluggable from the
+// internal/registry catalog, so the §7.3 readrandom experiment can
+// vary the lock algorithm — and now the shard count — under an
 // unmodified application, just as the paper's LD_PRELOAD interposition
 // does.
 //
-// Structure: an active memtable (concurrent-read skiplist), a stack of
-// frozen sorted runs (SSTable stand-ins), and a full merge when the
-// run count exceeds a threshold. Reads consult memtable then runs
-// newest-first; deletion uses tombstones.
+// Structure (per shard): an active memtable (concurrent-read
+// skiplist), a stack of frozen sorted runs (SSTable stand-ins), and a
+// full merge when the run count exceeds a threshold. Reads consult
+// memtable then runs newest-first; deletion uses tombstones.
 package kvstore
 
 import (
@@ -23,7 +34,8 @@ import (
 )
 
 // Chaos points. kvstore.put and kvstore.freeze fire while holding the
-// central mutex, stretching hold times to amplify contention;
+// store's mutex (per shard, in a ShardedDB), stretching hold times to
+// amplify contention;
 // kvstore.snapshot fires between Get's snapshot and its lock-free
 // search, widening the window in which a stale snapshot must stay
 // consistent under concurrent freezes and compactions.

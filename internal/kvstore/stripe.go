@@ -1,0 +1,44 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// stripeTable is the striped lock table behind every cross-shard
+// operation: one stripe per shard, aliasing the shard's own guarding
+// lock, so a cross-shard operation and the single-shard fast path
+// contend on exactly the same locks.
+//
+// Deadlock freedom rests on one discipline: every multi-stripe
+// acquisition takes its stripes in canonical ascending shard order
+// (and releases in descending order). lockSet enforces the discipline
+// rather than trusting its callers — a non-ascending index sequence
+// panics, so an ordering bug surfaces as an immediate, attributable
+// failure instead of a rare deadlock. The regression test
+// TestStripeCanonicalOrder pins both halves: the enforcement and the
+// actual acquisition order.
+type stripeTable struct {
+	locks []sync.Locker
+}
+
+// lockSet acquires the stripes named by idxs, which must be strictly
+// ascending (callers sort and dedupe; Write does both in one pass).
+func (t *stripeTable) lockSet(idxs []int) {
+	prev := -1
+	for _, i := range idxs {
+		if i <= prev {
+			panic(fmt.Sprintf("kvstore: stripe acquisition out of canonical order: %d after %d (set %v)", i, prev, idxs))
+		}
+		prev = i
+		t.locks[i].Lock()
+	}
+}
+
+// unlockSet releases the stripes named by idxs (an ascending set, as
+// passed to lockSet) in descending order.
+func (t *stripeTable) unlockSet(idxs []int) {
+	for i := len(idxs) - 1; i >= 0; i-- {
+		t.locks[idxs[i]].Unlock()
+	}
+}
