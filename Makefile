@@ -25,10 +25,16 @@
 #   make conformance — cross-track tier: the full property suite and the
 #                      100-schedule sim/real differential checker over
 #                      every catalog lock (cmd/conformance)
+#   make cluster     — deterministic cluster-simulation tier: every
+#                      canonical fault script × seeds {1,2,3} through
+#                      cmd/clustersim (invariant violations exit
+#                      non-zero with a one-command repro), plus the
+#                      cluster package's test suite under -race
 #   make fuzz-smoke  — a short fuzz pass (FUZZTIME each) over every fuzz
 #                      target: the registry -locks parser, the admission
-#                      cycle detector, and the kvstore differential,
-#                      sharded-batch differential + skiplist targets
+#                      cycle detector, the kvstore differential,
+#                      sharded-batch differential + skiplist targets,
+#                      and the cluster fault-script interpreter
 
 GO ?= go
 GOFMT ?= gofmt
@@ -37,14 +43,14 @@ CONF_SEED ?= 1
 FUZZTIME ?= 5s
 BENCH_BASELINE ?= results/bench_baseline.json
 
-.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance fuzz-smoke
+.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance cluster fuzz-smoke
 
 all: test
 
 build:
 	$(GO) build ./...
 
-check: fmt-check vet test conformance fuzz-smoke benchdiff-check
+check: fmt-check vet test conformance cluster fuzz-smoke benchdiff-check
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -80,9 +86,19 @@ chaos: build
 conformance: build
 	$(GO) run ./cmd/conformance -locks=all -seed=$(CONF_SEED) -schedules=100
 
+cluster: build
+	$(GO) test -race ./internal/cluster ./cmd/clustersim
+	@set -e; for script in lease-expiry-mid-cs thundering-herd asym-partition slow-node crash-during-handoff restart-storm; do \
+		for seed in 1 2 3; do \
+			$(GO) run ./cmd/clustersim -quiet -script=$$script -seed=$$seed; \
+		done; \
+		echo "cluster: $$script OK (seeds 1 2 3)"; \
+	done
+
 fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz='^FuzzParseLocks$$' -fuzztime=$(FUZZTIME) ./internal/registry
 	$(GO) test -run '^$$' -fuzz='^FuzzFindCycle$$' -fuzztime=$(FUZZTIME) ./internal/admission
 	$(GO) test -run '^$$' -fuzz='^FuzzDBAgainstMap$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzShardedBatch$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzSkipListOrdering$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz='^FuzzFaultScript$$' -fuzztime=$(FUZZTIME) ./internal/cluster

@@ -109,7 +109,9 @@ func main() {
 	}
 }
 
-// printChaosReport renders the accumulated injection counters.
+// printChaosReport renders the accumulated injection counters, with a
+// per-site breakdown under each point that absorbed injections so the
+// report names the faulting call sites, not just the points.
 func printChaosReport(w *os.File) {
 	rep := chaos.Report()
 	if len(rep) == 0 {
@@ -117,15 +119,39 @@ func printChaosReport(w *os.File) {
 		return
 	}
 	fmt.Fprintf(w, "chaos injection report (seed=%d):\n", runSeed)
-	fmt.Fprintf(w, "  %-24s %10s %8s %8s %8s %8s\n", "point", "calls", "delay", "preempt", "fail", "wake")
+	fmt.Fprintf(w, "  %-34s %10s %8s %8s %8s %8s\n", "point", "calls", "delay", "preempt", "fail", "wake")
 	for _, ps := range rep {
-		fmt.Fprintf(w, "  %-24s %10d %8d %8d %8d %8d\n",
+		fmt.Fprintf(w, "  %-34s %10d %8d %8d %8d %8d\n",
 			ps.Name, ps.Calls, ps.Delays, ps.Preempts, ps.Fails, ps.Wakes)
+		for _, ss := range ps.Sites {
+			fmt.Fprintf(w, "    @%-32s %10s %8d %8d %8d %8d\n",
+				ss.Label, "", ss.Delays, ss.Preempts, ss.Fails, ss.Wakes)
+		}
 	}
 }
 
-// violation aborts the run, always naming the seed.
+// printRecentInjections renders the tail of the chaos injection ring —
+// the last faults fired before a stall or violation, each naming its
+// point and call site.
+func printRecentInjections(w *os.File) {
+	recent := chaos.Recent()
+	if len(recent) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "last %d chaos injections (oldest first):\n", len(recent))
+	for _, inj := range recent {
+		fmt.Fprintf(w, "  #%-6d %s\n", inj.Seq, inj.String())
+	}
+}
+
+// violation aborts the run, always naming the seed. When chaos is
+// armed the dump also names the most recent injection sites, so the
+// failure report points at the code paths being perturbed.
 func violation(format string, args ...any) {
+	if chaos.Enabled() {
+		printChaosReport(os.Stderr)
+		printRecentInjections(os.Stderr)
+	}
 	panic(fmt.Sprintf("(seed %d) ", runSeed) + fmt.Sprintf(format, args...))
 }
 
@@ -158,6 +184,7 @@ func watchdog(name string, heartbeat *atomic.Uint64, window time.Duration, st *l
 		fmt.Fprintf(os.Stderr, "\nWATCHDOG STALL: %s made no progress for %v (seed %d)\n", name, window, runSeed)
 		if chaos.Enabled() {
 			printChaosReport(os.Stderr)
+			printRecentInjections(os.Stderr)
 		}
 		if st != nil {
 			snaps := map[string]lockstat.Snapshot{name: st.Snapshot()}

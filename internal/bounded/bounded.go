@@ -23,8 +23,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/waiter"
 )
 
@@ -79,11 +81,93 @@ func Boundable(l sync.Locker) bool {
 }
 
 // Polling adapts any TryLock-capable lock to the bounded contract by
-// retrying TryLock under a deadline-aware pause. See the package
-// comment for the admission-order caveat.
+// retrying TryLock under a deadline-aware pause: a short hot phase
+// driven by the waiter policy, then capped decorrelated-jitter sleeps
+// from the shared backoff package (the same policy the cluster
+// simulation's lease client retries under), which desynchronizes
+// competing pollers instead of letting them re-collide on a fixed
+// schedule. See the package comment for the admission-order caveat.
 type Polling struct {
 	L      TryLocker
 	Policy waiter.Policy
+	// Backoff overrides the sleep schedule used once an episode
+	// escalates past the hot phase; zero fields select pollDefaults.
+	Backoff backoff.Policy
+}
+
+// pollSpinBudget is how many waiter pauses a polling episode spends in
+// its hot phase (spins and yields) before escalating to jittered
+// sleeps — the same escalation point as waiter.PolicyAdaptive's
+// spin+yield budgets.
+const pollSpinBudget = 96
+
+// pollDefaults is the sleep schedule for escalated polling episodes:
+// short enough that tight LockFor deadlines stay responsive, capped so
+// an unlucky draw never oversleeps a grant by more than 1ms.
+var pollDefaults = backoff.Policy{Base: 20 * time.Microsecond, Cap: time.Millisecond}
+
+// pollSeq decorrelates concurrent polling episodes: each draws its
+// jitter stream from a distinct seed, deterministically per process.
+var pollSeq atomic.Uint64
+
+// wait is the shared LockFor/LockCtx retry loop.
+func (p *Polling) wait(deadline time.Time, done <-chan struct{}) bool {
+	w := waiter.New(p.Policy)
+	var bo *backoff.Backoff
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if p.L.TryLock() {
+			return true
+		}
+		if w.Spins() < pollSpinBudget {
+			if !w.PauseBounded(deadline, done) {
+				return false
+			}
+			continue
+		}
+		// Escalated phase: decorrelated-jitter sleeps, clamped to the
+		// deadline and interruptible by done. Each sleep is a park in
+		// the waiter's transition taxonomy.
+		if bo == nil {
+			policy := p.Backoff
+			if policy == (backoff.Policy{}) {
+				policy = pollDefaults
+			}
+			bo = backoff.New(policy, pollSeq.Add(1))
+		}
+		d := bo.Next()
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return false
+			}
+			if d > rem {
+				d = rem
+			}
+		}
+		if s := w.Sink(); s != nil {
+			s.CountPark()
+		}
+		if done == nil {
+			time.Sleep(d)
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
+		select {
+		case <-done:
+			return false
+		case <-timer.C:
+		}
+	}
 }
 
 // Lock acquires the inner lock (unbounded, via the lock's own queue).
@@ -103,16 +187,7 @@ func (p *Polling) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	deadline := time.Now().Add(d)
-	w := waiter.New(p.Policy)
-	for {
-		if p.L.TryLock() {
-			return true
-		}
-		if !w.PauseBounded(deadline, nil) {
-			return false
-		}
-	}
+	return p.wait(time.Now().Add(d), nil)
 }
 
 // LockCtx implements Locker by polling TryLock until ctx is done.
@@ -120,23 +195,14 @@ func (p *Polling) LockCtx(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if p.L.TryLock() {
-		return nil
-	}
 	var deadline time.Time
 	if t, ok := ctx.Deadline(); ok {
 		deadline = t
 	}
-	done := ctx.Done()
-	w := waiter.New(p.Policy)
-	for {
-		if p.L.TryLock() {
-			return nil
-		}
-		if !w.PauseBounded(deadline, done) {
-			return ctxError(ctx)
-		}
+	if p.wait(deadline, ctx.Done()) {
+		return nil
 	}
+	return ctxError(ctx)
 }
 
 // CtxFrom adapts a lock's deadline/done-aware bounded acquire into the

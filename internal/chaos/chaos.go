@@ -85,8 +85,8 @@ var (
 	points []*Point
 )
 
-// Enable installs cfg and zeroes all point counters. It replaces any
-// previous configuration.
+// Enable installs cfg and zeroes all point counters and the recent-
+// injection ring. It replaces any previous configuration.
 func Enable(cfg Config) {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 100 * time.Microsecond
@@ -96,6 +96,9 @@ func Enable(cfg Config) {
 		p.reset()
 	}
 	regMu.Unlock()
+	recentMu.Lock()
+	recentSeq = 0
+	recentMu.Unlock()
 	c := cfg
 	active.Store(&c)
 }
@@ -116,9 +119,11 @@ func Seed() uint64 {
 	return 0
 }
 
-// Point is a named injection site. Construct once at package scope
+// Point is a named injection point. Construct once at package scope
 // (NewPoint) and call Hit/Fail/Wake from the instrumented code; the
-// handle form keeps the armed path free of map lookups.
+// handle form keeps the armed path free of map lookups. A point that
+// serves several call sites can hand each one a labeled Site so
+// reports and stall dumps name the faulting site, not just the point.
 type Point struct {
 	name string
 	hash uint64
@@ -128,6 +133,8 @@ type Point struct {
 	preempts atomic.Uint64
 	fails    atomic.Uint64
 	wakes    atomic.Uint64
+
+	sites []*Site
 }
 
 // NewPoint registers and returns a new injection point. Names are
@@ -150,7 +157,50 @@ func (p *Point) reset() {
 	p.preempts.Store(0)
 	p.fails.Store(0)
 	p.wakes.Store(0)
+	for _, s := range p.sites {
+		s.delays.Store(0)
+		s.preempts.Store(0)
+		s.fails.Store(0)
+		s.wakes.Store(0)
+	}
 }
+
+// Site is a labeled view of a Point for one call site. All sites of a
+// point share the point's decision stream and call counter — labeling
+// never changes which injections fire for a given seed — but record
+// which site an injection actually hit, so a stall or violation dump
+// can name the faulting code path ("locks.trylock@CLH.TryLock") rather
+// than just the seed. Construct at package scope with Point.Site.
+type Site struct {
+	p     *Point
+	label string
+
+	delays   atomic.Uint64
+	preempts atomic.Uint64
+	fails    atomic.Uint64
+	wakes    atomic.Uint64
+}
+
+// Site registers and returns a labeled view of p for one call site.
+func (p *Point) Site(label string) *Site {
+	s := &Site{p: p, label: label}
+	regMu.Lock()
+	p.sites = append(p.sites, s)
+	regMu.Unlock()
+	return s
+}
+
+// Label returns the site's label.
+func (s *Site) Label() string { return s.label }
+
+// Hit is Point.Hit attributed to this site.
+func (s *Site) Hit() { s.p.hit(s) }
+
+// Fail is Point.Fail attributed to this site.
+func (s *Site) Fail() bool { return s.p.fail(s) }
+
+// Wake is Point.Wake attributed to this site.
+func (s *Site) Wake() bool { return s.p.wake(s) }
 
 // draw advances the point's decision stream by one call and returns
 // the call's 64-bit noise word. splitmix64 over (seed ^ name-hash) +
@@ -163,7 +213,9 @@ func (p *Point) draw(c *Config) uint64 {
 
 // Hit possibly injects a scheduler preemption and/or a bounded delay
 // at this point. It is a no-op unless chaos is enabled.
-func (p *Point) Hit() {
+func (p *Point) Hit() { p.hit(nil) }
+
+func (p *Point) hit(s *Site) {
 	c := active.Load()
 	if c == nil {
 		return
@@ -171,11 +223,13 @@ func (p *Point) Hit() {
 	x := p.draw(c)
 	if c.Preempt > 0 && unit(x) < c.Preempt {
 		p.preempts.Add(1)
+		record(p, s, "preempt")
 		runtime.Gosched()
 	}
 	y := splitmix64(x)
 	if c.Delay > 0 && unit(y) < c.Delay {
 		p.delays.Add(1)
+		record(p, s, "delay")
 		d := time.Duration(splitmix64(y) % uint64(c.MaxDelay))
 		time.Sleep(d)
 	}
@@ -183,13 +237,16 @@ func (p *Point) Hit() {
 
 // Fail reports whether a TryLock/LockFor attempt at this point should
 // fail spuriously. Always false when chaos is disabled.
-func (p *Point) Fail() bool {
+func (p *Point) Fail() bool { return p.fail(nil) }
+
+func (p *Point) fail(s *Site) bool {
 	c := active.Load()
 	if c == nil {
 		return false
 	}
 	if c.TryFail > 0 && unit(p.draw(c)) < c.TryFail {
 		p.fails.Add(1)
+		record(p, s, "fail")
 		return true
 	}
 	return false
@@ -197,16 +254,106 @@ func (p *Point) Fail() bool {
 
 // Wake reports whether a blocking wait at this point should return
 // spuriously. Always false when chaos is disabled.
-func (p *Point) Wake() bool {
+func (p *Point) Wake() bool { return p.wake(nil) }
+
+func (p *Point) wake(s *Site) bool {
 	c := active.Load()
 	if c == nil {
 		return false
 	}
 	if c.SpuriousWake > 0 && unit(p.draw(c)) < c.SpuriousWake {
 		p.wakes.Add(1)
+		record(p, s, "wake")
 		return true
 	}
 	return false
+}
+
+// recent is a small ring of the latest injections, labeled by site,
+// so a stall or violation dump can say which code paths chaos was
+// perturbing when the run wedged. The ring is only touched when an
+// injection actually fires, so the mutex is off the no-injection path.
+const recentCap = 64
+
+var (
+	recentMu  sync.Mutex
+	recentBuf [recentCap]Injection
+	recentSeq uint64
+)
+
+// Injection is one recorded injection: which point fired, at which
+// labeled site (empty for unlabeled Point calls), and what it did.
+type Injection struct {
+	// Seq numbers injections from the last Enable, starting at 1.
+	Seq uint64
+	// Point is the injection point's registered name.
+	Point string
+	// Site is the call-site label, or "" for unlabeled calls.
+	Site string
+	// Kind is one of "delay", "preempt", "fail", "wake".
+	Kind string
+}
+
+// String renders the injection as "point@site:kind" for dumps.
+func (i Injection) String() string {
+	at := i.Point
+	if i.Site != "" {
+		at += "@" + i.Site
+	}
+	return at + ":" + i.Kind
+}
+
+// record notes an injection in the site's counters and the recent
+// ring. Called only when an injection fires.
+func record(p *Point, s *Site, kind string) {
+	label := ""
+	if s != nil {
+		label = s.label
+		switch kind {
+		case "delay":
+			s.delays.Add(1)
+		case "preempt":
+			s.preempts.Add(1)
+		case "fail":
+			s.fails.Add(1)
+		case "wake":
+			s.wakes.Add(1)
+		}
+	}
+	recentMu.Lock()
+	recentSeq++
+	recentBuf[recentSeq%recentCap] = Injection{Seq: recentSeq, Point: p.name, Site: label, Kind: kind}
+	recentMu.Unlock()
+}
+
+// Recent returns the most recent injections (up to the ring capacity),
+// oldest first. Counters accumulate from the last Enable.
+func Recent() []Injection {
+	recentMu.Lock()
+	defer recentMu.Unlock()
+	n := recentSeq
+	if n > recentCap {
+		n = recentCap
+	}
+	out := make([]Injection, 0, n)
+	for seq := recentSeq - n + 1; seq <= recentSeq; seq++ {
+		out = append(out, recentBuf[seq%recentCap])
+	}
+	return out
+}
+
+// SiteStat is the per-site injection breakdown inside a PointStat.
+type SiteStat struct {
+	Label    string
+	Delays   uint64
+	Preempts uint64
+	Fails    uint64
+	Wakes    uint64
+}
+
+// Injected sums the site's injections.
+func (s SiteStat) Injected() uint64 {
+	return s.Delays + s.Preempts + s.Fails + s.Wakes
 }
 
 // PointStat is one row of a chaos report.
@@ -217,6 +364,9 @@ type PointStat struct {
 	Preempts uint64
 	Fails    uint64
 	Wakes    uint64
+	// Sites breaks the injections down by call-site label, listing
+	// only sites that absorbed at least one injection.
+	Sites []SiteStat
 }
 
 // Injected sums the injections (everything but plain calls).
@@ -236,14 +386,28 @@ func Report() []PointStat {
 		if calls == 0 {
 			continue
 		}
-		out = append(out, PointStat{
+		ps := PointStat{
 			Name:     p.name,
 			Calls:    calls,
 			Delays:   p.delays.Load(),
 			Preempts: p.preempts.Load(),
 			Fails:    p.fails.Load(),
 			Wakes:    p.wakes.Load(),
-		})
+		}
+		for _, s := range p.sites {
+			ss := SiteStat{
+				Label:    s.label,
+				Delays:   s.delays.Load(),
+				Preempts: s.preempts.Load(),
+				Fails:    s.fails.Load(),
+				Wakes:    s.wakes.Load(),
+			}
+			if ss.Injected() > 0 {
+				ps.Sites = append(ps.Sites, ss)
+			}
+		}
+		sort.Slice(ps.Sites, func(i, j int) bool { return ps.Sites[i].Label < ps.Sites[j].Label })
+		out = append(out, ps)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,0 +1,417 @@
+// Package cluster is a deterministic discrete-event simulation of a
+// replicated, sharded kvstore cluster coordinated by a lease-based
+// lock service that issues monotonically increasing fencing tokens.
+//
+// N nodes each hold a full replica (a kvstore.Fenced over a sharded
+// store). To write a shard, a node acquires that shard's lease from
+// the lock service; the grant carries a fencing epoch that the holder
+// advertises in a sync round and stamps on every replicated write, and
+// every replica's apply path rejects writes fenced below its
+// high-water epoch. Leases expire (TTL with half-TTL renewal), holders
+// pause, crash, restart, clocks skew, and the network delays, drops,
+// duplicates, and partitions — all driven by a declarative fault
+// script (see script.go) replayable from a single seed.
+//
+// Everything runs on one goroutine: a single event queue ordered by
+// (time, band, seq) and a single seeded PRNG, no wall clock anywhere.
+// The same (seed, script) therefore produces a byte-identical event
+// trace and final replica state, which is what turns any invariant
+// violation into a one-command repro. Invariant checkers (see
+// invariants.go) run continuously during the simulation and a final
+// audit runs after the cluster heals and quiesces.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/kvstore"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes one simulation run. The zero value of every
+// field selects a sensible default (see withDefaults); the canonical
+// scripts are tuned for the default topology and timing.
+type Config struct {
+	Nodes  int
+	Shards int
+	Seed   uint64
+	Script *Script
+
+	// Duration is the workload horizon: no new workload acquisitions
+	// start after it, and the heal fires at it. Heal bounds the drain
+	// window after the heal; a run that has not quiesced by
+	// Duration+Heal is reported as a livelock.
+	Duration time.Duration
+	Heal     time.Duration
+
+	// Lease timing: TTL with renewal at TTL/2; a holder stops trusting
+	// its lease GuardBand before the TTL it computed at grant receipt
+	// (the guard absorbs grant-delivery delay and modest clock skew).
+	TTL       time.Duration
+	GuardBand time.Duration
+	// Hold is how long a workload lease is kept before release.
+	Hold time.Duration
+
+	// Workload shape.
+	WorkloadEvery time.Duration
+	WritesPerCS   int
+	WriteGap      time.Duration
+	KeysPerShard  int
+
+	// Network timing.
+	NetDelay  time.Duration
+	NetJitter time.Duration
+
+	// Protocol timeouts.
+	RetransTick    time.Duration
+	SyncTimeout    time.Duration
+	AcquireTimeout time.Duration
+	ReconcileDelay time.Duration
+
+	// Backoff is the capped decorrelated-jitter policy denied
+	// acquirers retry under (shared with internal/bounded's poller).
+	Backoff backoff.Policy
+
+	// MaxEvents is the runaway backstop; exceeding it is a violation.
+	MaxEvents uint64
+
+	// DisableFencing turns off the replica apply gate on every node,
+	// so stale-fenced writes land — and the no-stale-apply checker
+	// must catch them. For the negative test only.
+	DisableFencing bool
+
+	// NewLock builds each replica's per-shard store lock (the cluster
+	// runs single-threaded, so any sync.Locker is safe; conformance
+	// plugs in each registry entry here). Nil selects sync.Mutex.
+	NewLock func() sync.Locker
+}
+
+func (c Config) withDefaults() Config {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	def(&c.Duration, 1500*time.Millisecond)
+	def(&c.Heal, 2*time.Second)
+	def(&c.TTL, 120*time.Millisecond)
+	def(&c.GuardBand, 30*time.Millisecond)
+	def(&c.Hold, 50*time.Millisecond)
+	def(&c.WorkloadEvery, 60*time.Millisecond)
+	if c.WritesPerCS <= 0 {
+		c.WritesPerCS = 3
+	}
+	def(&c.WriteGap, 3*time.Millisecond)
+	if c.KeysPerShard <= 0 {
+		c.KeysPerShard = 4
+	}
+	def(&c.NetDelay, time.Millisecond)
+	def(&c.NetJitter, 500*time.Microsecond)
+	def(&c.RetransTick, 15*time.Millisecond)
+	def(&c.SyncTimeout, 30*time.Millisecond)
+	def(&c.AcquireTimeout, 60*time.Millisecond)
+	def(&c.ReconcileDelay, 150*time.Millisecond)
+	c.Backoff = c.Backoff.WithDefaults()
+	if c.Backoff.Base >= c.TTL {
+		c.Backoff.Base = c.TTL / 8
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 2_000_000
+	}
+	if c.NewLock == nil {
+		c.NewLock = func() sync.Locker { return &sync.Mutex{} }
+	}
+	return c
+}
+
+// Counters are the run's aggregate statistics.
+type Counters struct {
+	Sent          uint64 // messages entering the network
+	Dropped       uint64 // lost to drop/cut rules or crashed receivers
+	Duplicated    uint64 // extra copies from dup rules
+	Retransmits   uint64 // write re-sends
+	Grants        uint64
+	Denies        uint64
+	Writes        uint64 // writes issued by holders (incl. sync diffs)
+	Committed     uint64 // writes acknowledged by every replica
+	StaleRejected uint64 // replica applies fenced off as stale
+	FencedWrites  uint64 // origin-side writes abandoned to fencing
+	LostWrites    uint64 // uncommitted writes wiped by crashes
+	SyncDiffs     uint64 // divergent cells repaired by sync rounds
+}
+
+// Result is one simulation run's outcome.
+type Result struct {
+	Config     Config
+	Violations []Violation
+	Counters   Counters
+	Events     uint64
+	End        time.Duration // simulated time at quiescence
+	// FinalState is node 0's replica rendered canonically; when the
+	// convergence invariant holds it is every replica's state.
+	FinalState string
+	// Trace is the full event trace ("[time] what"), byte-identical
+	// across runs of the same (seed, script).
+	Trace []string
+}
+
+// TraceTail returns the last k trace lines.
+func (r *Result) TraceTail(k int) []string {
+	if k > len(r.Trace) {
+		k = len(r.Trace)
+	}
+	return r.Trace[len(r.Trace)-k:]
+}
+
+// FailureReport renders violations with everything needed to replay
+// them: the seed, the script, the offending steps, and the trace
+// suffix. reproCmd, when non-empty, is echoed as the one-command
+// repro line (cmd/clustersim passes its own invocation).
+func (r *Result) FailureReport(reproCmd string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d invariant violation(s), seed=%d\n", len(r.Violations), r.Config.Seed)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if r.Config.Script != nil && len(r.Config.Script.Steps) > 0 {
+		b.WriteString("fault script:\n")
+		for _, line := range strings.Split(strings.TrimSpace(r.Config.Script.Format()), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	tail := r.TraceTail(40)
+	fmt.Fprintf(&b, "trace (last %d of %d events):\n", len(tail), len(r.Trace))
+	for _, line := range tail {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	if reproCmd != "" {
+		fmt.Fprintf(&b, "repro: %s\n", reproCmd)
+	}
+	return b.String()
+}
+
+// sim is the running simulation.
+type sim struct {
+	cfg Config
+	rng *xrand.XorShift64
+
+	queue    eventQueue
+	seq      uint64
+	faultSeq uint64
+	now      time.Duration
+	events   uint64
+
+	nodes   []*node
+	service *lockService
+	check   *checker
+	rules   []linkRule
+
+	shardKeys  [][]string
+	keyShard   map[string]int
+	reconciled []bool
+	allWrites  []*writeRec
+
+	counters Counters
+	trace    []string
+	lastStep int
+}
+
+// Run executes one simulation. It returns an error only for invalid
+// configuration; protocol misbehavior surfaces as Result.Violations.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Script != nil {
+		if err := cfg.Script.Validate(cfg.Nodes, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	s := &sim{
+		cfg:        cfg,
+		rng:        xrand.NewXorShift64(cfg.Seed),
+		keyShard:   make(map[string]int),
+		reconciled: make([]bool, cfg.Shards),
+		lastStep:   -1,
+	}
+	s.check = newChecker(s, cfg.Shards)
+	s.service = newLockService(s, cfg.Shards)
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			s: s, id: i, alive: true,
+			versions: make(map[string]versioned),
+			leases:   make([]shardLease, cfg.Shards),
+			wmap:     make(map[uint64]*writeRec),
+		}
+		n.store = kvstore.NewFenced(kvstore.OpenSharded(kvstore.ShardedOptions{
+			Shards:  cfg.Shards,
+			NewLock: cfg.NewLock,
+		}))
+		n.store.DisableFencing = cfg.DisableFencing
+		id := i
+		n.store.OnApply = func(rec kvstore.ApplyRecord) { s.check.onApply(id, rec) }
+		s.nodes = append(s.nodes, n)
+	}
+	s.buildKeys()
+
+	// Initial workload ticks, staggered per node.
+	for _, n := range s.nodes {
+		jitter := time.Duration(s.rng.Uint64() % uint64(cfg.WorkloadEvery+1))
+		n.timer(jitter, tWorkload, 0, 0)
+	}
+	// Script steps and the heal, in the fault band.
+	if cfg.Script != nil {
+		for i := range cfg.Script.Steps {
+			s.scheduleFault(cfg.Script.Steps[i].At, &event{kind: evFault, step: i})
+		}
+	}
+	s.scheduleFault(cfg.Duration, &event{kind: evHeal})
+
+	deadline := cfg.Duration + cfg.Heal
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.at > deadline {
+			s.now = deadline
+			s.check.fail("failed to quiesce: events still pending %v after the heal window (next at %v)",
+				cfg.Heal, e.at)
+			break
+		}
+		s.now = e.at
+		s.events++
+		if s.events > cfg.MaxEvents {
+			s.check.fail("livelock: exceeded %d events at %v", cfg.MaxEvents, s.now)
+			break
+		}
+		s.dispatch(e)
+	}
+	s.check.finish()
+
+	return &Result{
+		Config:     cfg,
+		Violations: s.check.violations,
+		Counters:   s.counters,
+		Events:     s.events,
+		End:        s.now,
+		FinalState: dumpReplica(s.nodes[0].versions),
+		Trace:      s.trace,
+	}, nil
+}
+
+// buildKeys assigns KeysPerShard keys to every shard by probing key
+// names until each shard's quota fills — the sim's shard of a key is
+// exactly the store's hash shard, so fences and keys always agree.
+func (s *sim) buildKeys() {
+	s.shardKeys = make([][]string, s.cfg.Shards)
+	idx := s.nodes[0].store.Store()
+	need := s.cfg.Shards * s.cfg.KeysPerShard
+	for i := 0; need > 0; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		sh := idx.ShardIndex([]byte(key))
+		if len(s.shardKeys[sh]) < s.cfg.KeysPerShard {
+			s.shardKeys[sh] = append(s.shardKeys[sh], key)
+			s.keyShard[key] = sh
+			need--
+		}
+	}
+}
+
+func (s *sim) dispatch(e *event) {
+	switch e.kind {
+	case evDeliver:
+		s.tracef("deliver %s", e.msg)
+		s.deliver(e.msg)
+	case evTimer:
+		n := s.nodes[e.node]
+		if !n.alive || e.gen != n.gen {
+			return
+		}
+		if n.paused {
+			n.deferred = append(n.deferred, e)
+			return
+		}
+		n.onTimer(e)
+	case evFault:
+		s.applyStep(e.step)
+	case evUnpause:
+		s.nodes[e.node].unpause()
+	case evHeal:
+		s.heal()
+	}
+}
+
+// applyStep executes one script step. Every trace line it emits is
+// prefixed "fault:" so the fuzz harness can filter fault narration
+// when comparing a neutered run against a script-free one.
+func (s *sim) applyStep(i int) {
+	st := s.cfg.Script.Steps[i]
+	s.lastStep = i
+	s.tracef("fault: %s", s.cfg.Script.FormatStep(i))
+	switch st.Kind {
+	case StepPause:
+		s.nodes[st.Node].pause()
+		s.scheduleFault(s.now+st.For, &event{kind: evUnpause, node: st.Node})
+	case StepCrash:
+		s.nodes[st.Node].crash()
+	case StepRestart:
+		s.nodes[st.Node].restart()
+	case StepSkew:
+		s.nodes[st.Node].skew = st.Skew
+	case StepExpire:
+		s.service.forceExpire(st.Shard)
+	case StepCut, StepDrop, StepDup, StepDelay:
+		s.rules = append(s.rules, linkRule{
+			kind: st.Kind, from: st.From, to: st.To,
+			p: st.P, dmin: st.DelayMin, dmax: st.DelayMax,
+			until: s.now + st.For,
+		})
+	}
+}
+
+// heal ends the fault era: every node is unpaused and restarted,
+// skews and link rules clear, and one reconcile acquisition per shard
+// is scheduled — the final anti-entropy pass that guarantees replica
+// convergence before the end-of-run audit.
+func (s *sim) heal() {
+	s.tracef("heal: faults end, reconciling %d shards", s.cfg.Shards)
+	for _, n := range s.nodes {
+		n.unpause()
+		n.restart()
+		n.skew = 0
+	}
+	s.rules = nil
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		target := s.nodes[shard%s.cfg.Nodes]
+		delay := s.cfg.ReconcileDelay + time.Duration(shard)*5*time.Millisecond
+		s.schedule(s.now+delay, &event{
+			kind: evTimer, node: target.id, tk: tReconcile, shard: shard, gen: target.gen,
+		})
+	}
+}
+
+func (s *sim) tracef(format string, args ...any) {
+	s.trace = append(s.trace, fmt.Sprintf("[%v] ", s.now)+fmt.Sprintf(format, args...))
+}
+
+func (s *sim) lastStepText() string {
+	if s.cfg.Script == nil || s.lastStep < 0 {
+		return "<none>"
+	}
+	return s.cfg.Script.FormatStep(s.lastStep)
+}
+
+func sortStrings(v []string) { sort.Strings(v) }
+func sortInts(v []int)       { sort.Ints(v) }

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortConfig is a fast topology for protocol tests.
+func shortConfig(seed uint64) Config {
+	return Config{
+		Nodes: 3, Shards: 2, Seed: seed,
+		Duration: 600 * time.Millisecond,
+		Heal:     1500 * time.Millisecond,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// A fault-free run must satisfy every invariant and actually exercise
+// the protocol: grants happen, writes commit, replicas converge.
+func TestNoFaultRun(t *testing.T) {
+	res := mustRun(t, shortConfig(1))
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations in a fault-free run:\n%s", res.FailureReport(""))
+	}
+	c := res.Counters
+	if c.Grants == 0 || c.Writes == 0 || c.Committed == 0 {
+		t.Fatalf("protocol idle: %+v", c)
+	}
+	if c.Dropped != 0 || c.Duplicated != 0 {
+		t.Fatalf("faults fired without a script: %+v", c)
+	}
+	if res.FinalState == "" {
+		t.Fatal("empty final state after a run with committed writes")
+	}
+}
+
+// Determinism is the tentpole property: the same (seed, script) must
+// produce a byte-identical event trace and final replica state, and a
+// different seed must diverge.
+func TestDeterministicReplay(t *testing.T) {
+	script, err := LoadScript("lease-expiry-mid-cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 7, Script: script}
+
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.FinalState != b.FinalState {
+		t.Fatalf("final states differ across identical runs:\n%s\n%s", a.FinalState, b.FinalState)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverges at line %d:\n%s\n%s", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("counters differ: %+v vs %+v", a.Counters, b.Counters)
+	}
+
+	cfg.Seed = 8
+	c := mustRun(t, cfg)
+	if strings.Join(c.Trace, "\n") == strings.Join(a.Trace, "\n") {
+		t.Fatal("seeds 7 and 8 produced identical traces")
+	}
+}
+
+// Every canonical script must pass every invariant across fixed seeds
+// — this is the same matrix `make cluster` runs.
+func TestCanonicalScripts(t *testing.T) {
+	for _, name := range ScriptNames() {
+		script, err := LoadScript(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []uint64{1, 2, 3} {
+			res := mustRun(t, Config{Seed: seed, Script: script})
+			if len(res.Violations) != 0 {
+				t.Errorf("script %s seed %d:\n%s", name, seed, res.FailureReport(""))
+			}
+		}
+	}
+}
+
+// expiryScript hammers one shard with pause-the-holder + forced expiry
+// so stale-fenced writes are generated: paused holders wake with
+// unexpired-looking leases and retransmit under dead epochs.
+const expiryScript = `
+at 100ms pause n0 for 300ms
+at 120ms expire shard 0
+at 500ms pause n1 for 300ms
+at 520ms expire shard 0
+at 900ms pause n2 for 300ms
+at 920ms expire shard 0
+`
+
+func expiryConfig(seed uint64) Config {
+	return Config{
+		Nodes: 3, Shards: 1, Seed: seed,
+		Duration:      1300 * time.Millisecond,
+		Heal:          1500 * time.Millisecond,
+		WorkloadEvery: 30 * time.Millisecond,
+	}
+}
+
+// The fencing gate must actually be load-bearing. With fencing ON the
+// expiry gauntlet produces stale rejections and zero violations; with
+// fencing OFF (DisableFencing) the same schedules apply stale writes
+// and the no-stale-apply checker must report them — the negative test
+// proving the checker catches real fencing violations, with a
+// one-command repro in the failure report.
+func TestStaleFenceNegative(t *testing.T) {
+	script, err := ParseScript(expiryScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleSeeds []uint64
+	var caught *Result
+	for seed := uint64(1); seed <= 20 && caught == nil; seed++ {
+		cfg := expiryConfig(seed)
+		cfg.Script = script
+
+		honest := mustRun(t, cfg)
+		if len(honest.Violations) != 0 {
+			t.Fatalf("fencing on, seed %d: unexpected violations:\n%s", seed, honest.FailureReport(""))
+		}
+		if honest.Counters.StaleRejected == 0 {
+			continue // this seed never created stale pressure
+		}
+		staleSeeds = append(staleSeeds, seed)
+
+		cfg.DisableFencing = true
+		broken := mustRun(t, cfg)
+		for _, v := range broken.Violations {
+			if strings.Contains(v.Msg, "applied stale-fenced write") {
+				caught = broken
+				break
+			}
+		}
+	}
+	if len(staleSeeds) == 0 {
+		t.Fatal("no seed in 1..20 produced stale-fenced writes; the gauntlet lost its teeth")
+	}
+	if caught == nil {
+		t.Fatalf("fencing off never applied a stale write on stale-pressure seeds %v", staleSeeds)
+	}
+
+	report := caught.FailureReport("clustersim -nodes 3 -shards 1 -seed N -script expiry.script -no-fencing")
+	for _, want := range []string{"seed=", "applied stale-fenced write", "trace (last", "repro: clustersim"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("failure report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// A paused-then-healed cluster must converge: replica dumps are
+// compared by the convergence checker, so it suffices that a run with
+// heavy faults ends violation-free, but pin the convergence directly
+// too for one adversarial case.
+func TestConvergenceAfterPartition(t *testing.T) {
+	script, err := ParseScript(`
+at 50ms cut n0->n1 for 300ms
+at 50ms cut n1->n0 for 300ms
+at 80ms drop n2->* p=0.6 for 250ms
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortConfig(11)
+	cfg.Script = script
+	res := mustRun(t, cfg)
+	if len(res.Violations) != 0 {
+		t.Fatalf("partition run:\n%s", res.FailureReport(""))
+	}
+	if res.Counters.Dropped == 0 {
+		t.Fatal("cut/drop rules never fired")
+	}
+}
+
+// Script validation rejects out-of-range endpoints at Run time.
+func TestRunValidatesScript(t *testing.T) {
+	script, err := ParseScript("at 10ms crash n9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortConfig(1)
+	cfg.Script = script
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a script referencing n9 in a 3-node cluster")
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event bands. All fault-machinery events (script steps, unpauses,
+// the heal) live in band 0 with their own sequence counter; everything
+// the protocol itself does lives in band 1. Ordering compares
+// (time, band, seq), so at any instant the fault machinery runs first
+// and — crucially — scheduling a fault event never shifts the
+// tiebreak order of normal events. That separation is what makes a
+// neutered (all no-op) fault script produce a byte-identical trace to
+// running with no script at all, which FuzzFaultScript pins.
+const (
+	bandFault  = 0
+	bandNormal = 1
+)
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota // message delivery at a node or the service
+	evTimer                    // node-local timer callback
+	evFault                    // one script step fires
+	evUnpause                  // end of a pause step
+	evHeal                     // global heal: faults end, reconcile begins
+)
+
+// timerKind discriminates node-local timers. Every timer carries the
+// node's generation at scheduling time; a crash bumps the generation,
+// so timers from a previous incarnation arrive dead and are dropped.
+type timerKind int
+
+const (
+	tWorkload   timerKind = iota // pick a shard, try to acquire
+	tRetry                       // backoff expired: retry the acquire
+	tAcquireTO                   // acquire request timed out (lost grant/deny)
+	tRenew                       // half-TTL lease renewal
+	tSyncTO                      // sync round deadline (proceed with partial state)
+	tWrite                       // issue the next critical-section write
+	tRelease                     // hold time over: release the lease
+	tRetransmit                  // re-send a write's unacked copies
+	tReconcile                   // post-heal reconcile acquire for one shard
+)
+
+type event struct {
+	at   time.Duration
+	band int
+	seq  uint64
+
+	kind eventKind
+	node int // target node; svcID for the lock service
+	msg  *message
+	// timer payload
+	tk    timerKind
+	shard int
+	gen   uint64
+	wid   int // write index for tRetransmit
+	// fault payload
+	step int // index into the script's steps
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.band != b.band {
+		return a.band < b.band
+	}
+	return a.seq < b.seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// schedule enqueues e in the normal band at time at.
+func (s *sim) schedule(at time.Duration, e *event) {
+	e.at = at
+	e.band = bandNormal
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.queue, e)
+}
+
+// scheduleFault enqueues e in the fault band at time at.
+func (s *sim) scheduleFault(at time.Duration, e *event) {
+	e.at = at
+	e.band = bandFault
+	s.faultSeq++
+	e.seq = s.faultSeq
+	heap.Push(&s.queue, e)
+}

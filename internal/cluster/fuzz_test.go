@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzConfig is the fixed topology the fuzzer replays scripts under:
+// small enough that two full simulations per input stay cheap.
+func fuzzConfig(seed uint64, script *Script) Config {
+	return Config{
+		Nodes: 3, Shards: 2, Seed: seed,
+		Duration: 300 * time.Millisecond,
+		Heal:     900 * time.Millisecond,
+		Script:   script,
+	}
+}
+
+// normalTrace strips fault-band narration ("fault: ..." step lines)
+// from a trace, leaving only protocol events.
+func normalTrace(trace []string) string {
+	var b strings.Builder
+	for _, line := range trace {
+		if strings.Contains(line, "] fault:") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FuzzFaultScript drives the script parser and the fault interpreter
+// with arbitrary inputs and checks two properties on everything that
+// parses:
+//
+//  1. Canonical form is a fixed point: Format(Parse(x)) reparses to
+//     the same canonical text (the parser and printer agree).
+//  2. A neutered script is a no-op: running Neuter(script) must be
+//     indistinguishable — byte-identical protocol trace, final state,
+//     and counters — from running with no script at all. This pins the
+//     fault machinery's determinism contract: fault events occupy a
+//     separate scheduling band with a separate sequence counter, and
+//     zero-effect faults draw nothing from the PRNG, so scheduling
+//     them cannot perturb the normal event stream.
+func FuzzFaultScript(f *testing.F) {
+	for _, name := range ScriptNames() {
+		s, err := LoadScript(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s.Format(), uint64(1))
+	}
+	f.Add("at 10ms pause n0 for 20ms\nat 15ms skew n1 +3ms\nat 40ms drop n0->* p=0.5 for 100ms\n", uint64(7))
+	f.Add("# comment\n\nat 1ms delay *->svc 2ms..9ms for 50ms\nat 2ms dup n2->n0 p=1 for 10ms\n", uint64(9))
+	f.Add("at 0s expire shard 1\nat 3ms crash n2\nat 5ms restart n2\nat 9ms cut svc->n1 for 40ms\n", uint64(3))
+
+	f.Fuzz(func(t *testing.T, text string, seed uint64) {
+		script, err := ParseScript(text)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+
+		canon := script.Format()
+		re, err := ParseScript(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, canon)
+		}
+		if got := re.Format(); got != canon {
+			t.Fatalf("canonical form is not a fixed point:\n--- first\n%s\n--- second\n%s", canon, got)
+		}
+
+		cfg := fuzzConfig(seed%64+1, nil)
+		if script.Validate(cfg.Nodes, cfg.Shards) != nil {
+			return // out-of-topology endpoints are Run-time config errors
+		}
+		for _, st := range script.Steps {
+			if st.At > cfg.Duration+cfg.Heal {
+				return // a step beyond the horizon can never run
+			}
+		}
+
+		neutered := script.Neuter()
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("baseline run: %v", err)
+		}
+		cfgN := cfg
+		cfgN.Script = neutered
+		defanged, err := Run(cfgN)
+		if err != nil {
+			t.Fatalf("neutered run: %v", err)
+		}
+
+		if base.FinalState != defanged.FinalState {
+			t.Fatalf("neutered script changed the final state:\nscript:\n%s\nbase: %s\nneutered: %s",
+				canon, base.FinalState, defanged.FinalState)
+		}
+		if a, b := normalTrace(base.Trace), normalTrace(defanged.Trace); a != b {
+			t.Fatalf("neutered script perturbed the protocol trace:\nscript:\n%s\n--- base\n%s--- neutered\n%s",
+				canon, a, b)
+		}
+		if base.Counters != defanged.Counters {
+			t.Fatalf("neutered script changed counters: %+v vs %+v", base.Counters, defanged.Counters)
+		}
+		if len(base.Violations) != 0 || len(defanged.Violations) != 0 {
+			t.Fatalf("violations in a faultless run: base %v, neutered %v", base.Violations, defanged.Violations)
+		}
+	})
+}

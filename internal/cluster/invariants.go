@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// Violation is one invariant breach, stamped with the simulated time
+// and the last fault-script step that had been applied when it was
+// detected (the step most likely to have provoked it).
+type Violation struct {
+	At   time.Duration
+	Msg  string
+	Step string // canonical text of the last applied script step, or "<none>"
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s (last fault: %s)", v.At, v.Msg, v.Step)
+}
+
+// grantWindow is the checker's view of one shard's active lease.
+type grantWindow struct {
+	holder int
+	epoch  uint64
+	expiry time.Duration
+	open   bool
+}
+
+// checker runs the continuous invariants. It observes the run through
+// narrow hooks — grants, denials, applies, version updates — and
+// accumulates violations instead of stopping, so one run reports every
+// breach it can reach.
+//
+// Invariants:
+//
+//  1. Lease exclusivity: at most one holder per shard at a time, and
+//     fencing epochs strictly increase per shard.
+//  2. No stale apply: no replica ever applies a write whose fencing
+//     token is below that replica's fence (kvstore.Fenced reports every
+//     apply; any Stale && Applied record is a breach).
+//  3. Version monotonicity: per replica, per key, applied (epoch, seq)
+//     versions strictly increase — duplicates and reordered
+//     retransmissions must never regress a cell.
+//  4. Graceful degradation: after a denial, the next acquire for that
+//     (node, shard) must wait at least the backoff Base — retry storms
+//     are bounded below, never tight loops.
+type checker struct {
+	s          *sim
+	violations []Violation
+
+	windows  []grantWindow // per shard
+	maxEpoch []uint64      // per shard
+
+	lastDeny map[[2]int]time.Duration     // (node, shard) -> time of last denial
+	versions map[int]map[string]versioned // node -> key -> last applied version
+}
+
+func newChecker(s *sim, shards int) *checker {
+	return &checker{
+		s:        s,
+		windows:  make([]grantWindow, shards),
+		maxEpoch: make([]uint64, shards),
+		lastDeny: make(map[[2]int]time.Duration),
+		versions: make(map[int]map[string]versioned),
+	}
+}
+
+func (c *checker) fail(format string, args ...any) {
+	v := Violation{At: c.s.now, Msg: fmt.Sprintf(format, args...), Step: c.s.lastStepText()}
+	c.violations = append(c.violations, v)
+	c.s.tracef("VIOLATION: %s", v.Msg)
+}
+
+// onGrant checks lease exclusivity and epoch monotonicity at the
+// service's grant linearization point.
+func (c *checker) onGrant(shard int, epoch uint64, holder int, now, expiry time.Duration) {
+	w := &c.windows[shard]
+	if w.open && now < w.expiry {
+		c.fail("shard %d granted to n%d (e%d) while n%d still holds e%d until %v",
+			shard, holder, epoch, w.holder, w.epoch, w.expiry)
+	}
+	if epoch <= c.maxEpoch[shard] {
+		c.fail("shard %d epoch regressed: granted e%d after e%d", shard, epoch, c.maxEpoch[shard])
+	}
+	c.maxEpoch[shard] = epoch
+	c.windows[shard] = grantWindow{holder: holder, epoch: epoch, expiry: expiry, open: true}
+}
+
+func (c *checker) onRenew(shard int, expiry time.Duration) {
+	c.windows[shard].expiry = expiry
+}
+
+// onLeaseEnd marks the shard's window closed (release, forced expiry,
+// or observed lapse).
+func (c *checker) onLeaseEnd(shard int, now time.Duration) {
+	w := &c.windows[shard]
+	w.open = false
+	if w.expiry > now {
+		w.expiry = now
+	}
+}
+
+func (c *checker) onGrantSeen(node, shard int) {
+	delete(c.lastDeny, [2]int{node, shard})
+}
+
+// onApply consumes every kvstore.Fenced apply record from every node.
+func (c *checker) onApply(node int, rec kvstore.ApplyRecord) {
+	if rec.Stale && rec.Applied {
+		c.fail("n%d applied stale-fenced write: key %s epoch %d below fence %d (shard %d)",
+			node, rec.Key, rec.Epoch, rec.Fence, rec.Shard)
+	}
+}
+
+// onVersion checks per-replica per-key version monotonicity.
+func (c *checker) onVersion(node int, key string, v versioned) {
+	m := c.versions[node]
+	if m == nil {
+		m = make(map[string]versioned)
+		c.versions[node] = m
+	}
+	if cur, ok := m[key]; ok && !cur.less(v) {
+		c.fail("n%d version regressed on %s: applied e%d.w%d over e%d.w%d",
+			node, key, v.epoch, v.seq, cur.epoch, cur.seq)
+	}
+	m[key] = v
+}
+
+func (c *checker) onDeny(node, shard int, now time.Duration) {
+	c.lastDeny[[2]int{node, shard}] = now
+}
+
+func (c *checker) onAcquireSend(node, shard int, now time.Duration) {
+	if last, ok := c.lastDeny[[2]int{node, shard}]; ok {
+		if gap := now - last; gap < c.s.cfg.Backoff.Base {
+			c.fail("n%d retried shard %d only %v after a denial (backoff base %v)",
+				node, shard, gap, c.s.cfg.Backoff.Base)
+		}
+	}
+}
+
+// finish runs the end-of-run checks after the event queue drained:
+// every shard reconciled, all replicas byte-identical, every fence at
+// the maximum issued epoch, and every committed write durable (present
+// at its version, or superseded by a higher one).
+func (c *checker) finish() {
+	for shard, done := range c.s.reconciled {
+		if !done {
+			c.fail("shard %d never completed post-heal reconciliation", shard)
+		}
+	}
+	var grants uint64
+	for _, e := range c.maxEpoch {
+		grants += e
+	}
+	if int(grants) < c.s.cfg.Shards {
+		c.fail("no progress: %d grants across %d shards", grants, c.s.cfg.Shards)
+	}
+
+	dumps := make([]string, len(c.s.nodes))
+	for i, n := range c.s.nodes {
+		dumps[i] = dumpReplica(n.versions)
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			c.fail("replicas diverged after heal: n0 and n%d disagree\nn0: %s\nn%d: %s",
+				i, dumps[0], i, dumps[i])
+		}
+	}
+	for _, n := range c.s.nodes {
+		for shard := 0; shard < c.s.cfg.Shards; shard++ {
+			if got := n.store.Fence(shard); got != c.maxEpoch[shard] {
+				c.fail("n%d fence for shard %d is %d, want max issued epoch %d",
+					n.id, shard, got, c.maxEpoch[shard])
+			}
+		}
+	}
+	final := c.s.nodes[0].versions
+	for _, rec := range c.s.allWrites {
+		if !rec.committed {
+			continue
+		}
+		v := versioned{epoch: rec.epoch, seq: rec.seq, val: rec.val}
+		cur, ok := final[rec.key]
+		if !ok || cur.less(v) {
+			c.fail("committed write lost: %s=e%d.w%d absent from the final state", rec.key, rec.epoch, rec.seq)
+		} else if cur.epoch == v.epoch && cur.seq == v.seq && cur.val != rec.val {
+			c.fail("committed write corrupted: %s final value %q, wrote %q", rec.key, cur.val, rec.val)
+		}
+	}
+}
+
+// dumpReplica renders a replica's state canonically for convergence
+// comparison and the determinism test.
+func dumpReplica(versions map[string]versioned) string {
+	keys := make([]string, 0, len(versions))
+	for k := range versions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		v := versions[k]
+		out += fmt.Sprintf("%s=e%d.w%d:%s;", k, v.epoch, v.seq, v.val)
+	}
+	return out
+}

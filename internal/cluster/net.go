@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+type msgKind int
+
+const (
+	mAcquire msgKind = iota
+	mGrant
+	mDeny
+	mRenew
+	mRenewOK
+	mRenewDeny
+	mRelease
+	mWrite
+	mAck
+	mSyncReq
+	mSyncResp
+)
+
+var msgNames = [...]string{"acquire", "grant", "deny", "renew", "renew-ok",
+	"renew-deny", "release", "write", "ack", "sync-req", "sync-resp"}
+
+// versioned is one replicated cell: the value and the (epoch, seq)
+// version that wrote it. Versions order lexicographically; the fencing
+// epoch dominates, the writer-local sequence breaks ties within a
+// lease.
+type versioned struct {
+	epoch uint64
+	seq   uint64
+	val   string
+}
+
+func (v versioned) less(o versioned) bool {
+	if v.epoch != o.epoch {
+		return v.epoch < o.epoch
+	}
+	return v.seq < o.seq
+}
+
+type message struct {
+	kind     msgKind
+	from, to int
+	shard    int
+	epoch    uint64
+	seq      uint64 // write sequence (mWrite/mAck)
+	key, val string
+	stale    bool                 // mAck: write was fenced off; stop retransmitting
+	state    map[string]versioned // mSyncResp payload: the shard's cells
+}
+
+func (m *message) String() string {
+	s := fmt.Sprintf("%s %s->%s s%d", msgNames[m.kind], epName(m.from), epName(m.to), m.shard)
+	if m.epoch > 0 {
+		s += fmt.Sprintf(" e%d", m.epoch)
+	}
+	if m.kind == mWrite || m.kind == mAck {
+		s += fmt.Sprintf(" w%d %s", m.seq, m.key)
+	}
+	if m.stale {
+		s += " stale"
+	}
+	return s
+}
+
+// linkRule is one active network fault from a script step. Rules are
+// matched at send time in installation order and expire lazily (a rule
+// applies only while sendTime < until), so no extra events are needed.
+type linkRule struct {
+	kind     StepKind // StepCut, StepDrop, StepDup, StepDelay
+	from, to int      // AnyEndpoint matches all
+	p        float64
+	dmin     time.Duration
+	dmax     time.Duration
+	until    time.Duration
+}
+
+func (r *linkRule) matches(from, to int, now time.Duration) bool {
+	if now >= r.until {
+		return false
+	}
+	if r.from != AnyEndpoint && r.from != from {
+		return false
+	}
+	if r.to != AnyEndpoint && r.to != to {
+		return false
+	}
+	return true
+}
+
+// send routes m through the simulated network: fixed base latency plus
+// seeded jitter, then every matching script rule in installation
+// order — cut drops outright, drop rolls p, dup schedules a second
+// copy, delay adds a uniform draw from its range.
+//
+// Determinism contract: a rule consumes PRNG state only when it can
+// have an effect (p > 0, or a nonzero delay range). A fully neutered
+// rule draws nothing, so installing it cannot perturb the run — the
+// invariant the fuzz harness leans on.
+func (s *sim) send(m *message) {
+	delay := s.cfg.NetDelay
+	if s.cfg.NetJitter > 0 {
+		delay += time.Duration(s.rng.Uint64() % uint64(s.cfg.NetJitter))
+	}
+	dups := 0
+	for _, r := range s.rules {
+		if !r.matches(m.from, m.to, s.now) {
+			continue
+		}
+		switch r.kind {
+		case StepCut:
+			s.counters.Dropped++
+			s.tracef("net: cut %s", m)
+			return
+		case StepDrop:
+			if r.p > 0 && s.rng.Bernoulli(r.p) {
+				s.counters.Dropped++
+				s.tracef("net: drop %s", m)
+				return
+			}
+		case StepDup:
+			if r.p > 0 && s.rng.Bernoulli(r.p) {
+				dups++
+			}
+		case StepDelay:
+			if r.dmax > 0 {
+				span := uint64(r.dmax-r.dmin) + 1
+				delay += r.dmin + time.Duration(s.rng.Uint64()%span)
+			}
+		}
+	}
+	s.counters.Sent++
+	s.schedule(s.now+delay, &event{kind: evDeliver, node: m.to, msg: m})
+	for i := 0; i < dups; i++ {
+		s.counters.Duplicated++
+		extra := time.Duration(s.rng.Uint64() % uint64(s.cfg.NetDelay+1))
+		s.schedule(s.now+delay+extra, &event{kind: evDeliver, node: m.to, msg: m})
+	}
+}
+
+// deliver dispatches an arrived message: the service handles it
+// immediately; a crashed node drops it (retransmission recovers); a
+// paused node buffers it for the unpause drain.
+func (s *sim) deliver(m *message) {
+	if m.to == svcID {
+		s.service.handle(m)
+		return
+	}
+	n := s.nodes[m.to]
+	if !n.alive {
+		s.tracef("drop at crashed %s: %s", epName(m.to), m)
+		return
+	}
+	if n.paused {
+		n.inbox = append(n.inbox, m)
+		return
+	}
+	n.handle(m)
+}

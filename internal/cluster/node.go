@@ -1,0 +1,526 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/kvstore"
+)
+
+// leaseState is one node's view of its lease FSM for one shard.
+type leaseState int
+
+const (
+	lsIdle       leaseState = iota
+	lsRequesting            // acquire sent, awaiting grant/deny
+	lsBackoff               // denied; waiting out a jittered backoff
+	lsSyncing               // granted; merging replica states
+	lsWriting               // critical section: issuing fenced writes
+	lsHolding               // writes done; holding until release
+)
+
+var leaseStateNames = [...]string{"idle", "requesting", "backoff", "syncing", "writing", "holding"}
+
+type shardLease struct {
+	state leaseState
+	epoch uint64
+	// localExpiry is when this node stops trusting the lease, on its
+	// own (possibly skewed) clock: grant receipt + TTL - guard band.
+	localExpiry time.Duration
+	bo          *backoff.Backoff
+	reqSeq      int  // matches acquire timeouts to the outstanding request
+	reconcile   bool // post-heal anti-entropy acquisition
+
+	syncPending map[int]bool
+	views       map[int]map[string]versioned // responder (and self) shard states
+	writesLeft  int
+}
+
+// writeRec tracks one replicated write at its origin: which peers have
+// not acknowledged it (retransmit targets), whether it was fenced off
+// (abandoned), and whether every replica has it (committed). The
+// record set is volatile — a crash wipes the retransmit obligation,
+// which is exactly the divergence sync rounds must repair.
+type writeRec struct {
+	wid      int
+	shard    int
+	epoch    uint64
+	seq      uint64
+	key, val string
+
+	pending   map[int]bool
+	abandoned bool
+	committed bool
+}
+
+// node is one simulated cluster member: a durable fenced replica plus
+// volatile protocol state. Crash loses everything volatile; pause
+// buffers the inbox and defers timers (the GC-pause model: the node's
+// world stops, the cluster's does not).
+type node struct {
+	s  *sim
+	id int
+
+	// Durable across crash/restart.
+	store    *kvstore.Fenced
+	versions map[string]versioned
+	wseq     uint64 // durable write-log position: ids stay unique across incarnations
+
+	// Volatile.
+	alive    bool
+	paused   bool
+	gen      uint64
+	inbox    []*message
+	deferred []*event
+	skew     time.Duration
+	leases   []shardLease
+	outbox   []*writeRec
+	wmap     map[uint64]*writeRec // write seq -> record, for ack routing
+}
+
+func (n *node) localNow() time.Duration { return n.s.now + n.skew }
+
+// timer schedules a node-local timer guarded by the current generation.
+func (n *node) timer(delay time.Duration, tk timerKind, shard, wid int) {
+	n.s.schedule(n.s.now+delay, &event{
+		kind: evTimer, node: n.id, tk: tk, shard: shard, gen: n.gen, wid: wid,
+	})
+}
+
+func (n *node) peers() []int {
+	out := make([]int, 0, len(n.s.nodes)-1)
+	for i := range n.s.nodes {
+		if i != n.id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- acquisition ---
+
+func (n *node) tryAcquire(shard int, reconcile bool) {
+	ls := &n.leases[shard]
+	ls.state = lsRequesting
+	ls.reconcile = reconcile
+	ls.reqSeq++
+	n.s.check.onAcquireSend(n.id, shard, n.s.now)
+	n.s.send(&message{kind: mAcquire, from: n.id, to: svcID, shard: shard})
+	n.timer(n.s.cfg.AcquireTimeout, tAcquireTO, shard, ls.reqSeq)
+}
+
+// backoffRetry handles a deny (explicit or by timeout): draw the next
+// capped decorrelated-jitter delay and schedule the retry. The first
+// delay of an episode is exactly the policy Base — the floor the
+// livelock checker asserts.
+func (n *node) backoffRetry(shard int) {
+	ls := &n.leases[shard]
+	if ls.bo == nil {
+		ls.bo = backoff.New(n.s.cfg.Backoff, n.s.rng.Uint64())
+	}
+	d := ls.bo.Next()
+	n.s.check.onDeny(n.id, shard, n.s.now)
+	ls.state = lsBackoff
+	n.timer(d, tRetry, shard, 0)
+}
+
+func (n *node) onGrant(m *message) {
+	ls := &n.leases[m.shard]
+	if ls.state != lsRequesting {
+		// Late grant (we timed out and moved on): never use it; the
+		// lease lapses at the service by TTL.
+		n.s.tracef("n%d: ignoring late %s (state %s)", n.id, m, leaseStateNames[ls.state])
+		return
+	}
+	ls.state = lsSyncing
+	ls.epoch = m.epoch
+	ls.localExpiry = n.localNow() + n.s.cfg.TTL - n.s.cfg.GuardBand
+	ls.bo = nil
+	n.s.check.onGrantSeen(n.id, m.shard)
+	n.store.Advance(m.shard, m.epoch)
+
+	// Sync round: collect every peer's shard state, so writes admitted
+	// under earlier epochs but not fully replicated get repaired under
+	// this epoch's authority before (and instead of) diverging.
+	ls.syncPending = make(map[int]bool)
+	ls.views = map[int]map[string]versioned{n.id: n.snapshotShard(m.shard)}
+	for _, p := range n.peers() {
+		ls.syncPending[p] = true
+		n.s.send(&message{kind: mSyncReq, from: n.id, to: p, shard: m.shard, epoch: m.epoch})
+	}
+	if len(ls.syncPending) == 0 {
+		n.finishSync(m.shard)
+	} else if !ls.reconcile {
+		n.timer(n.s.cfg.SyncTimeout, tSyncTO, m.shard, int(m.epoch))
+	}
+	n.timer(n.s.cfg.TTL/2, tRenew, m.shard, int(m.epoch))
+	if !ls.reconcile {
+		n.timer(n.s.cfg.Hold, tRelease, m.shard, int(m.epoch))
+	}
+}
+
+func (n *node) snapshotShard(shard int) map[string]versioned {
+	out := make(map[string]versioned)
+	for key, v := range n.versions {
+		if n.s.keyShard[key] == shard {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+// finishSync merges the collected views and re-replicates, under the
+// new epoch, every key some view disagrees on. A normal grant then
+// enters its critical section; a reconcile grant waits for the diff
+// writes to drain and releases.
+func (n *node) finishSync(shard int) {
+	ls := &n.leases[shard]
+	merged := make(map[string]versioned)
+	for _, view := range ls.views {
+		for key, v := range view {
+			if cur, ok := merged[key]; !ok || cur.less(v) {
+				merged[key] = v
+			}
+		}
+	}
+	diff := make([]string, 0)
+	for key, maxv := range merged {
+		for _, view := range ls.views {
+			if v, ok := view[key]; !ok || v != maxv {
+				diff = append(diff, key)
+				break
+			}
+		}
+	}
+	sortStrings(diff)
+	for _, key := range diff {
+		if !n.issueWrite(shard, key, merged[key].val) {
+			return // fenced at origin: lease already dead
+		}
+		n.s.counters.SyncDiffs++
+	}
+	if ls.reconcile {
+		ls.state = lsHolding
+		n.maybeFinishReconcile(shard)
+		return
+	}
+	ls.state = lsWriting
+	ls.writesLeft = n.s.cfg.WritesPerCS
+	n.timer(n.s.cfg.WriteGap, tWrite, shard, int(ls.epoch))
+}
+
+// --- writes ---
+
+// issueWrite applies one fenced write locally and replicates it to all
+// peers with retransmission until acknowledged. Reports false when the
+// write was fenced off at the origin itself — the lease is dead and
+// the caller must stop its critical section.
+func (n *node) issueWrite(shard int, key, val string) bool {
+	ls := &n.leases[shard]
+	n.wseq++
+	v := versioned{epoch: ls.epoch, seq: n.wseq, val: val}
+	if err := n.store.Apply([]byte(key), []byte(val), ls.epoch); err != nil {
+		n.s.counters.FencedWrites++
+		n.s.tracef("n%d: own write %s w%d fenced at origin (e%d < fence)", n.id, key, n.wseq, ls.epoch)
+		n.abortLease(shard, "fenced at origin")
+		return false
+	}
+	n.applyVersion(key, v)
+	rec := &writeRec{
+		wid: len(n.outbox), shard: shard, epoch: ls.epoch, seq: n.wseq,
+		key: key, val: val, pending: make(map[int]bool),
+	}
+	n.outbox = append(n.outbox, rec)
+	n.wmap[rec.seq] = rec
+	n.s.counters.Writes++
+	n.s.allWrites = append(n.s.allWrites, rec)
+	for _, p := range n.peers() {
+		rec.pending[p] = true
+		n.s.send(&message{kind: mWrite, from: n.id, to: p, shard: shard,
+			epoch: rec.epoch, seq: rec.seq, key: key, val: val})
+	}
+	n.timer(n.s.cfg.RetransTick, tRetransmit, shard, rec.wid)
+	return true
+}
+
+func (n *node) applyVersion(key string, v versioned) {
+	n.s.check.onVersion(n.id, key, v)
+	n.versions[key] = v
+}
+
+func (n *node) onWrite(m *message) {
+	v := versioned{epoch: m.epoch, seq: m.seq, val: m.val}
+	ack := &message{kind: mAck, from: n.id, to: m.from, shard: m.shard, epoch: m.epoch, seq: m.seq}
+	if cur, ok := n.versions[m.key]; ok && !cur.less(v) {
+		// Duplicate or superseded: already at this version or newer.
+		n.s.send(ack)
+		return
+	}
+	if err := n.store.Apply([]byte(m.key), []byte(m.val), m.epoch); err != nil {
+		// Stale fencing token: a newer lease's authority reached this
+		// replica first. Reject, and tell the origin to stop trying.
+		n.s.counters.StaleRejected++
+		ack.stale = true
+		n.s.send(ack)
+		return
+	}
+	n.applyVersion(m.key, v)
+	n.s.send(ack)
+}
+
+func (n *node) onAck(m *message) {
+	rec := n.wmap[m.seq]
+	if rec == nil || rec.abandoned || rec.committed {
+		return
+	}
+	if m.stale {
+		rec.abandoned = true
+		n.s.counters.FencedWrites++
+		n.s.tracef("n%d: write w%d %s abandoned: fenced at %s", n.id, rec.seq, rec.key, epName(m.from))
+		// The lease this write rode on is dead; stop the critical
+		// section if it is still running under that epoch.
+		ls := &n.leases[rec.shard]
+		if ls.epoch == rec.epoch && (ls.state == lsSyncing || ls.state == lsWriting || ls.state == lsHolding) {
+			n.abortLease(rec.shard, "write fenced by newer epoch")
+		}
+		return
+	}
+	delete(rec.pending, m.from)
+	if len(rec.pending) == 0 {
+		rec.committed = true
+		n.s.counters.Committed++
+		n.maybeFinishReconcile(rec.shard)
+	}
+}
+
+// --- lease lifecycle ---
+
+func (n *node) abortLease(shard int, why string) {
+	ls := &n.leases[shard]
+	n.s.tracef("n%d: abandoning lease s%d e%d (%s): %s", n.id, shard, ls.epoch, leaseStateNames[ls.state], why)
+	if ls.reconcile {
+		// Reconcile must complete: go back to acquiring.
+		ls.state = lsIdle
+		n.timer(n.s.cfg.RetransTick, tReconcile, shard, 0)
+		return
+	}
+	ls.state = lsIdle
+}
+
+func (n *node) maybeFinishReconcile(shard int) {
+	ls := &n.leases[shard]
+	if !ls.reconcile || ls.state != lsHolding {
+		return
+	}
+	for _, rec := range n.outbox {
+		if rec.shard == shard && rec.epoch == ls.epoch && !rec.committed && !rec.abandoned {
+			return
+		}
+	}
+	n.s.send(&message{kind: mRelease, from: n.id, to: svcID, shard: shard, epoch: ls.epoch})
+	ls.state = lsIdle
+	ls.reconcile = false
+	n.s.reconciled[shard] = true
+	n.s.tracef("n%d: reconciled s%d at e%d", n.id, shard, ls.epoch)
+}
+
+func (n *node) leaseValid(ls *shardLease) bool { return n.localNow() < ls.localExpiry }
+
+// --- message dispatch ---
+
+func (n *node) handle(m *message) {
+	switch m.kind {
+	case mGrant:
+		n.onGrant(m)
+	case mDeny:
+		if n.leases[m.shard].state == lsRequesting {
+			n.backoffRetry(m.shard)
+		}
+	case mRenewOK:
+		ls := &n.leases[m.shard]
+		if ls.epoch == m.epoch && ls.state >= lsSyncing {
+			ls.localExpiry = n.localNow() + n.s.cfg.TTL - n.s.cfg.GuardBand
+		}
+	case mRenewDeny:
+		ls := &n.leases[m.shard]
+		if ls.epoch == m.epoch && ls.state >= lsSyncing {
+			n.abortLease(m.shard, "renewal denied")
+		}
+	case mSyncReq:
+		// Learning of the new lease advances this replica's fence even
+		// before the holder's first write — prompt fencing is what
+		// bounds the stale-write window after an expiry.
+		n.store.Advance(m.shard, m.epoch)
+		n.s.send(&message{kind: mSyncResp, from: n.id, to: m.from, shard: m.shard,
+			epoch: m.epoch, state: n.snapshotShard(m.shard)})
+	case mSyncResp:
+		ls := &n.leases[m.shard]
+		if ls.state != lsSyncing || ls.epoch != m.epoch {
+			return
+		}
+		ls.views[m.from] = m.state
+		delete(ls.syncPending, m.from)
+		if len(ls.syncPending) == 0 {
+			n.finishSync(m.shard)
+		}
+	case mWrite:
+		n.onWrite(m)
+	case mAck:
+		n.onAck(m)
+	default:
+		n.s.tracef("n%d: unexpected %s", n.id, m)
+	}
+}
+
+// --- timers ---
+
+func (n *node) onTimer(e *event) {
+	ls := &n.leases[e.shard]
+	switch e.tk {
+	case tWorkload:
+		if n.s.now < n.s.cfg.Duration {
+			shard := n.s.rng.Intn(n.s.cfg.Shards)
+			if n.leases[shard].state == lsIdle {
+				n.tryAcquire(shard, false)
+			}
+			jitter := time.Duration(n.s.rng.Uint64() % uint64(n.s.cfg.WorkloadEvery/2+1))
+			n.timer(n.s.cfg.WorkloadEvery+jitter, tWorkload, 0, 0)
+		}
+	case tRetry:
+		if ls.state == lsBackoff {
+			n.tryAcquire(e.shard, ls.reconcile)
+		}
+	case tAcquireTO:
+		if ls.state == lsRequesting && ls.reqSeq == e.wid {
+			n.backoffRetry(e.shard)
+		}
+	case tRenew:
+		if ls.epoch == uint64(e.wid) && ls.state >= lsSyncing && n.leaseValid(ls) {
+			n.s.send(&message{kind: mRenew, from: n.id, to: svcID, shard: e.shard, epoch: ls.epoch})
+			n.timer(n.s.cfg.TTL/2, tRenew, e.shard, e.wid)
+		}
+	case tSyncTO:
+		if ls.state == lsSyncing && ls.epoch == uint64(e.wid) {
+			n.s.tracef("n%d: sync s%d e%d proceeding with %d/%d peers",
+				n.id, e.shard, ls.epoch, len(ls.views)-1, len(n.s.nodes)-1)
+			n.finishSync(e.shard)
+		}
+	case tWrite:
+		if ls.state != lsWriting || ls.epoch != uint64(e.wid) {
+			return
+		}
+		if !n.leaseValid(ls) {
+			n.abortLease(e.shard, "lease expired mid-critical-section")
+			return
+		}
+		keys := n.s.shardKeys[e.shard]
+		key := keys[n.s.rng.Intn(len(keys))]
+		val := fmt.Sprintf("n%d.e%d.w%d", n.id, ls.epoch, n.wseq+1)
+		if !n.issueWrite(e.shard, key, val) {
+			return
+		}
+		ls.writesLeft--
+		if ls.writesLeft > 0 {
+			n.timer(n.s.cfg.WriteGap, tWrite, e.shard, e.wid)
+		} else {
+			ls.state = lsHolding
+		}
+	case tRelease:
+		if ls.epoch == uint64(e.wid) && ls.state >= lsSyncing && !ls.reconcile {
+			if n.leaseValid(ls) {
+				n.s.send(&message{kind: mRelease, from: n.id, to: svcID, shard: e.shard, epoch: ls.epoch})
+			}
+			ls.state = lsIdle
+		}
+	case tRetransmit:
+		if e.wid >= len(n.outbox) {
+			return
+		}
+		rec := n.outbox[e.wid]
+		if rec.abandoned || rec.committed {
+			return
+		}
+		targets := make([]int, 0, len(rec.pending))
+		for p := range rec.pending {
+			targets = append(targets, p)
+		}
+		sortInts(targets)
+		for _, p := range targets {
+			n.s.counters.Retransmits++
+			n.s.send(&message{kind: mWrite, from: n.id, to: p, shard: rec.shard,
+				epoch: rec.epoch, seq: rec.seq, key: rec.key, val: rec.val})
+		}
+		n.timer(n.s.cfg.RetransTick, tRetransmit, rec.shard, rec.wid)
+	case tReconcile:
+		if ls.state == lsIdle {
+			n.tryAcquire(e.shard, true)
+		} else {
+			n.timer(n.s.cfg.RetransTick, tReconcile, e.shard, 0)
+		}
+	}
+}
+
+// --- faults ---
+
+func (n *node) pause() {
+	if n.paused || !n.alive {
+		return
+	}
+	n.paused = true
+}
+
+func (n *node) unpause() {
+	if !n.paused {
+		return
+	}
+	n.paused = false
+	deferred := n.deferred
+	n.deferred = nil
+	for _, e := range deferred {
+		if n.alive && e.gen == n.gen {
+			n.onTimer(e)
+		}
+	}
+	inbox := n.inbox
+	n.inbox = nil
+	for _, m := range inbox {
+		if n.alive {
+			n.handle(m)
+		}
+	}
+}
+
+func (n *node) crash() {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.paused = false
+	n.gen++
+	n.inbox, n.deferred = nil, nil
+	lost := 0
+	for _, rec := range n.outbox {
+		if !rec.committed && !rec.abandoned {
+			rec.abandoned = true
+			lost++
+		}
+	}
+	n.s.counters.LostWrites += uint64(lost)
+	n.outbox, n.wmap = nil, make(map[uint64]*writeRec)
+	for i := range n.leases {
+		n.leases[i] = shardLease{}
+	}
+}
+
+func (n *node) restart() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.gen++
+	if n.s.now < n.s.cfg.Duration {
+		jitter := time.Duration(n.s.rng.Uint64() % uint64(n.s.cfg.WorkloadEvery+1))
+		n.timer(jitter, tWorkload, 0, 0)
+	}
+}

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// A fault script is a declarative, seed-replayable schedule of faults:
+// one step per line, executed at simulated times in the fault event
+// band. The grammar (canonical form, as Format emits it):
+//
+//	at <time> pause <node> for <dur>
+//	at <time> crash <node>
+//	at <time> restart <node>
+//	at <time> skew <node> <±dur>
+//	at <time> expire shard <i>
+//	at <time> cut <ep>-><ep> for <dur>
+//	at <time> drop <ep>-><ep> p=<prob> for <dur>
+//	at <time> dup <ep>-><ep> p=<prob> for <dur>
+//	at <time> delay <ep>-><ep> <dur>..<dur> for <dur>
+//
+// where <node> is n0..n(N-1), and a link endpoint <ep> is a node, svc
+// (the lock service), or * (any). Blank lines and #-comments are
+// ignored. Link faults are directional: "cut n0->svc" severs only the
+// node-to-service direction (asymmetric partition); cut both ways with
+// two steps.
+
+// StepKind enumerates fault step verbs.
+type StepKind int
+
+const (
+	StepPause StepKind = iota
+	StepCrash
+	StepRestart
+	StepSkew
+	StepExpire
+	StepCut
+	StepDrop
+	StepDup
+	StepDelay
+)
+
+var stepVerbs = map[StepKind]string{
+	StepPause: "pause", StepCrash: "crash", StepRestart: "restart",
+	StepSkew: "skew", StepExpire: "expire", StepCut: "cut",
+	StepDrop: "drop", StepDup: "dup", StepDelay: "delay",
+}
+
+// AnyEndpoint is the wildcard link endpoint.
+const AnyEndpoint = -2
+
+// svcID is the lock service's endpoint id (nodes are 0..N-1).
+const svcID = -1
+
+// Step is one fault. Which fields are meaningful depends on Kind:
+// Node for pause/crash/restart/skew; Shard for expire; From/To, P and
+// the delay range for link faults; For for every fault with a window.
+type Step struct {
+	At   time.Duration
+	Kind StepKind
+
+	Node  int
+	Shard int
+
+	From, To int // link endpoints: node id, svcID, or AnyEndpoint
+
+	P        float64       // drop/dup probability
+	DelayMin time.Duration // delay range
+	DelayMax time.Duration
+
+	Skew time.Duration // signed clock-skew offset
+
+	For time.Duration // fault window (pause length, link-rule lifetime)
+}
+
+// Script is a parsed fault script.
+type Script struct {
+	Steps []Step
+}
+
+// ParseScript parses the textual script format. Steps may appear in
+// any order; execution order is by At (ties by line order).
+func ParseScript(text string) (*Script, error) {
+	var sc Script
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		step, err := parseStep(line)
+		if err != nil {
+			return nil, fmt.Errorf("script line %d: %w", ln+1, err)
+		}
+		sc.Steps = append(sc.Steps, step)
+	}
+	sort.SliceStable(sc.Steps, func(i, j int) bool { return sc.Steps[i].At < sc.Steps[j].At })
+	return &sc, nil
+}
+
+func parseStep(line string) (Step, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 || f[0] != "at" {
+		return Step{}, fmt.Errorf("want %q, got %q", "at <time> <verb> ...", line)
+	}
+	at, err := parseDur(f[1])
+	if err != nil {
+		return Step{}, fmt.Errorf("bad time %q: %v", f[1], err)
+	}
+	st := Step{At: at}
+	args := f[3:]
+	switch f[2] {
+	case "pause":
+		st.Kind = StepPause
+		if st.Node, err = parseNode(args, 0); err == nil {
+			st.For, err = parseFor(args, 1)
+		}
+	case "crash":
+		st.Kind = StepCrash
+		st.Node, err = parseNode(args, 0)
+	case "restart":
+		st.Kind = StepRestart
+		st.Node, err = parseNode(args, 0)
+	case "skew":
+		st.Kind = StepSkew
+		if st.Node, err = parseNode(args, 0); err == nil {
+			if len(args) < 2 {
+				err = fmt.Errorf("skew needs an offset")
+			} else {
+				st.Skew, err = parseSignedDur(args[1])
+			}
+		}
+	case "expire":
+		st.Kind = StepExpire
+		if len(args) < 2 || args[0] != "shard" {
+			err = fmt.Errorf("want %q", "expire shard <i>")
+		} else {
+			st.Shard, err = strconv.Atoi(args[1])
+		}
+	case "cut":
+		st.Kind = StepCut
+		if st.From, st.To, err = parseLink(args, 0); err == nil {
+			st.For, err = parseFor(args, 1)
+		}
+	case "drop", "dup":
+		st.Kind = StepDrop
+		if f[2] == "dup" {
+			st.Kind = StepDup
+		}
+		if st.From, st.To, err = parseLink(args, 0); err == nil {
+			if st.P, err = parseProb(args, 1); err == nil {
+				st.For, err = parseFor(args, 2)
+			}
+		}
+	case "delay":
+		st.Kind = StepDelay
+		if st.From, st.To, err = parseLink(args, 0); err == nil {
+			if len(args) < 2 {
+				err = fmt.Errorf("delay needs a range")
+			} else if lo, hi, ok := strings.Cut(args[1], ".."); !ok {
+				err = fmt.Errorf("bad delay range %q", args[1])
+			} else if st.DelayMin, err = parseDur(lo); err == nil {
+				if st.DelayMax, err = parseDur(hi); err == nil {
+					st.For, err = parseFor(args, 2)
+				}
+			}
+		}
+		if err == nil && st.DelayMax < st.DelayMin {
+			err = fmt.Errorf("delay range inverted")
+		}
+	default:
+		err = fmt.Errorf("unknown verb %q", f[2])
+	}
+	if err != nil {
+		return Step{}, err
+	}
+	if st.At < 0 || st.For < 0 {
+		return Step{}, fmt.Errorf("negative time")
+	}
+	return st, nil
+}
+
+func parseDur(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return d, nil
+}
+
+func parseSignedDur(s string) (time.Duration, error) {
+	neg := strings.HasPrefix(s, "-")
+	if !neg && !strings.HasPrefix(s, "+") {
+		return 0, fmt.Errorf("offset %q needs an explicit sign (+5ms / -5ms)", s)
+	}
+	d, err := time.ParseDuration(strings.TrimPrefix(s, "+"))
+	if err != nil {
+		return 0, err
+	}
+	if neg != (d < 0) { // "-5ms" parses negative already; reject "--"
+		return 0, fmt.Errorf("bad offset %q", s)
+	}
+	return d, nil
+}
+
+func parseNode(args []string, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing node")
+	}
+	return parseEndpoint(args[i], false)
+}
+
+func parseEndpoint(s string, allowSpecial bool) (int, error) {
+	if allowSpecial {
+		switch s {
+		case "svc":
+			return svcID, nil
+		case "*":
+			return AnyEndpoint, nil
+		}
+	}
+	if strings.HasPrefix(s, "n") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad endpoint %q", s)
+}
+
+func parseLink(args []string, i int) (from, to int, err error) {
+	if i >= len(args) {
+		return 0, 0, fmt.Errorf("missing link")
+	}
+	a, b, ok := strings.Cut(args[i], "->")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad link %q", args[i])
+	}
+	if from, err = parseEndpoint(a, true); err != nil {
+		return
+	}
+	to, err = parseEndpoint(b, true)
+	return
+}
+
+func parseProb(args []string, i int) (float64, error) {
+	if i >= len(args) || !strings.HasPrefix(args[i], "p=") {
+		return 0, fmt.Errorf("missing p=<prob>")
+	}
+	p, err := strconv.ParseFloat(args[i][2:], 64)
+	if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q", args[i])
+	}
+	return p, nil
+}
+
+func parseFor(args []string, i int) (time.Duration, error) {
+	if i+1 >= len(args) || args[i] != "for" {
+		return 0, fmt.Errorf("missing %q window", "for <dur>")
+	}
+	return parseDur(args[i+1])
+}
+
+// Format renders the script in canonical form; ParseScript(Format(s))
+// reproduces s exactly (the round-trip FuzzFaultScript pins).
+func (sc *Script) Format() string {
+	var b strings.Builder
+	for _, st := range sc.Steps {
+		fmt.Fprintf(&b, "at %s %s", st.At, stepVerbs[st.Kind])
+		switch st.Kind {
+		case StepPause:
+			fmt.Fprintf(&b, " %s for %s", epName(st.Node), st.For)
+		case StepCrash, StepRestart:
+			fmt.Fprintf(&b, " %s", epName(st.Node))
+		case StepSkew:
+			sign := "+"
+			if st.Skew < 0 {
+				sign = "" // the duration renders its own minus
+			}
+			fmt.Fprintf(&b, " %s %s%s", epName(st.Node), sign, st.Skew)
+		case StepExpire:
+			fmt.Fprintf(&b, " shard %d", st.Shard)
+		case StepCut:
+			fmt.Fprintf(&b, " %s->%s for %s", epName(st.From), epName(st.To), st.For)
+		case StepDrop, StepDup:
+			fmt.Fprintf(&b, " %s->%s p=%s for %s", epName(st.From), epName(st.To),
+				strconv.FormatFloat(st.P, 'g', -1, 64), st.For)
+		case StepDelay:
+			fmt.Fprintf(&b, " %s->%s %s..%s for %s", epName(st.From), epName(st.To),
+				st.DelayMin, st.DelayMax, st.For)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatStep renders step i alone (failure dumps).
+func (sc *Script) FormatStep(i int) string {
+	if i < 0 || i >= len(sc.Steps) {
+		return "<none>"
+	}
+	one := Script{Steps: []Step{sc.Steps[i]}}
+	return strings.TrimSuffix(one.Format(), "\n")
+}
+
+func epName(id int) string {
+	switch id {
+	case svcID:
+		return "svc"
+	case AnyEndpoint:
+		return "*"
+	default:
+		return fmt.Sprintf("n%d", id)
+	}
+}
+
+// Neuter returns a copy of the script with every step defanged: link
+// probabilities zeroed, delay ranges and pause windows collapsed to
+// zero, skews zeroed, and steps with no zero-effect form (crash,
+// restart, expire, cut) removed. A neutered script still schedules its
+// surviving steps in the fault band; because fault events order in a
+// separate band, running a neutered script must be indistinguishable
+// from running no script at all — the property FuzzFaultScript checks.
+func (sc *Script) Neuter() *Script {
+	out := &Script{}
+	for _, st := range sc.Steps {
+		switch st.Kind {
+		case StepCrash, StepRestart, StepExpire, StepCut:
+			continue
+		case StepPause:
+			st.For = 0
+		case StepSkew:
+			st.Skew = 0
+		case StepDrop, StepDup:
+			st.P = 0
+		case StepDelay:
+			st.DelayMin, st.DelayMax = 0, 0
+		}
+		out.Steps = append(out.Steps, st)
+	}
+	return out
+}
+
+// Validate checks the script against a cluster size: node endpoints
+// and shard indices must exist.
+func (sc *Script) Validate(nodes, shards int) error {
+	okEp := func(id int) bool {
+		return id == svcID || id == AnyEndpoint || (id >= 0 && id < nodes)
+	}
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case StepPause, StepCrash, StepRestart, StepSkew:
+			if st.Node < 0 || st.Node >= nodes {
+				return fmt.Errorf("step %d: node n%d out of range (nodes=%d)", i, st.Node, nodes)
+			}
+		case StepExpire:
+			if st.Shard < 0 || st.Shard >= shards {
+				return fmt.Errorf("step %d: shard %d out of range (shards=%d)", i, st.Shard, shards)
+			}
+		default:
+			if !okEp(st.From) || !okEp(st.To) {
+				return fmt.Errorf("step %d: link endpoint out of range", i)
+			}
+		}
+	}
+	return nil
+}

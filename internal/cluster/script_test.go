@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+const kitchenSink = `
+# every construct the grammar supports
+at 10ms pause n0 for 250ms
+at 20ms crash n1
+at 30ms restart n1
+at 40ms delay n0->n1 30ms..60ms for 500ms
+at 50ms drop n2->* p=0.25 for 400ms
+at 60ms dup *->n0 p=0.1 for 300ms
+at 70ms skew n3 +5ms
+at 80ms skew n3 -5ms
+at 90ms cut n0->svc for 200ms
+at 100ms expire shard 2
+`
+
+// Format(Parse(x)) must be a fixed point: parsing the canonical form
+// reproduces it byte-for-byte. This is the property the fuzzer leans
+// on, pinned here for the hand-written grammar tour.
+func TestScriptRoundTrip(t *testing.T) {
+	s, err := ParseScript(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 10 {
+		t.Fatalf("parsed %d steps, want 10", len(s.Steps))
+	}
+	canon := s.Format()
+	s2, err := ParseScript(canon)
+	if err != nil {
+		t.Fatalf("canonical form does not reparse: %v\n%s", err, canon)
+	}
+	if got := s2.Format(); got != canon {
+		t.Fatalf("round-trip not a fixed point:\n--- first\n%s\n--- second\n%s", canon, got)
+	}
+}
+
+func TestScriptParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"pause n0 for 10ms\n",               // missing at
+		"at 10ms pause n0\n",                // pause needs for
+		"at 10ms drop n0->n1 for 10ms\n",    // drop needs p=
+		"at 10ms drop n0->n1 p=1.5\n",       // p out of range
+		"at 10ms delay n0->n1 60ms..30ms\n", // inverted range
+		"at 10ms skew n0 5ms\n",             // skew needs sign
+		"at 10ms explode n0\n",              // unknown verb
+		"at 10ms expire shard x\n",          // bad shard
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript accepted %q", strings.TrimSpace(bad))
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error for %q lacks line number: %v", strings.TrimSpace(bad), err)
+		}
+	}
+}
+
+// Steps are replayed in At order regardless of source order, with
+// source order breaking ties — a stable sort, pinned here.
+func TestScriptSortStable(t *testing.T) {
+	s, err := ParseScript(`
+at 50ms crash n1
+at 10ms crash n0
+at 50ms restart n1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []StepKind{StepCrash, StepCrash, StepRestart}
+	for i, st := range s.Steps {
+		if st.Kind != want[i] {
+			t.Fatalf("step %d kind %v, want %v (order: %s)", i, st.Kind, want[i], s.Format())
+		}
+	}
+	if s.Steps[0].Node != 0 {
+		t.Fatalf("earliest step should be the 10ms crash of n0, got n%d", s.Steps[0].Node)
+	}
+}
+
+// Neuter must strip every step of its effect while preserving shape:
+// the fuzz invariant is that a neutered script replays identically to
+// an empty one.
+func TestScriptNeuter(t *testing.T) {
+	s, err := ParseScript(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Neuter()
+	if len(n.Steps) >= len(s.Steps) {
+		t.Fatalf("Neuter kept %d steps of %d; crash/restart/expire/cut must vanish", len(n.Steps), len(s.Steps))
+	}
+	for _, st := range n.Steps {
+		switch st.Kind {
+		case StepCrash, StepRestart, StepExpire, StepCut:
+			t.Fatalf("Neuter left a %v step", st.Kind)
+		case StepPause:
+			if st.For != 0 {
+				t.Fatalf("neutered pause still lasts %v", st.For)
+			}
+		case StepSkew:
+			if st.Skew != 0 {
+				t.Fatalf("neutered skew still %v", st.Skew)
+			}
+		case StepDrop, StepDup:
+			if st.P != 0 {
+				t.Fatalf("neutered %v still has p=%v", st.Kind, st.P)
+			}
+		case StepDelay:
+			if st.DelayMin != 0 || st.DelayMax != 0 {
+				t.Fatalf("neutered delay still %v..%v", st.DelayMin, st.DelayMax)
+			}
+		}
+	}
+}
+
+func TestScriptValidate(t *testing.T) {
+	s, err := ParseScript("at 10ms expire shard 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(3, 4); err == nil {
+		t.Fatal("Validate accepted shard 5 in a 4-shard cluster")
+	}
+	if err := s.Validate(3, 8); err != nil {
+		t.Fatalf("Validate rejected an in-range script: %v", err)
+	}
+}
+
+func TestCanonicalScriptsParse(t *testing.T) {
+	names := ScriptNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d canonical scripts, the contract promises 6", len(names))
+	}
+	for _, name := range names {
+		s, err := LoadScript(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Steps) == 0 {
+			t.Fatalf("%s: empty script", name)
+		}
+		if err := s.Validate(5, 4); err != nil {
+			t.Fatalf("%s does not fit the default 5-node 4-shard topology: %v", name, err)
+		}
+	}
+	if _, err := LoadScript("no-such-script"); err == nil {
+		t.Fatal("LoadScript accepted an unknown name")
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CanonicalScripts are the named fault schedules shipped with the
+// simulator (cmd/clustersim -script <name>) and run as the cluster
+// test tier across fixed seeds. Each targets one failure family the
+// lease/fencing protocol must degrade gracefully under; they assume
+// the default topology (5 nodes, 4 shards) but Validate against any
+// cluster at least that large.
+var CanonicalScripts = map[string]string{
+	// A holder is paused (GC-pause model: inbox buffered, timers
+	// deferred) for longer than the lease TTL. The service re-grants;
+	// when the holder wakes, its buffered retransmits carry the old
+	// epoch and must be fenced off everywhere.
+	"lease-expiry-mid-cs": `
+at 180ms pause n1 for 400ms
+at 900ms pause n3 for 350ms
+at 1400ms expire shard 0
+at 1400ms expire shard 1
+`,
+	// Every lease for a while is cut short at the service, so all
+	// nodes pile onto re-acquisition at once. Backoff jitter must
+	// spread the herd instead of letting it livelock.
+	"thundering-herd": `
+at 100ms expire shard 0
+at 100ms expire shard 1
+at 100ms expire shard 2
+at 100ms expire shard 3
+at 300ms expire shard 0
+at 300ms expire shard 1
+at 300ms expire shard 2
+at 300ms expire shard 3
+at 500ms expire shard 0
+at 500ms expire shard 2
+`,
+	// Asymmetric partition: n2 can hear the service but not reach it,
+	// and loses its outbound path to n0. Grants and acks keep arriving
+	// while requests, renewals, and writes vanish — the classic
+	// half-open link.
+	"asym-partition": `
+at 150ms cut n2->svc for 600ms
+at 150ms cut n2->n0 for 600ms
+at 850ms drop n2->* p=0.4 for 300ms
+`,
+	// One slow node: every message to and from n4 crawls. Its leases
+	// arrive nearly expired (the grant guard band eats the rest), its
+	// renewals miss, and everyone else's sync rounds must not stall on
+	// it past the sync deadline.
+	"slow-node": `
+at 100ms delay n4->* 30ms..60ms for 900ms
+at 100ms delay *->n4 30ms..60ms for 900ms
+at 1100ms delay svc->n4 20ms..40ms for 400ms
+`,
+	// A holder crashes mid-critical-section, then restarts cold: its
+	// outbox (and with it the retransmit obligations) is gone, so the
+	// writes it applied locally but never fully replicated must be
+	// repaired by later sync rounds.
+	"crash-during-handoff": `
+at 200ms crash n0
+at 600ms restart n0
+at 900ms crash n2
+at 950ms expire shard 2
+at 1300ms restart n2
+`,
+	// Restart storm with duplicate delivery: nodes bounce while the
+	// network double-delivers, so replicas see every write many times
+	// across incarnations. Version dedup must keep applies monotone.
+	"restart-storm": `
+at 100ms dup *->* p=0.3 for 1200ms
+at 200ms crash n1
+at 350ms restart n1
+at 450ms crash n3
+at 600ms restart n3
+at 700ms crash n1
+at 850ms restart n1
+at 900ms skew n2 -8ms
+`,
+}
+
+// ScriptNames returns the canonical script names, sorted.
+func ScriptNames() []string {
+	names := make([]string, 0, len(CanonicalScripts))
+	for n := range CanonicalScripts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadScript resolves name as a canonical script and parses it.
+func LoadScript(name string) (*Script, error) {
+	text, ok := CanonicalScripts[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown script %q (have %v)", name, ScriptNames())
+	}
+	return ParseScript(text)
+}

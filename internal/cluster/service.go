@@ -1,0 +1,83 @@
+package cluster
+
+import "time"
+
+// lease is one shard's lease record at the lock service.
+type lease struct {
+	holder int // node id, or -1 when free
+	epoch  uint64
+	expiry time.Duration // service-clock expiry; lazily evaluated
+}
+
+// lockService is the cluster's lease-based lock manager: one logical
+// actor (reached through the simulated network, so partitions and
+// delays apply to it like any node) that grants per-shard leases
+// carrying monotonically increasing fencing epochs. Expiry is lazy —
+// evaluated against the simulation clock whenever a request arrives —
+// which keeps the service timer-free and the event stream small.
+type lockService struct {
+	s      *sim
+	leases []lease
+}
+
+func newLockService(s *sim, shards int) *lockService {
+	svc := &lockService{s: s, leases: make([]lease, shards)}
+	for i := range svc.leases {
+		svc.leases[i].holder = -1
+	}
+	return svc
+}
+
+func (svc *lockService) handle(m *message) {
+	s := svc.s
+	l := &svc.leases[m.shard]
+	expired := l.holder != -1 && s.now >= l.expiry
+	switch m.kind {
+	case mAcquire:
+		if l.holder != -1 && !expired {
+			s.counters.Denies++
+			s.send(&message{kind: mDeny, from: svcID, to: m.from, shard: m.shard})
+			return
+		}
+		if expired {
+			s.tracef("svc: lease s%d e%d (held by %s) lapsed", m.shard, l.epoch, epName(l.holder))
+			s.check.onLeaseEnd(m.shard, s.now)
+		}
+		l.epoch++
+		l.holder = m.from
+		l.expiry = s.now + s.cfg.TTL
+		s.counters.Grants++
+		s.check.onGrant(m.shard, l.epoch, m.from, s.now, l.expiry)
+		s.send(&message{kind: mGrant, from: svcID, to: m.from, shard: m.shard, epoch: l.epoch})
+	case mRenew:
+		if l.holder == m.from && l.epoch == m.epoch && !expired {
+			l.expiry = s.now + s.cfg.TTL
+			s.check.onRenew(m.shard, l.expiry)
+			s.send(&message{kind: mRenewOK, from: svcID, to: m.from, shard: m.shard, epoch: m.epoch})
+			return
+		}
+		s.send(&message{kind: mRenewDeny, from: svcID, to: m.from, shard: m.shard, epoch: m.epoch})
+	case mRelease:
+		if l.holder == m.from && l.epoch == m.epoch {
+			l.holder = -1
+			s.check.onLeaseEnd(m.shard, s.now)
+		}
+	default:
+		s.tracef("svc: unexpected %s", m)
+	}
+}
+
+// forceExpire implements the "expire shard" fault: the service
+// unilaterally lapses the current lease, as a real lock service does
+// when an operator fences a wedged holder. The holder is not told —
+// it discovers the loss at its next renewal, or by having its writes
+// fenced.
+func (svc *lockService) forceExpire(shard int) {
+	l := &svc.leases[shard]
+	if l.holder == -1 {
+		return
+	}
+	l.expiry = svc.s.now
+	svc.s.check.onLeaseEnd(shard, svc.s.now)
+	svc.s.tracef("svc: force-expire s%d e%d (held by %s)", shard, l.epoch, epName(l.holder))
+}

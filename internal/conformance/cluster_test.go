@@ -1,0 +1,59 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// The cluster composition must catch a lock whose store-level mutual
+// exclusion is broken. The simulation is single-threaded, so a broken
+// Locker cannot corrupt the store — instead this pins the negative
+// direction the cluster check CAN see: with fencing disabled at every
+// replica, the same faults that pass with fencing on must produce a
+// reported stale-apply violation. (The fencing-on direction for every
+// entry is covered by TestSuiteAllEntries via cluster-fence.)
+func TestClusterCheckWiredIntoSuite(t *testing.T) {
+	entries := registry.All()
+	if len(entries) == 0 {
+		t.Fatal("empty registry")
+	}
+	r := Run(entries[0], Options{Seed: 1, Goroutines: 2, Iters: 100, Schedules: 4})
+	var haveFence, haveLease bool
+	for _, c := range r.Results {
+		switch c.Check {
+		case "cluster-fence":
+			haveFence = true
+		case "lease-reacquire":
+			haveLease = true
+		}
+	}
+	if !haveFence || !haveLease {
+		t.Fatalf("suite missing cluster checks: fence=%v lease=%v", haveFence, haveLease)
+	}
+}
+
+// Named lease-client coverage: the three queue-lock families the
+// roadmap calls out must pass the expiry → backoff → re-acquire cycle
+// under chaos. TestSuiteAllEntries covers every entry; this pins the
+// three by name so a registry reshuffle cannot silently drop them.
+func TestLeaseReacquireCoreFamilies(t *testing.T) {
+	want := []string{"recipro", "mcs", "clh"}
+	for _, frag := range want {
+		found := false
+		for _, e := range registry.All() {
+			if !strings.Contains(strings.ToLower(e.Name), frag) || !e.Boundable() {
+				continue
+			}
+			found = true
+			if err := CheckLeaseReacquire(e, Options{Seed: 7}); err != nil {
+				t.Errorf("%s: %v", e.Name, err)
+			}
+			break
+		}
+		if !found {
+			t.Errorf("no boundable registry entry matching %q", frag)
+		}
+	}
+}

@@ -30,9 +30,10 @@ func (r Report) Failed() bool {
 }
 
 // Run executes the full suite — mutual exclusion, TryLock soundness,
-// bounded contract, abandonment safety, unlock discipline, and (for
-// twin-declaring entries) the differential checker — against one
-// entry.
+// bounded contract, abandonment safety, unlock discipline, the
+// sharded-store and cluster-simulation compositions, lease
+// re-acquisition, and (for twin-declaring entries) the differential
+// checker — against one entry.
 func Run(e registry.Entry, o Options) Report {
 	o = o.withDefaults()
 	r := Report{Entry: e}
@@ -46,6 +47,8 @@ func Run(e registry.Entry, o Options) Report {
 	add("unlock", CheckUnlockDiscipline(e))
 	add("shard-mutex", CheckShardedMutualExclusion(e, o))
 	add("shard-iter", CheckShardedIterator(e, o))
+	add("cluster-fence", CheckClusterFencing(e, o))
+	add("lease-reacquire", CheckLeaseReacquire(e, o))
 	if e.SimTwin == "" {
 		add("differential", skipError("no sim twin"))
 	} else {

@@ -53,6 +53,28 @@ var (
 	chSAbandon = chaos.NewPoint("simplified.abandon")
 )
 
+// Labeled sites: several points serve more than one call site (the
+// blocking and bounded acquire paths share arrival points; TryLock
+// vetoes fire from three methods), so each call site hits the point
+// through a label that stall/violation dumps can name.
+var (
+	siteArriveLock     = chArrive.Site("Lock.Acquire")
+	siteArriveBounded  = chArrive.Site("Lock.lockBounded")
+	siteGrantRelease   = chGrant.Site("Lock.Release")
+	siteDetachRelease  = chDetach.Site("Lock.Release")
+	siteTryLock        = chTry.Site("Lock.TryLock")
+	siteTryLockFor     = chTry.Site("Lock.LockFor")
+	siteTryFair        = chTry.Site("FairLock.TryLock")
+	siteAbandonBounded = chAbandon.Site("Lock.lockBounded")
+	siteSArriveAcquire = chSArrive.Site("SimplifiedLock.Acquire")
+	siteSArriveBounded = chSArrive.Site("SimplifiedLock.lockBounded")
+	siteSGrant         = chSGrant.Site("SimplifiedLock.grant")
+	siteSDetachRelease = chSDetach.Site("SimplifiedLock.Release")
+	siteSTryLock       = chSTry.Site("SimplifiedLock.TryLock")
+	siteSTryLockFor    = chSTry.Site("SimplifiedLock.LockFor")
+	siteSAbandon       = chSAbandon.Site("tryAbandonSimplified")
+)
+
 // Interface conformance: the canonical variants satisfy the
 // repository-wide bounded contract.
 var (
@@ -65,7 +87,7 @@ var (
 // return guarantees the caller does not hold the lock and left no
 // residue in the admission chain that could block other threads.
 func (l *Lock) LockFor(d time.Duration) bool {
-	if chTry.Fail() {
+	if siteTryLockFor.Fail() {
 		return false
 	}
 	if d <= 0 {
@@ -89,7 +111,7 @@ func (l *Lock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 	eos := e
 
 	tail := l.arrivals.Swap(e)
-	chArrive.Hit()
+	siteArriveBounded.Hit()
 	if tail == nil {
 		// Uncontended fast path: identical to Acquire.
 		l.succ, l.eos, l.cur = nil, e, e
@@ -111,7 +133,7 @@ func (l *Lock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 			// LIFO segment drain. Legal only when the displaced tail is
 			// a real element (see the file comment).
 			if tail != &lockedEmptySentinel && l.arrivals.Load() == e {
-				chAbandon.Hit()
+				siteAbandonBounded.Hit()
 				if l.arrivals.CompareAndSwap(e, tail) {
 					putElement(e)
 					return false
@@ -144,7 +166,7 @@ func (l *Lock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 // LockFor acquires l like Lock but gives up after d, reporting whether
 // the lock was acquired. LockFor(0) is equivalent to TryLock.
 func (l *SimplifiedLock) LockFor(d time.Duration) bool {
-	if chSTry.Fail() {
+	if siteSTryLockFor.Fail() {
 		return false
 	}
 	if d <= 0 {
@@ -170,7 +192,7 @@ func (l *SimplifiedLock) lockBounded(deadline time.Time, done <-chan struct{}) b
 	e.gate.Store(0)
 
 	succRaw := l.arrivals.Swap(e)
-	chSArrive.Hit()
+	siteSArriveBounded.Hit()
 	if succRaw == nil {
 		l.eos.Store(e)
 		l.succ, l.cur = nil, e
@@ -255,6 +277,6 @@ func tryAbandonSimplified(l *SimplifiedLock, e, succRaw *flagElement) bool {
 	if succRaw == nemo() || l.arrivals.Load() != e {
 		return false
 	}
-	chSAbandon.Hit()
+	siteSAbandon.Hit()
 	return l.arrivals.CompareAndSwap(e, succRaw)
 }

@@ -188,7 +188,7 @@ func (l *FairLock) Unlock() {
 // the normal Release path reverts it; no deferral can occur on a
 // try-acquired episode (there is no successor to defer to).
 func (l *FairLock) TryLock() bool {
-	if chTry.Fail() {
+	if siteTryFair.Fail() {
 		return false
 	}
 	if l.arrivals.CompareAndSwap(nil, &lockedEmptySentinel) {

@@ -59,7 +59,7 @@ func (l *Lock) Acquire(e *WaitElement) Token {
 	eos := e // anticipate uncontended fast path (line 19)
 
 	tail := l.arrivals.Swap(e) // the doorway: one wait-free exchange
-	chArrive.Hit()
+	siteArriveLock.Hit()
 	if tail != nil {
 		// Contention. Coerce LOCKEDEMPTY to nil (line 25): the
 		// sentinel means "no successor precedes us on this segment".
@@ -96,7 +96,7 @@ func (l *Lock) Release(t Token) {
 	if t.succ != nil {
 		// Entry segment populated: grant the successor, propagating
 		// the end-of-segment identity toward the tail (line 58).
-		chGrant.Hit()
+		siteGrantRelease.Hit()
 		t.succ.gate.Store(t.eos)
 		return
 	}
@@ -120,7 +120,7 @@ func (l *Lock) Release(t Token) {
 		// pop-stack A-B-A immune. (The chaos point sits in the window
 		// between the failed fast-path CAS and the detach Swap — the
 		// window bounded abandonment must respect; see bounded.go.)
-		chDetach.Hit()
+		siteDetachRelease.Hit()
 		w := l.arrivals.Swap(&lockedEmptySentinel)
 		if w != eos && w != &lockedEmptySentinel {
 			w.gate.Store(eos)
@@ -164,7 +164,7 @@ func (l *Lock) Unlock() {
 // whether it succeeded. A successful TryLock leaves the arrival word
 // in the LOCKEDEMPTY state, which the normal Release path reverts.
 func (l *Lock) TryLock() bool {
-	if chTry.Fail() {
+	if siteTryLock.Fail() {
 		return false
 	}
 	if l.arrivals.CompareAndSwap(nil, &lockedEmptySentinel) {

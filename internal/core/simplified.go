@@ -50,7 +50,7 @@ func nemo() *flagElement { return &flagLockedEmptySentinel }
 func (l *SimplifiedLock) Acquire(e *flagElement) *flagElement {
 	e.gate.Store(0)
 	succ := l.arrivals.Swap(e)
-	chSArrive.Hit()
+	siteSArriveAcquire.Hit()
 	if succ == nil {
 		// Fast-path uncontended acquire: publish our element as the
 		// segment terminus (Listing 2 line 23).
@@ -102,7 +102,7 @@ func (l *SimplifiedLock) Release(succ, e *flagElement) {
 			}
 		}
 		// Arrivals populated: detach the segment and grant its head.
-		chSDetach.Hit()
+		siteSDetachRelease.Hit()
 		w := l.arrivals.Swap(nemo())
 		if w != e && w != nemo() {
 			l.grant(w)
@@ -125,7 +125,7 @@ const parkThreshold = 64
 // The store-then-wake order plus futex.Wait's compare-under-lock makes
 // the pairing lose-free.
 func (l *SimplifiedLock) grant(succ *flagElement) {
-	chSGrant.Hit()
+	siteSGrant.Hit()
 	succ.gate.Store(1)
 	if l.Park {
 		futex.Wake(&succ.gate, 1)
@@ -150,7 +150,7 @@ func (l *SimplifiedLock) Unlock() {
 
 // TryLock attempts a non-blocking acquire.
 func (l *SimplifiedLock) TryLock() bool {
-	if chSTry.Fail() {
+	if siteSTryLock.Fail() {
 		return false
 	}
 	if l.arrivals.CompareAndSwap(nil, nemo()) {

@@ -36,7 +36,11 @@ import (
 // chWait injects spurious wakeups (kernel futexes are allowed to
 // return spuriously; this implementation otherwise never does, so the
 // injection keeps callers honest about re-checking their predicate).
-var chWait = chaos.NewPoint("futex.wait")
+var (
+	chWait          = chaos.NewPoint("futex.wait")
+	siteWait        = chWait.Site("futex.Wait")
+	siteWaitTimeout = chWait.Site("futex.WaitTimeout")
+)
 
 const shardCount = 64 // power of two
 
@@ -122,7 +126,7 @@ func shardFor(key uintptr) *shard {
 // except under chaos fault injection, but callers must loop,
 // futex-style, regardless.
 func Wait(addr *atomic.Uint32, val uint32) {
-	if chWait.Wake() {
+	if siteWait.Wake() {
 		return
 	}
 	key := uintptr(unsafe.Pointer(addr))
@@ -147,7 +151,7 @@ func Wait(addr *atomic.Uint32, val uint32) {
 // Like Wait, it may return true spuriously under chaos fault
 // injection.
 func WaitTimeout(addr *atomic.Uint32, val uint32, d time.Duration) bool {
-	if chWait.Wake() {
+	if siteWaitTimeout.Wake() {
 		return true
 	}
 	key := uintptr(unsafe.Pointer(addr))

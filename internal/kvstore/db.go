@@ -43,6 +43,10 @@ var (
 	chKvPut      = chaos.NewPoint("kvstore.put")
 	chKvFreeze   = chaos.NewPoint("kvstore.freeze")
 	chKvSnapshot = chaos.NewPoint("kvstore.snapshot")
+
+	siteKvPut      = chKvPut.Site("DB.Put")
+	siteKvFreeze   = chKvFreeze.Site("DB.maybeFreezeLocked")
+	siteKvSnapshot = chKvSnapshot.Site("DB.Get")
 )
 
 // Options configures a DB.
@@ -103,7 +107,7 @@ func Open(opts Options) *DB {
 // Put inserts or updates a key.
 func (db *DB) Put(key, value []byte) {
 	db.mu.Lock()
-	chKvPut.Hit()
+	siteKvPut.Hit()
 	db.mem.Put(key, value)
 	db.stats.Puts++
 	db.maybeFreezeLocked()
@@ -125,7 +129,7 @@ func (db *DB) maybeFreezeLocked() {
 	if db.mem.Bytes() < db.opts.MemTableBytes {
 		return
 	}
-	chKvFreeze.Hit()
+	siteKvFreeze.Hit()
 	frozen := buildRun(db.mem)
 	// Newest first; replace the slice wholesale so concurrent readers
 	// holding the previous snapshot stay consistent.
@@ -147,7 +151,7 @@ func (db *DB) Get(key []byte) ([]byte, bool) {
 	runs := db.runs
 	db.mu.Unlock()
 
-	chKvSnapshot.Hit()
+	siteKvSnapshot.Hit()
 	val, found := get(mem, runs, key)
 
 	db.mu.Lock()

@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/chaos"
+)
+
+// ErrStaleFence is returned by Fenced.Apply when the presented fencing
+// token is below the shard's fence: a newer lease holder has already
+// written (or the fence was advanced by a sync round), so the write
+// must not be applied.
+var ErrStaleFence = errors.New("kvstore: stale fencing token")
+
+// Fencing chaos point: perturbs the admission gate itself (delays and
+// preemptions between the fence check and the store write are exactly
+// where a broken fencing protocol loses), labeled per call site.
+var (
+	chKvFence        = chaos.NewPoint("kvstore.fence")
+	siteFenceApply   = chKvFence.Site("Fenced.Apply")
+	siteFenceAdvance = chKvFence.Site("Fenced.Advance")
+)
+
+// ApplyRecord describes one write presented to a Fenced store — applied
+// or rejected — for invariant checkers. The cluster simulation's
+// no-stale-apply checker consumes these records: any record with Stale
+// and Applied both true is a safety violation (reachable only through
+// the DisableFencing knob, which exists so the negative test can prove
+// the checker catches it).
+type ApplyRecord struct {
+	// Shard is the shard the key hashes to; fences are per shard.
+	Shard int
+	// Epoch is the fencing token presented with the write.
+	Epoch uint64
+	// Fence is the shard's fence at presentation time, before any
+	// advance this write caused.
+	Fence uint64
+	// Key is the written key.
+	Key string
+	// Stale reports Epoch < Fence at presentation.
+	Stale bool
+	// Applied reports whether the write reached the store.
+	Applied bool
+}
+
+// Fenced wraps a ShardedDB with per-shard fencing tokens (Kleppmann's
+// fencing discipline): every write carries the monotonically increasing
+// epoch of the lease under which it was issued, and a shard rejects
+// writes whose epoch is below the highest it has admitted. The fence
+// guarantees ordering — once a write from epoch e is admitted, no write
+// from an earlier epoch can be — which is the strongest property a
+// lease-based lock can offer without a consensus round per write: an
+// expired holder can still slip a write in *before* the next epoch's
+// first write arrives, but never after.
+//
+// The fence check and the store write are one atomic step per shard
+// (a per-shard admission mutex), so a stale write can never interleave
+// past a newer one's fence advance. Reads are unfenced: fencing
+// protects the write path's ordering, and the cluster simulation's
+// linearizability checking runs over applied writes.
+type Fenced struct {
+	db *ShardedDB
+
+	// OnApply, when non-nil, observes every presented write (applied
+	// or rejected). It is called under the shard's admission mutex so
+	// records arrive in exact admission order per shard; it must not
+	// call back into the same Fenced. Set before first use.
+	OnApply func(ApplyRecord)
+
+	// DisableFencing turns the admission gate off: stale writes are
+	// applied (and recorded with Stale and Applied both true) instead
+	// of rejected. Exists solely so tests can prove the invariant
+	// checkers detect a fencing violation. Set before first use.
+	DisableFencing bool
+
+	mus    []sync.Mutex
+	fences []uint64 // fences[i] guarded by mus[i]
+}
+
+// NewFenced wraps db with zeroed fences (every shard admits epoch 0).
+func NewFenced(db *ShardedDB) *Fenced {
+	n := db.NumShards()
+	return &Fenced{db: db, mus: make([]sync.Mutex, n), fences: make([]uint64, n)}
+}
+
+// Store returns the wrapped ShardedDB (reads, iterators, stats).
+func (f *Fenced) Store() *ShardedDB { return f.db }
+
+// Get looks up a key in the wrapped store.
+func (f *Fenced) Get(key []byte) ([]byte, bool) { return f.db.Get(key) }
+
+// Fence reports shard i's current fence.
+func (f *Fenced) Fence(i int) uint64 {
+	f.mus[i].Lock()
+	defer f.mus[i].Unlock()
+	return f.fences[i]
+}
+
+// Apply presents a write under fencing token epoch. If epoch is at or
+// above the shard's fence the write is applied and the fence advances
+// to epoch; otherwise the write is rejected with ErrStaleFence (unless
+// DisableFencing is set, in which case it is applied anyway and the
+// violation is visible in the ApplyRecord). Equal epochs are admitted:
+// one lease writes many times under one token.
+func (f *Fenced) Apply(key, value []byte, epoch uint64) error {
+	shard := f.db.ShardIndex(key)
+	rec := ApplyRecord{Shard: shard, Epoch: epoch, Key: string(key)}
+
+	f.mus[shard].Lock()
+	siteFenceApply.Hit()
+	rec.Fence = f.fences[shard]
+	rec.Stale = epoch < rec.Fence
+	if !rec.Stale || f.DisableFencing {
+		if epoch > f.fences[shard] {
+			f.fences[shard] = epoch
+		}
+		f.db.Put(key, value)
+		rec.Applied = true
+	}
+	if f.OnApply != nil {
+		f.OnApply(rec)
+	}
+	f.mus[shard].Unlock()
+
+	if rec.Stale && !rec.Applied {
+		return ErrStaleFence
+	}
+	return nil
+}
+
+// Advance raises shard i's fence to at least epoch without writing —
+// the lock service's grant path and the simulation's sync rounds use
+// it so a new holder's authority is visible before its first write.
+// Advancing to a lower epoch is a no-op (fences are monotone). It
+// returns the fence after the call.
+func (f *Fenced) Advance(i int, epoch uint64) uint64 {
+	f.mus[i].Lock()
+	siteFenceAdvance.Hit()
+	if epoch > f.fences[i] {
+		f.fences[i] = epoch
+	}
+	cur := f.fences[i]
+	f.mus[i].Unlock()
+	return cur
+}

@@ -1,0 +1,184 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestFenced(shards int) *Fenced {
+	return NewFenced(OpenSharded(ShardedOptions{
+		Shards:  shards,
+		NewLock: func() sync.Locker { return &sync.Mutex{} },
+	}))
+}
+
+// Admitted writes land in the store and advance the fence; equal
+// epochs re-admit (one lease writes many times under one token).
+func TestFencedApplyAdvances(t *testing.T) {
+	f := newTestFenced(4)
+	key := []byte("k")
+	shard := f.Store().ShardIndex(key)
+
+	if err := f.Apply(key, []byte("v1"), 1); err != nil {
+		t.Fatalf("Apply(epoch 1): %v", err)
+	}
+	if got := f.Fence(shard); got != 1 {
+		t.Fatalf("fence = %d after epoch-1 apply, want 1", got)
+	}
+	if err := f.Apply(key, []byte("v1b"), 1); err != nil {
+		t.Fatalf("Apply(equal epoch): %v", err)
+	}
+	if err := f.Apply(key, []byte("v3"), 3); err != nil {
+		t.Fatalf("Apply(epoch 3): %v", err)
+	}
+	if got := f.Fence(shard); got != 3 {
+		t.Fatalf("fence = %d after epoch-3 apply, want 3", got)
+	}
+	if v, ok := f.Get(key); !ok || string(v) != "v3" {
+		t.Fatalf("Get = %q, %v; want v3", v, ok)
+	}
+}
+
+// A write carrying a token below the shard fence is rejected with
+// ErrStaleFence, leaves the store untouched, and is recorded as stale
+// and unapplied.
+func TestFencedStaleRejected(t *testing.T) {
+	f := newTestFenced(4)
+	var recs []ApplyRecord
+	f.OnApply = func(r ApplyRecord) { recs = append(recs, r) }
+	key := []byte("k")
+
+	if err := f.Apply(key, []byte("new"), 5); err != nil {
+		t.Fatalf("Apply(epoch 5): %v", err)
+	}
+	err := f.Apply(key, []byte("stale"), 3)
+	if !errors.Is(err, ErrStaleFence) {
+		t.Fatalf("Apply(epoch 3) = %v, want ErrStaleFence", err)
+	}
+	if v, _ := f.Get(key); string(v) != "new" {
+		t.Fatalf("stale write reached the store: Get = %q", v)
+	}
+	if got := f.Fence(f.Store().ShardIndex(key)); got != 5 {
+		t.Fatalf("fence moved on rejection: %d", got)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("OnApply saw %d records, want 2", len(recs))
+	}
+	if r := recs[1]; !r.Stale || r.Applied || r.Epoch != 3 || r.Fence != 5 {
+		t.Fatalf("stale record = %+v", r)
+	}
+	if r := recs[0]; r.Stale || !r.Applied || r.Fence != 0 {
+		t.Fatalf("fresh record = %+v", r)
+	}
+}
+
+// Advance raises the fence without a write — subsequent older-epoch
+// writes are stale even though the new holder has not written yet —
+// and is monotone.
+func TestFencedAdvance(t *testing.T) {
+	f := newTestFenced(2)
+	key := []byte("x")
+	shard := f.Store().ShardIndex(key)
+
+	if got := f.Advance(shard, 7); got != 7 {
+		t.Fatalf("Advance(7) = %d", got)
+	}
+	if got := f.Advance(shard, 4); got != 7 {
+		t.Fatalf("Advance(4) lowered the fence: %d", got)
+	}
+	if err := f.Apply(key, []byte("old"), 6); !errors.Is(err, ErrStaleFence) {
+		t.Fatalf("Apply(epoch 6) after Advance(7) = %v, want ErrStaleFence", err)
+	}
+	if _, ok := f.Get(key); ok {
+		t.Fatal("stale write visible after Advance gate")
+	}
+	if err := f.Apply(key, []byte("cur"), 7); err != nil {
+		t.Fatalf("Apply(epoch 7): %v", err)
+	}
+}
+
+// DisableFencing applies stale writes and surfaces the violation in
+// the record stream — the hook the cluster checkers (and the negative
+// test proving they work) depend on.
+func TestFencedDisableFencing(t *testing.T) {
+	f := newTestFenced(4)
+	f.DisableFencing = true
+	var recs []ApplyRecord
+	f.OnApply = func(r ApplyRecord) { recs = append(recs, r) }
+	key := []byte("k")
+
+	if err := f.Apply(key, []byte("new"), 5); err != nil {
+		t.Fatalf("Apply(epoch 5): %v", err)
+	}
+	if err := f.Apply(key, []byte("stale"), 3); err != nil {
+		t.Fatalf("Apply(epoch 3) with fencing off = %v, want nil", err)
+	}
+	if v, _ := f.Get(key); string(v) != "stale" {
+		t.Fatalf("Get = %q, want the stale write applied", v)
+	}
+	if r := recs[1]; !r.Stale || !r.Applied {
+		t.Fatalf("violation record = %+v, want Stale && Applied", r)
+	}
+	if got := f.Fence(f.Store().ShardIndex(key)); got != 5 {
+		t.Fatalf("stale apply moved the fence backwards: %d", got)
+	}
+}
+
+// Fences are independent per shard: admitting a high epoch on one
+// shard must not fence writes on another.
+func TestFencedPerShard(t *testing.T) {
+	f := newTestFenced(8)
+	// Find two keys on different shards.
+	a := []byte("a")
+	var b []byte
+	for i := 0; ; i++ {
+		b = []byte(fmt.Sprintf("b%d", i))
+		if f.Store().ShardIndex(b) != f.Store().ShardIndex(a) {
+			break
+		}
+	}
+	if err := f.Apply(a, []byte("va"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Apply(b, []byte("vb"), 1); err != nil {
+		t.Fatalf("epoch 1 on an untouched shard rejected: %v", err)
+	}
+}
+
+// Under concurrent appliers the fence check and store write are one
+// atomic step: no stale write is ever admitted, and the final fence is
+// the maximum admitted epoch (run with -race).
+func TestFencedConcurrentAtomic(t *testing.T) {
+	f := newTestFenced(1)
+	var mu sync.Mutex
+	var violations int
+	f.OnApply = func(r ApplyRecord) {
+		if r.Stale && r.Applied {
+			mu.Lock()
+			violations++
+			mu.Unlock()
+		}
+	}
+	key := []byte("hot")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				epoch := uint64(w*perWorker + i + 1)
+				_ = f.Apply(key, []byte{byte(w)}, epoch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if violations != 0 {
+		t.Fatalf("%d stale writes were applied", violations)
+	}
+	if got, want := f.Fence(0), uint64(workers*perWorker); got != want {
+		t.Fatalf("final fence = %d, want %d", got, want)
+	}
+}

@@ -62,7 +62,7 @@ func (l *ABQLock) Lock() {
 // TryLocks are serialized by the CAS; the loser never touches the
 // slot.
 func (l *ABQLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryABQL.Fail() {
 		return false
 	}
 	t := l.ticket.Load()

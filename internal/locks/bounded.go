@@ -38,6 +38,28 @@ var (
 	chClhAbandon = chaos.NewPoint("clh.abandon")
 )
 
+// Labeled sites: locks.trylock serves every baseline TryLock doorway
+// and the queue points serve both the blocking and bounded paths, so
+// each call site gets a label for stall/violation dumps.
+var (
+	siteTryTAS        = chLocksTry.Site("TASLock.TryLock")
+	siteTryTTAS       = chLocksTry.Site("TTASLock.TryLock")
+	siteTryTicket     = chLocksTry.Site("TicketLock.TryLock")
+	siteTryMCS        = chLocksTry.Site("MCSLock.TryLock")
+	siteTryCLH        = chLocksTry.Site("CLHLock.TryLock")
+	siteTryChen       = chLocksTry.Site("ChenLock.TryLock")
+	siteTryABQL       = chLocksTry.Site("ABQLock.TryLock")
+	siteTryRetro      = chLocksTry.Site("RetrogradeLock.TryLock")
+	siteTryRetroRand  = chLocksTry.Site("RetrogradeRandLock.TryLock")
+	siteMcsArriveBnd  = chMcsArrive.Site("MCSLock.lockBounded")
+	siteMcsArriveLock = chMcsArrive.Site("MCSLock.Lock")
+	siteMcsGrant      = chMcsGrant.Site("MCSLock.unlockNode")
+	siteMcsAbandon    = chMcsAbandon.Site("MCSLock.lockBounded")
+	siteClhArrive     = chClhArrive.Site("CLHLock.enqueue")
+	siteClhAbandonBnd = chClhAbandon.Site("CLHLock.lockBounded")
+	siteClhAbandonTry = chClhAbandon.Site("CLHLock.TryLock")
+)
+
 // Interface conformance for the natively bounded baselines.
 var (
 	_ bounded.Locker = (*TASLock)(nil)
@@ -141,7 +163,7 @@ func (l *MCSLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 	n.next.Store(nil)
 	n.locked.Store(mcsWaiting)
 	pred := l.tail.Swap(n)
-	chMcsArrive.Hit()
+	siteMcsArriveBnd.Hit()
 	if pred == nil {
 		l.head = n
 		return true
@@ -150,7 +172,7 @@ func (l *MCSLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 	w := waiter.New(l.Policy)
 	for n.locked.Load() != mcsGranted {
 		if !w.PauseBounded(deadline, done) {
-			chMcsAbandon.Hit()
+			siteMcsAbandon.Hit()
 			if n.locked.CompareAndSwap(mcsWaiting, mcsAbandoned) {
 				// Node ownership transferred to the eventual releaser;
 				// we must not touch n again.
@@ -194,7 +216,7 @@ func (l *CLHLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 				// The grant landed as the budget expired: take it.
 				break
 			}
-			chClhAbandon.Hit()
+			siteClhAbandonBnd.Hit()
 			n.aband.Store(pred)
 			return false
 		}

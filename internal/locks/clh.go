@@ -66,7 +66,7 @@ func (l *CLHLock) enqueue() (n, pred *clhNode) {
 	n.succMustWait.Store(1)
 	n.aband.Store(nil)
 	pred = l.tail.Swap(n)
-	chClhArrive.Hit()
+	siteClhArrive.Hit()
 	return n, pred
 }
 
@@ -115,7 +115,7 @@ func (l *CLHLock) Unlock() {
 // the next arrival to consume, so repeated failures do not accumulate
 // state.
 func (l *CLHLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryCLH.Fail() {
 		return false
 	}
 	l.ensureInit()
@@ -130,7 +130,7 @@ func (l *CLHLock) TryLock() bool {
 			pred = hop(pred, a)
 			continue
 		}
-		chClhAbandon.Hit()
+		siteClhAbandonTry.Hit()
 		n.aband.Store(pred)
 		return false
 	}

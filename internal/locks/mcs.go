@@ -51,7 +51,7 @@ func (l *MCSLock) Lock() {
 	n.next.Store(nil)
 	n.locked.Store(mcsWaiting)
 	pred := l.tail.Swap(n)
-	chMcsArrive.Hit()
+	siteMcsArriveLock.Hit()
 	if pred != nil {
 		// Enqueue behind pred and spin locally on our own node.
 		pred.next.Store(n)
@@ -93,7 +93,7 @@ func (l *MCSLock) unlockNode(n *mcsNode) {
 			}
 		}
 		succ := n.next.Load()
-		chMcsGrant.Hit()
+		siteMcsGrant.Hit()
 		old := succ.locked.Swap(mcsGranted)
 		mcsPool.Put(n)
 		if old != mcsAbandoned {
@@ -105,7 +105,7 @@ func (l *MCSLock) unlockNode(n *mcsNode) {
 
 // TryLock attempts a non-blocking acquire.
 func (l *MCSLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryMCS.Fail() {
 		return false
 	}
 	n := mcsPool.Get().(*mcsNode)

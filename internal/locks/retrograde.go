@@ -46,7 +46,7 @@ func (l *RetrogradeLock) Lock() {
 // owner-side segment bookkeeping (top/base) is read only at Unlock, so
 // a try-acquired episode releases identically to a queued one.
 func (l *RetrogradeLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryRetro.Fail() {
 		return false
 	}
 	g := l.grant.Load()
@@ -124,7 +124,7 @@ func (l *RetrogradeRandLock) Lock() {
 // RetrogradeLock.TryLock (lo/hi/seghi are owner-owned and consulted
 // only at Unlock).
 func (l *RetrogradeRandLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryRetroRand.Fail() {
 		return false
 	}
 	g := l.grant.Load()

@@ -29,7 +29,7 @@ func (l *TASLock) Unlock() { l.word.Store(0) }
 
 // TryLock attempts a non-blocking acquire.
 func (l *TASLock) TryLock() bool {
-	return !chLocksTry.Fail() && l.word.Swap(1) == 0
+	return !siteTryTAS.Fail() && l.word.Swap(1) == 0
 }
 
 // TTASLock is the "polite" test-and-test-and-set lock [52]: spin
@@ -58,5 +58,5 @@ func (l *TTASLock) Unlock() { l.word.Store(0) }
 
 // TryLock attempts a non-blocking acquire.
 func (l *TTASLock) TryLock() bool {
-	return !chLocksTry.Fail() && l.word.Load() == 0 && l.word.Swap(1) == 0
+	return !siteTryTTAS.Fail() && l.word.Load() == 0 && l.word.Swap(1) == 0
 }

@@ -36,7 +36,7 @@ func (l *TicketLock) Unlock() {
 
 // TryLock attempts a non-blocking acquire.
 func (l *TicketLock) TryLock() bool {
-	if chLocksTry.Fail() {
+	if siteTryTicket.Fail() {
 		return false
 	}
 	g := l.grant.Load()

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/backoff"
 )
 
 // Sink receives one callback per Pause, classified by what the pause
@@ -98,6 +100,11 @@ const spinBudget = 32
 // PolicyAdaptive before it escalates to sleeping.
 const yieldBudget = 64
 
+// backoffSchedule is PolicyBackoff's capped-doubling schedule,
+// expressed through the shared backoff package so one implementation
+// of the math serves every retry path in the repository.
+var backoffSchedule = backoff.Policy{Base: time.Microsecond, Cap: 256 * time.Microsecond}
+
 // Waiter tracks progress of one waiting episode. The zero value is
 // ready to use (and reports to no sink).
 type Waiter struct {
@@ -140,14 +147,12 @@ func (w *Waiter) plan() (d time.Duration, yield bool) {
 	case PolicyYield:
 		return 0, true
 	case PolicyBackoff:
-		// Exponential backoff: 1µs doubling to a 256µs cap. Any time
-		// between the lock becoming free and the sleep expiring is
-		// dead time — the §5 objection.
-		shift := w.n
-		if shift > 8 {
-			shift = 8
-		}
-		return time.Duration(1<<shift) * time.Microsecond, false
+		// Exponential backoff: 1µs doubling to a 256µs cap (the capped
+		// doubling is backoff.Policy.Exp, shared with the retry paths in
+		// internal/bounded and internal/cluster). Any time between the
+		// lock becoming free and the sleep expiring is dead time — the
+		// §5 objection.
+		return backoffSchedule.Exp(w.n), false
 	case PolicySpin:
 		if w.n%spinBudget == 0 {
 			return 0, true
