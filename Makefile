@@ -10,10 +10,13 @@
 #                      (includes the registry capability-claims tests)
 #   make bench       — the root benchmark suite (paper figures + ablations)
 #   make bench-json  — regenerate results/bench_baseline.json: a short
-#                      mutexbench sweep plus a sharded kvbench sweep
-#                      (shard count × lock matrix), each emitted in the
-#                      versioned harness JSON schema and merged with
-#                      benchdiff -merge into the single anchor file
+#                      mutexbench sweep, a sharded kvbench sweep
+#                      (shard count × lock matrix), and read-mostly
+#                      sweeps (readmostly/r90 cells: the RW and seqlock
+#                      combinators against their exclusive base, plus
+#                      the kv store's mixed Get/Put loop), each emitted
+#                      in the versioned harness JSON schema and merged
+#                      with benchdiff -merge into the single anchor file
 #                      cmd/benchdiff compares future runs against
 #   make benchdiff-check — self-diff the committed baseline through
 #                      cmd/benchdiff (schema + comparator smoke; part of
@@ -34,7 +37,8 @@
 #                      target: the registry -locks parser, the admission
 #                      cycle detector, the kvstore differential,
 #                      sharded-batch differential + skiplist targets,
-#                      and the cluster fault-script interpreter
+#                      the seqlock optimistic-read differential, and the
+#                      cluster fault-script interpreter
 
 GO ?= go
 GOFMT ?= gofmt
@@ -72,8 +76,10 @@ bench-json: build
 	@mkdir -p results
 	$(GO) run ./cmd/mutexbench -locks=paper -threads=1,2,4,8 -duration=100ms -runs=3 -json -out=results/.mutexbench.part.json
 	$(GO) run ./cmd/kvbench -mode=readrandom -locks=Recipro,MCS,GoMutex -shards=1,4 -threads=1,2,4 -keys=20000 -duration=80ms -runs=3 -json -out=results/.kvbench.part.json
-	$(GO) run ./cmd/benchdiff -merge -name=suite -out=$(BENCH_BASELINE) results/.mutexbench.part.json results/.kvbench.part.json
-	rm -f results/.mutexbench.part.json results/.kvbench.part.json
+	$(GO) run ./cmd/mutexbench -locks=Recipro,rw:Recipro,seq:Recipro,occ:Recipro,GoRWMutex -read-frac=0.9 -threads=1,2,4,8 -duration=100ms -runs=3 -json -out=results/.readmostly.part.json
+	$(GO) run ./cmd/kvbench -mode=readrandom -read-frac=0.9 -locks=Recipro,rw:Recipro -shards=1 -threads=1,2,4 -keys=20000 -duration=80ms -runs=3 -json -out=results/.kvreadmostly.part.json
+	$(GO) run ./cmd/benchdiff -merge -name=suite -out=$(BENCH_BASELINE) results/.mutexbench.part.json results/.kvbench.part.json results/.readmostly.part.json results/.kvreadmostly.part.json
+	rm -f results/.mutexbench.part.json results/.kvbench.part.json results/.readmostly.part.json results/.kvreadmostly.part.json
 	$(GO) run ./cmd/benchdiff -check $(BENCH_BASELINE)
 
 benchdiff-check: build
@@ -101,4 +107,5 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz='^FuzzDBAgainstMap$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzShardedBatch$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzSkipListOrdering$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz='^FuzzSeqlockRead$$' -fuzztime=$(FUZZTIME) ./internal/atomicstruct
 	$(GO) test -run '^$$' -fuzz='^FuzzFaultScript$$' -fuzztime=$(FUZZTIME) ./internal/cluster

@@ -11,10 +11,16 @@
 //
 // Usage:
 //
-//	kvbench [-mode=readrandom|readwhilewriting|predict]
+//	kvbench [-mode=readrandom|readwhilewriting|predict] [-read-frac=0.9]
 //	        [-locks=paper|all|...|list] [-shards=1,4,16]
 //	        [-keys=50000] [-duration=300ms] [-runs=3] [-threads=1,2,4]
 //	        [-json] [-out=file] [-lockstat]
+//
+// In readrandom mode, -read-frac in (0,1) mixes Puts into the loop
+// (each op is a Get with that probability), and cells are labeled
+// kvreadmostly/rNN instead of readrandom — the store-level view of the
+// harness read-fraction knob, exercising the shared Get path for locks
+// that advertise CapReadShared.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 
 func main() {
 	mode := flag.String("mode", "readrandom", "workload: readrandom (Figure 3), readwhilewriting, or predict (coarse-vs-sharded model)")
+	readFrac := flag.Float64("read-frac", 0, "readrandom only: fraction of ops that are Gets, the rest Puts (0 = pure readrandom)")
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
 	keys := flag.Int("keys", 50_000, "keys preloaded by fillseq")
@@ -57,6 +64,14 @@ func main() {
 	}
 	if *mode != "readrandom" && *mode != "readwhilewriting" && *mode != "predict" {
 		fmt.Fprintln(os.Stderr, "unknown -mode; want readrandom, readwhilewriting, or predict")
+		os.Exit(2)
+	}
+	if *readFrac < 0 || *readFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "-read-frac must be in [0,1)")
+		os.Exit(2)
+	}
+	if *readFrac > 0 && *mode != "readrandom" {
+		fmt.Fprintln(os.Stderr, "-read-frac only applies to -mode=readrandom")
 		os.Exit(2)
 	}
 	threads, err := bf.ThreadCounts()
@@ -101,6 +116,15 @@ func main() {
 	res.SetConfig("shards", *shardsF)
 	res.SetConfig("duration", d.String())
 	res.SetConfig("runs", strconv.Itoa(bf.Runs))
+	// The workload base: kvreadmostly/rNN cells are distinct both from
+	// readrandom ones and from mutexbench's readmostly/rNN (merge keys
+	// ignore the harness, so the store-level cells need their own name
+	// to coexist in a merged baseline).
+	base := *mode
+	if *readFrac > 0 {
+		base = fmt.Sprintf("kvreadmostly/r%d", int(*readFrac*100+0.5))
+		res.SetConfig("read_frac", strconv.FormatFloat(*readFrac, 'g', -1, 64))
+	}
 
 	for _, lf := range lfs {
 		newLock := lf.New
@@ -116,12 +140,13 @@ func main() {
 			lockstat.InstallWaiterSink(st)
 		}
 		for _, sc := range shardCounts {
-			workload := experiments.ShardWorkload(*mode, sc)
+			workload := experiments.ShardWorkload(base, sc)
 			for _, tc := range threads {
 				cfg := kvstore.ReadRandomConfig{
 					Threads:  tc,
 					Keyspace: *keys,
 					Duration: d,
+					ReadFrac: *readFrac,
 					Seed:     bf.Seed,
 				}
 				var m harness.Measurement
@@ -172,9 +197,9 @@ func main() {
 		// sweep gets one row per (lock, shard count) instead of
 		// colliding on the lock name.
 		t := harness.MatrixTableBy(res,
-			fmt.Sprintf("Figure 3 — KV readrandom Mops/s over %d keys (median of %d; /sN = N shards)", *keys, bf.Runs),
+			fmt.Sprintf("Figure 3 — KV %s Mops/s over %d keys (median of %d; /sN = N shards)", base, *keys, bf.Runs),
 			func(c harness.Cell) string {
-				return c.Lock + strings.TrimPrefix(c.Workload, *mode)
+				return c.Lock + strings.TrimPrefix(c.Workload, base)
 			})
 		render(t, out, bf.CSV)
 	} else {

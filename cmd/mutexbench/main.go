@@ -5,9 +5,16 @@
 //
 // Usage:
 //
-//	mutexbench -mode=max|moderate [-locks=TKT,MCS,...|paper|all|list]
+//	mutexbench -mode=max|moderate [-read-frac=0.9]
+//	           [-locks=TKT,MCS,...|paper|all|list]
 //	           [-threads=1,2,4] [-duration=300ms] [-runs=3] [-csv]
 //	           [-json] [-out=file] [-chaos] [-seed=1] [-lockstat]
+//
+// With -read-frac > 0 the kernel is the read-mostly workload: that
+// fraction of iterations are read sections dispatched through the
+// lock's strongest read surface (RLock, OptimisticRead, or plain Lock
+// as the baseline), the rest exclusive writes. Cells are then labeled
+// readmostly/rNN instead of max/moderate.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 
 func main() {
 	mode := flag.String("mode", "max", "contention mode: max or moderate")
+	readFrac := flag.Float64("read-frac", 0, "fraction of iterations that are read sections (0 = classic exclusive kernel; 0.9 = read-mostly)")
 	locksF := registry.NewLocksFlag("paper")
 	flag.Var(locksF, "locks", registry.FlagUsage)
 	bf := harness.Register(flag.CommandLine, harness.Spec{
@@ -60,6 +68,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown -mode; want max or moderate")
 		os.Exit(2)
 	}
+	if *readFrac < 0 || *readFrac > 1 {
+		fmt.Fprintln(os.Stderr, "-read-frac must be in [0,1]")
+		os.Exit(2)
+	}
 
 	threads, err := bf.ThreadCounts()
 	if err != nil {
@@ -72,9 +84,11 @@ func main() {
 		Warmup:      bf.Warmup,
 		CSSteps:     1,
 		NCSMaxSteps: ncs,
+		ReadFrac:    *readFrac,
 		Runs:        bf.Runs,
 		Seed:        uint32(bf.Seed),
 	}
+	workload := mutexbench.WorkloadName(cfg)
 
 	// One Stats per lock algorithm, shared across every instance,
 	// thread count and run; the waiter sink is installed only while
@@ -128,7 +142,7 @@ func main() {
 
 	fmt.Fprintln(out, experiments.TrackANote)
 	t := harness.MatrixTable(res,
-		fmt.Sprintf("MutexBench (%s contention) — aggregate Mops/s, median of %d", *mode, bf.Runs))
+		fmt.Sprintf("MutexBench (%s) — aggregate Mops/s, median of %d", workload, bf.Runs))
 	if bf.CSV {
 		t.RenderCSV(out)
 	} else {
@@ -137,7 +151,7 @@ func main() {
 	if *lockstatOn {
 		fmt.Fprintln(out)
 		lockstat.FprintReport(out,
-			fmt.Sprintf("Lock telemetry (%s contention, all thread counts pooled)", *mode),
+			fmt.Sprintf("Lock telemetry (%s, all thread counts pooled)", workload),
 			order, res.Lockstat, bf.CSV)
 	}
 }

@@ -34,12 +34,19 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/lockstat"
 	"repro/internal/registry"
+	"repro/internal/rwlock"
 	"repro/internal/xrand"
 )
 
 type guarded struct {
-	mu     sync.Locker
-	bnd    bounded.Locker // nil when mu is unboundable
+	mu sync.Locker
+	// bnd is nil when mu is unboundable; rw/opt are set only when mu
+	// actually shares its read path (capability-probed, so decorator
+	// fallback surfaces don't count) — at most one of them is non-nil,
+	// preferring the blocking shared surface.
+	bnd    bounded.Locker
+	rw     rwlock.RWLocker
+	opt    rwlock.OptimisticLocker
 	inside int32
 	count  int64
 }
@@ -89,14 +96,18 @@ func main() {
 			st = lockstat.New()
 			lockstat.InstallWaiterSink(st)
 		}
-		ops, acquires, abandons := torture(lf, per, *workers, *tableSize, st, *stallTimeout, *chaosOn)
+		ops, acquires, abandons, reads := torture(lf, per, *workers, *tableSize, st, *stallTimeout, *chaosOn)
 		if st != nil {
 			lockstat.InstallWaiterSink(nil)
 			lockstat.Publish("lockstat.torture."+lf.Name, st)
 			telemetry[lf.Name] = st.Snapshot()
 			order = append(order, lf.Name)
 		}
-		fmt.Printf("ok: %d multi-lock ops, %d acquisitions, %d abandons\n", ops, acquires, abandons)
+		line := fmt.Sprintf("ok: %d multi-lock ops, %d acquisitions, %d abandons", ops, acquires, abandons)
+		if reads > 0 {
+			line += fmt.Sprintf(", %d shared reads", reads)
+		}
+		fmt.Println(line)
 	}
 	fmt.Println("all lock types survived")
 	if *lockstatOn {
@@ -197,7 +208,7 @@ func watchdog(name string, heartbeat *atomic.Uint64, window time.Duration, st *l
 	}
 }
 
-func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *lockstat.Stats, stallTimeout time.Duration, chaosOn bool) (uint64, uint64, uint64) {
+func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *lockstat.Stats, stallTimeout time.Duration, chaosOn bool) (uint64, uint64, uint64, uint64) {
 	// The lock table is built through the registry's canonical
 	// decorator pipeline: a chaos veto shim when fault injection is
 	// armed (spurious TryLock/LockFor failures at the wrapper layer,
@@ -223,10 +234,15 @@ func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *loc
 		} else if b, ok := bounded.For(mu); ok {
 			g.bnd = b
 		}
+		if r, ok := mu.(rwlock.RWLocker); ok && rwlock.IsReadShared(mu) {
+			g.rw = r
+		} else if o, ok := mu.(rwlock.OptimisticLocker); ok && rwlock.IsOptimistic(mu) {
+			g.opt = o
+		}
 		locks[i] = g
 	}
 	var stop atomic.Bool
-	var totalOps, totalAcq, totalAbandon atomic.Uint64
+	var totalOps, totalAcq, totalAbandon, totalReads atomic.Uint64
 	var expected atomic.Int64
 	var heartbeat atomic.Uint64
 	var wg sync.WaitGroup
@@ -330,6 +346,49 @@ func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *loc
 		totalAbandon.Add(abandons)
 	}
 
+	// reader is the read lane, spawned only for lock types claiming a
+	// read capability: shared readers must never overlap a writer's
+	// critical section (inside != 0), and the guarded counter must hold
+	// still under a held read lock; for optimistic-only locks, a
+	// validated optimistic section must not have overlapped a writer.
+	reader := func(seed uint64) {
+		defer wg.Done()
+		rng := xrand.NewXorShift64(seed)
+		var reads uint64
+		for !stop.Load() {
+			g := locks[rng.Intn(tableSize)]
+			switch {
+			case g.rw != nil:
+				g.rw.RLock()
+				if atomic.LoadInt32(&g.inside) != 0 {
+					violation("%s: writer inside critical section while shared reader admitted", lf.Name)
+				}
+				c1 := g.count
+				if reads%16 == 0 {
+					runtime.Gosched()
+				}
+				if g.count != c1 {
+					violation("%s: guarded counter moved under a held read lock", lf.Name)
+				}
+				g.rw.RUnlock()
+			case g.opt != nil:
+				var snap int32
+				g.opt.OptimisticRead(func() { snap = atomic.LoadInt32(&g.inside) })
+				if snap != 0 {
+					violation("%s: validated optimistic section overlapped a writer", lf.Name)
+				}
+			default:
+				// Capability claimed but no surface resolved on this
+				// instance: the table is homogeneous, so nothing to do.
+				totalReads.Add(reads)
+				return
+			}
+			reads++
+			heartbeat.Add(1)
+		}
+		totalReads.Add(reads)
+	}
+
 	// Fixed long-lived workers plus a churn lane: short-lived workers
 	// are spawned back to back, exercising dynamic goroutine arrival
 	// and departure (§5: threads created and destroyed dynamically).
@@ -340,6 +399,11 @@ func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *loc
 	wg.Add(2)
 	go canceller(runSeed + 500)
 	go canceller(runSeed + 501)
+	if lf.Caps.Has(registry.CapReadShared) || lf.Caps.Has(registry.CapOptimisticRead) {
+		wg.Add(2)
+		go reader(runSeed + 700)
+		go reader(runSeed + 701)
+	}
 	churnDone := make(chan struct{})
 	go func() {
 		defer close(churnDone)
@@ -372,5 +436,5 @@ func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *loc
 	if got != expected.Load() {
 		violation("%s: lost updates: counted %d, expected %d", lf.Name, got, expected.Load())
 	}
-	return totalOps.Load(), totalAcq.Load(), totalAbandon.Load()
+	return totalOps.Load(), totalAcq.Load(), totalAbandon.Load(), totalReads.Load()
 }

@@ -190,6 +190,101 @@ func (p *Polling) LockFor(d time.Duration) bool {
 	return p.wait(time.Now().Add(d), nil)
 }
 
+// readShared and optimistic mirror rwlock.RWLocker/OptimisticLocker
+// structurally, so the read-path pass-through below does not couple
+// this package to internal/rwlock.
+type readShared interface {
+	RLock()
+	RUnlock()
+}
+
+type optimistic interface {
+	ReadBegin() uint64
+	ReadValidate(s uint64) bool
+	OptimisticRead(f func())
+}
+
+// capProber mirrors rwlock's probe: because the adapter's read methods
+// are total (exclusive fallback), rwlock.IsReadShared/IsOptimistic ask
+// through this instead of trusting the interface surface.
+type capProber interface {
+	ReadSharedCapable() bool
+	OptimisticCapable() bool
+}
+
+// ReadSharedCapable reports whether RLock actually shares (the inner
+// lock has a real read path) rather than falling back to Lock.
+func (p *Polling) ReadSharedCapable() bool {
+	if pr, ok := p.L.(capProber); ok {
+		return pr.ReadSharedCapable()
+	}
+	_, ok := p.L.(readShared)
+	return ok
+}
+
+// OptimisticCapable reports whether the optimistic read surface is
+// real rather than the exclusive fallback.
+func (p *Polling) OptimisticCapable() bool {
+	if pr, ok := p.L.(capProber); ok {
+		return pr.OptimisticCapable()
+	}
+	_, ok := p.L.(optimistic)
+	return ok
+}
+
+// RLock passes a shared-read acquire through to the inner lock,
+// degrading to exclusive Lock when the inner lock has no read path.
+// The degradation is semantically sound (exclusion implies sharing's
+// guarantees); callers wanting actual sharing gate on CapReadShared.
+func (p *Polling) RLock() {
+	if r, ok := p.L.(readShared); ok {
+		r.RLock()
+		return
+	}
+	p.L.Lock()
+}
+
+// RUnlock releases an RLock admission.
+func (p *Polling) RUnlock() {
+	if r, ok := p.L.(readShared); ok {
+		r.RUnlock()
+		return
+	}
+	p.L.Unlock()
+}
+
+// ReadBegin passes through to the inner optimistic read path. An inner
+// lock with no such path reports a permanently conflicted stamp
+// (ReadValidate always false), so manual begin/validate loops must
+// gate on CapOptimisticRead; OptimisticRead remains total either way.
+func (p *Polling) ReadBegin() uint64 {
+	if o, ok := p.L.(optimistic); ok {
+		return o.ReadBegin()
+	}
+	return 0
+}
+
+// ReadValidate passes through; false (conflicted) for inner locks with
+// no optimistic read path.
+func (p *Polling) ReadValidate(s uint64) bool {
+	if o, ok := p.L.(optimistic); ok {
+		return o.ReadValidate(s)
+	}
+	return false
+}
+
+// OptimisticRead passes through, degrading to an exclusive section
+// when the inner lock has no optimistic read path.
+func (p *Polling) OptimisticRead(f func()) {
+	if o, ok := p.L.(optimistic); ok {
+		o.OptimisticRead(f)
+		return
+	}
+	p.L.Lock()
+	f()
+	p.L.Unlock()
+}
+
 // LockCtx implements Locker by polling TryLock until ctx is done.
 func (p *Polling) LockCtx(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,67 @@
+package bounded_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bounded"
+	"repro/internal/rwlock"
+)
+
+// The polling adapter must pass read surfaces through to the inner
+// lock: an adapted combinator keeps real read sharing.
+func TestPollingPassesReadPathThrough(t *testing.T) {
+	rw := rwlock.NewRW(&sync.Mutex{})
+	b, ok := bounded.For(rw)
+	if !ok {
+		t.Fatal("For rejected a TryLock-capable lock")
+	}
+	p, ok := b.(*bounded.Polling)
+	if !ok {
+		t.Fatalf("expected the polling adapter, got %T", b)
+	}
+	p.RLock()
+	if rw.Readers() != 1 {
+		t.Fatalf("inner reader count = %d after adapted RLock, want 1", rw.Readers())
+	}
+	p.RUnlock()
+
+	seq := rwlock.NewSeqlock(&sync.Mutex{})
+	b, _ = bounded.For(seq)
+	p = b.(*bounded.Polling)
+	s := p.ReadBegin()
+	if !p.ReadValidate(s) {
+		t.Fatal("adapted quiescent optimistic section failed to validate")
+	}
+	seq.Lock()
+	if p.ReadValidate(s) {
+		t.Fatal("adapted stamp validated across a held writer")
+	}
+	seq.Unlock()
+	ran := false
+	p.OptimisticRead(func() { ran = true })
+	if !ran {
+		t.Fatal("adapted OptimisticRead never ran its section")
+	}
+}
+
+// Without an inner read path the adapter degrades to exclusive
+// sections and permanently conflicted stamps.
+func TestPollingReadFallback(t *testing.T) {
+	var mu sync.Mutex
+	b, _ := bounded.For(&mu)
+	p := b.(*bounded.Polling)
+	p.RLock()
+	if mu.TryLock() {
+		t.Fatal("fallback RLock did not hold the inner lock exclusively")
+	}
+	p.RUnlock()
+	if p.ReadBegin() != 0 || p.ReadValidate(0) {
+		t.Fatal("read-path-less inner lock must report permanently conflicted stamps")
+	}
+	ran := false
+	p.OptimisticRead(func() { ran = true })
+	if !ran {
+		t.Fatal("fallback OptimisticRead never ran its section")
+	}
+}

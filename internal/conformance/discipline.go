@@ -70,6 +70,12 @@ var unlockDiscipline = map[string]Discipline{
 	"Recipro-CTR":    DisciplineTolerate,
 	"Recipro-L2park": DisciplineTolerate,
 	"FutexMutex":     DisciplineTolerate,
+	// The read-path combinators forward the stray Unlock to their inner
+	// Recipro, which absorbs it (the seqlock stamp parity is corrupted,
+	// but the lock itself stays usable — the tolerate contract).
+	"RW-Recipro":  DisciplineTolerate,
+	"Seq-Recipro": DisciplineTolerate,
+	"OCC-Recipro": DisciplineTolerate,
 }
 
 // DeclaredDiscipline returns the declared unlock-of-unlocked class for

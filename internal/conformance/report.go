@@ -29,8 +29,21 @@ func (r Report) Failed() bool {
 	return false
 }
 
+// CheckNames lists the suite's checks in Run's emission order.
+// Front-ends derive their table headers from this, so a check added to
+// Run cannot silently drift out of the rendered columns (pinned by
+// TestRunMatchesCheckNames).
+func CheckNames() []string {
+	return []string{
+		"mutex", "trylock", "bounded", "abandon", "unlock",
+		"read-sharing", "shard-mutex", "shard-iter",
+		"cluster-fence", "lease-reacquire", "differential",
+	}
+}
+
 // Run executes the full suite — mutual exclusion, TryLock soundness,
-// bounded contract, abandonment safety, unlock discipline, the
+// bounded contract, abandonment safety, unlock discipline, read-path
+// sharing for entries claiming the read capabilities, the
 // sharded-store and cluster-simulation compositions, lease
 // re-acquisition, and (for twin-declaring entries) the differential
 // checker — against one entry.
@@ -45,6 +58,7 @@ func Run(e registry.Entry, o Options) Report {
 	add("bounded", CheckBounded(e, o))
 	add("abandon", CheckAbandonment(e, o))
 	add("unlock", CheckUnlockDiscipline(e))
+	add("read-sharing", CheckReadSharing(e, o))
 	add("shard-mutex", CheckShardedMutualExclusion(e, o))
 	add("shard-iter", CheckShardedIterator(e, o))
 	add("cluster-fence", CheckClusterFencing(e, o))

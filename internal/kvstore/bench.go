@@ -40,7 +40,12 @@ type ReadRandomConfig struct {
 	// deterministically.
 	Duration     time.Duration
 	OpsPerThread int
-	Seed         uint64
+	// ReadFrac, when in (0,1), turns the pure readrandom loop into a
+	// read-mostly mix: each operation is a Get with this probability
+	// and a Put of a fresh 100-byte value otherwise. Zero keeps the
+	// classic 100%-read loop (readrandom's original shape).
+	ReadFrac float64
+	Seed     uint64
 }
 
 // ReadRandomResult reports aggregate throughput.
@@ -149,6 +154,34 @@ func ReadRandomWorkload(openDB func(run harness.RunInfo) Store, cfg ReadRandomCo
 		WorkerFn: func(id int) func() {
 			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + seed + 1)
 			d, h := db, &hits[id]
+			if cfg.ReadFrac > 0 && cfg.ReadFrac < 1 {
+				// Read-mostly mix: Get with probability ReadFrac, Put
+				// otherwise. Same devirtualization split as below.
+				readPct := int(cfg.ReadFrac*100 + 0.5)
+				val := make([]byte, 100)
+				if cd, ok := db.(*DB); ok {
+					return func() {
+						k := Key(uint64(rng.Intn(keyspace)))
+						if rng.Intn(100) < readPct {
+							if _, ok := cd.Get(k); ok {
+								h.n++
+							}
+						} else {
+							cd.Put(k, val)
+						}
+					}
+				}
+				return func() {
+					k := Key(uint64(rng.Intn(keyspace)))
+					if rng.Intn(100) < readPct {
+						if _, ok := d.Get(k); ok {
+							h.n++
+						}
+					} else {
+						d.Put(k, val)
+					}
+				}
+			}
 			if cd, ok := db.(*DB); ok {
 				// Devirtualized coarse fast path: identical codegen to
 				// the pre-Store loop, so coarse-vs-sharded comparisons

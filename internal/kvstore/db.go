@@ -27,10 +27,12 @@ package kvstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/rwlock"
 )
 
 // Chaos points. kvstore.put and kvstore.freeze fire while holding the
@@ -64,7 +66,10 @@ type Options struct {
 	MaxRuns int
 }
 
-// Stats counts DB activity (all owner-guarded).
+// Stats counts DB activity. Write-path counters (Puts, Deletes,
+// Freezes, Compactions) are guarded by the store lock; read-path
+// counters (Gets, Hits, Misses) are updated atomically because shared
+// readers record them concurrently when the lock admits read sharing.
 type Stats struct {
 	Gets, Puts, Deletes  uint64
 	Hits, Misses         uint64
@@ -76,8 +81,15 @@ type DB struct {
 	mu   sync.Locker
 	opts Options
 
-	// Guarded by mu; Get snapshots mem+runs under mu and searches
-	// outside it (LevelDB's Get pattern).
+	// rmu is mu's shared-read surface, non-nil exactly when the
+	// configured lock actually admits concurrent readers
+	// (rwlock.IsReadShared, not just the structural interface). When
+	// set, Get and NewIterator snapshot state under RLock instead of
+	// Lock, so readers stop serializing through the writer's lock word.
+	rmu rwlock.RWLocker
+
+	// Guarded by mu (shared readers hold rmu); Get snapshots mem+runs
+	// under the lock and searches outside it (LevelDB's Get pattern).
 	mem   *SkipList
 	runs  []*Run
 	stats Stats
@@ -101,7 +113,11 @@ func Open(opts Options) *DB {
 	if opts.MaxRuns <= 0 {
 		opts.MaxRuns = 4
 	}
-	return &DB{mu: opts.Lock, opts: opts, mem: NewSkipList()}
+	db := &DB{mu: opts.Lock, opts: opts, mem: NewSkipList()}
+	if r, ok := opts.Lock.(rwlock.RWLocker); ok && rwlock.IsReadShared(opts.Lock) {
+		db.rmu = r
+	}
+	return db
 }
 
 // Put inserts or updates a key.
@@ -144,8 +160,14 @@ func (db *DB) maybeFreezeLocked() {
 
 // Get looks up a key, mirroring leveldb::DBImpl::Get's locking
 // pattern: take the central mutex to snapshot references, drop it for
-// the actual search, and retake it to update statistics.
+// the actual search, and retake it to update statistics. When the
+// configured lock admits shared readers the same two acquisitions run
+// on the read path (RLock) instead, so concurrent Gets stop
+// serializing on the lock word while writers keep full exclusion.
 func (db *DB) Get(key []byte) ([]byte, bool) {
+	if db.rmu != nil {
+		return db.getShared(key)
+	}
 	db.mu.Lock()
 	mem := db.mem
 	runs := db.runs
@@ -155,14 +177,41 @@ func (db *DB) Get(key []byte) ([]byte, bool) {
 	val, found := get(mem, runs, key)
 
 	db.mu.Lock()
-	db.stats.Gets++
-	if found {
-		db.stats.Hits++
-	} else {
-		db.stats.Misses++
-	}
+	db.recordGet(found)
 	db.mu.Unlock()
 	return val, found
+}
+
+// getShared is Get over the lock's shared-read surface: the same
+// two-acquisition shape, both acquisitions shared. Snapshot
+// consistency holds because RLock fully excludes writers, and the
+// stats episode uses atomic counters because concurrent readers are
+// admitted together.
+func (db *DB) getShared(key []byte) ([]byte, bool) {
+	db.rmu.RLock()
+	mem := db.mem
+	runs := db.runs
+	db.rmu.RUnlock()
+
+	siteKvSnapshot.Hit()
+	val, found := get(mem, runs, key)
+
+	db.rmu.RLock()
+	db.recordGet(found)
+	db.rmu.RUnlock()
+	return val, found
+}
+
+// recordGet bumps the read-path counters. Atomic because in shared
+// mode multiple readers record concurrently; harmless (and still
+// cheap) under the exclusive lock.
+func (db *DB) recordGet(found bool) {
+	atomic.AddUint64(&db.stats.Gets, 1)
+	if found {
+		atomic.AddUint64(&db.stats.Hits, 1)
+	} else {
+		atomic.AddUint64(&db.stats.Misses, 1)
+	}
 }
 
 // get searches a snapshot (memtable, then runs newest-first).
@@ -184,10 +233,20 @@ func get(mem *SkipList, runs []*Run, key []byte) ([]byte, bool) {
 	return nil, false
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The exclusive acquisition
+// drains shared readers, so the snapshot is a consistent cut; the
+// read-path counters are loaded atomically to pair with recordGet.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
-	s := db.stats
+	s := Stats{
+		Gets:        atomic.LoadUint64(&db.stats.Gets),
+		Puts:        db.stats.Puts,
+		Deletes:     db.stats.Deletes,
+		Hits:        atomic.LoadUint64(&db.stats.Hits),
+		Misses:      atomic.LoadUint64(&db.stats.Misses),
+		Freezes:     db.stats.Freezes,
+		Compactions: db.stats.Compactions,
+	}
 	db.mu.Unlock()
 	return s
 }

@@ -73,12 +73,21 @@ type Iterator struct {
 }
 
 // NewIterator captures a snapshot and positions the iterator before
-// the first entry; call Next to advance.
+// the first entry; call Next to advance. Like Get, the snapshot
+// acquisition runs on the lock's shared-read surface when the lock
+// admits concurrent readers.
 func (db *DB) NewIterator() *Iterator {
-	db.mu.Lock()
-	mem := db.mem
-	runs := db.runs
-	db.mu.Unlock()
+	var mem *SkipList
+	var runs []*Run
+	if db.rmu != nil {
+		db.rmu.RLock()
+		mem, runs = db.mem, db.runs
+		db.rmu.RUnlock()
+	} else {
+		db.mu.Lock()
+		mem, runs = db.mem, db.runs
+		db.mu.Unlock()
+	}
 
 	it := &Iterator{}
 	m := &slIter{sl: mem}

@@ -86,7 +86,7 @@ func OpenSharded(opts ShardedOptions) *ShardedDB {
 		})
 		locks[i] = l
 	}
-	s.table = stripeTable{locks: locks}
+	s.table = newStripeTable(locks)
 	return s
 }
 
@@ -169,7 +169,10 @@ func (s *ShardedDB) Write(b *Batch) {
 // shard locks are held simultaneously while the memtable and run
 // references are collected, so the snapshot sits at a single point in
 // the total order of cross-shard batches — and returns a merging
-// iterator over it. Hash partitioning guarantees a key appears in at
+// iterator over it. When the shard locks admit shared readers the
+// snapshot holds them all in read mode: batch writers (exclusive) are
+// still fully excluded, but concurrent snapshots no longer serialize
+// against each other. Hash partitioning guarantees a key appears in at
 // most one shard, so cross-shard merging never has to resolve
 // duplicate keys.
 func (s *ShardedDB) NewIterator() *Iterator {
@@ -182,12 +185,12 @@ func (s *ShardedDB) NewIterator() *Iterator {
 	}
 	mems := make([]*SkipList, len(s.shards))
 	runs := make([][]*Run, len(s.shards))
-	s.table.lockSet(all)
+	s.table.rlockSet(all)
 	for i, sh := range s.shards {
 		mems[i] = sh.mem
 		runs[i] = sh.runs
 	}
-	s.table.unlockSet(all)
+	s.table.runlockSet(all)
 
 	it := &Iterator{}
 	for i := range s.shards {

@@ -16,12 +16,20 @@ import (
 // bracketing calls, which is sound because callers invoke Enter
 // strictly after acquiring and Exit strictly before releasing the lock
 // under test.
+// Shared-read bracketing: readers bracket with EnterShared/ExitShared.
+// An exclusive Enter while readers are inside, or a shared Enter while
+// an exclusive holder is inside, is a violation; concurrent shared
+// admissions are legal and their high-water mark is reported by
+// MaxShared (the evidence CheckReadSharing uses to prove readers were
+// actually admitted together rather than serialized).
 type AdmissionLog struct {
-	mu     sync.Mutex
-	order  []int
-	inside int
-	holder int
-	err    error
+	mu        sync.Mutex
+	order     []int
+	inside    int
+	holder    int
+	shared    int
+	maxShared int
+	err       error
 }
 
 // NewAdmissionLog returns an empty log.
@@ -35,9 +43,48 @@ func (l *AdmissionLog) Enter(id int) {
 		l.err = fmt.Errorf("mutual exclusion violated: %d entered while %d holds (admission %d)",
 			id, l.holder, len(l.order))
 	}
+	if l.shared != 0 && l.err == nil {
+		l.err = fmt.Errorf("read exclusion violated: writer %d entered with %d readers inside (admission %d)",
+			id, l.shared, len(l.order))
+	}
 	l.inside++
 	l.holder = id
 	l.order = append(l.order, id)
+}
+
+// EnterShared records admission of reader id (called immediately after
+// RLock or a validated optimistic begin).
+func (l *AdmissionLog) EnterShared(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inside != 0 && l.err == nil {
+		l.err = fmt.Errorf("read exclusion violated: reader %d entered while writer %d holds (admission %d)",
+			id, l.holder, len(l.order))
+	}
+	l.shared++
+	if l.shared > l.maxShared {
+		l.maxShared = l.shared
+	}
+	l.order = append(l.order, id)
+}
+
+// ExitShared records release by reader id (called immediately before
+// RUnlock).
+func (l *AdmissionLog) ExitShared(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.shared < 1 && l.err == nil {
+		l.err = fmt.Errorf("unbalanced shared exit: reader %d exited with shared=%d", id, l.shared)
+	}
+	l.shared--
+}
+
+// MaxShared reports the highest number of readers ever inside
+// simultaneously.
+func (l *AdmissionLog) MaxShared() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxShared
 }
 
 // Exit records release by id (called immediately before releasing).

@@ -40,7 +40,8 @@ func BuildTable(title string, names []string, snaps map[string]Snapshot) *table.
 	t := table.New(title,
 		"Lock", "Acquire", "Contended", "Cont%", "Handover", "Abandon",
 		"Spin", "Yield", "Park",
-		"AcqP50", "AcqP99", "HoldP50", "HoldP99")
+		"RLock", "OptRead", "OptRetry",
+		"AcqP50", "AcqP99", "HoldP50", "HoldP99", "ReadP50", "ReadP99")
 	for _, name := range names {
 		s, ok := snaps[name]
 		if !ok {
@@ -55,10 +56,15 @@ func BuildTable(title string, names []string, snaps map[string]Snapshot) *table.
 			table.U(s.Spins),
 			table.U(s.Yields),
 			table.U(s.Parks),
+			table.U(s.RLocks),
+			table.U(s.OptReads),
+			table.U(s.OptRetries),
 			s.Acquire.Quantile(0.50).String(),
 			s.Acquire.Quantile(0.99).String(),
 			s.Hold.Quantile(0.50).String(),
 			s.Hold.Quantile(0.99).String(),
+			s.ReadAcq.Quantile(0.50).String(),
+			s.ReadAcq.Quantile(0.99).String(),
 		)
 	}
 	return t

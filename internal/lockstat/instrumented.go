@@ -23,6 +23,20 @@ type lockedProber interface {
 	Locked() bool
 }
 
+// readShared and optimistic mirror rwlock.RWLocker/OptimisticLocker
+// structurally (no internal/rwlock import), the read-path surfaces the
+// wrapper forwards when the inner lock offers them.
+type readShared interface {
+	RLock()
+	RUnlock()
+}
+
+type optimistic interface {
+	ReadBegin() uint64
+	ReadValidate(s uint64) bool
+	OptimisticRead(f func())
+}
+
 // ContendedThreshold is the acquire latency at or above which an
 // acquisition is classified as contended even when no direct evidence
 // (queued waiter, held-lock probe) was observed. Uncontended
@@ -52,6 +66,13 @@ type Instrumented struct {
 	// without a per-call interface probe or wrapper allocation.
 	bnd bounded.Locker
 
+	// rw/opt are inner's read-path surfaces, resolved once at Wrap
+	// (nil when absent — the read methods then degrade to exclusive
+	// sections, which is semantically sound; callers wanting actual
+	// sharing gate on the registry capability bits).
+	rw  readShared
+	opt optimistic
+
 	// waiting counts goroutines currently inside inner.Lock. It drives
 	// two classifications: an arriving goroutine that sees waiting > 0
 	// is contended, and an unlock that sees waiting > 0 is a handover.
@@ -69,6 +90,12 @@ func Wrap(l sync.Locker, s *Stats) *Instrumented {
 	i := &Instrumented{inner: l, stats: s}
 	if b, ok := bounded.For(l); ok {
 		i.bnd = b
+	}
+	if r, ok := l.(readShared); ok {
+		i.rw = r
+	}
+	if o, ok := l.(optimistic); ok {
+		i.opt = o
 	}
 	return i
 }
@@ -203,6 +230,122 @@ func (i *Instrumented) LockCtx(ctx context.Context) error {
 	s.RecordAcquire(el >= ContendedThreshold, el)
 	i.holdStart.Store(t1)
 	return nil
+}
+
+// capProber mirrors rwlock's probe (see bounded.Polling): the
+// wrapper's read methods are total, so actual read capability is
+// reported through these instead of the interface surface.
+type capProber interface {
+	ReadSharedCapable() bool
+	OptimisticCapable() bool
+}
+
+// ReadSharedCapable reports whether RLock actually shares rather than
+// falling back to an exclusive Lock.
+func (i *Instrumented) ReadSharedCapable() bool {
+	if i.rw == nil {
+		return false
+	}
+	if pr, ok := i.inner.(capProber); ok {
+		return pr.ReadSharedCapable()
+	}
+	return true
+}
+
+// OptimisticCapable reports whether the optimistic read surface is
+// real rather than the exclusive fallback.
+func (i *Instrumented) OptimisticCapable() bool {
+	if i.opt == nil {
+		return false
+	}
+	if pr, ok := i.inner.(capProber); ok {
+		return pr.OptimisticCapable()
+	}
+	return true
+}
+
+// RLock acquires the inner lock's shared read path, recording the
+// read acquisition and its latency; it degrades to an exclusive Lock
+// when the inner lock has no read path.
+func (i *Instrumented) RLock() {
+	r := i.rw
+	if r == nil {
+		i.Lock()
+		return
+	}
+	s := i.stats
+	if s == nil {
+		r.RLock()
+		return
+	}
+	t0 := nanotime()
+	r.RLock()
+	s.RecordRLock(time.Duration(nanotime() - t0))
+}
+
+// RUnlock releases a shared-read admission (or the exclusive fallback
+// taken by RLock).
+func (i *Instrumented) RUnlock() {
+	r := i.rw
+	if r == nil {
+		i.Unlock()
+		return
+	}
+	r.RUnlock()
+}
+
+// ReadBegin samples the inner optimistic stamp; with no inner
+// optimistic path it reports a permanently conflicted stamp (validate
+// always fails), so manual loops must gate on CapOptimisticRead.
+func (i *Instrumented) ReadBegin() uint64 {
+	if o := i.opt; o != nil {
+		return o.ReadBegin()
+	}
+	return 0
+}
+
+// ReadValidate validates an optimistic section, recording failed
+// validations as optimistic retries.
+func (i *Instrumented) ReadValidate(stamp uint64) bool {
+	o := i.opt
+	if o == nil {
+		return false
+	}
+	ok := o.ReadValidate(stamp)
+	if !ok {
+		if s := i.stats; s != nil {
+			s.RecordOptRetry()
+		}
+	}
+	return ok
+}
+
+// OptimisticRead runs an optimistic read section, recording its
+// end-to-end latency and absorbed retries (re-executions of f); it
+// degrades to an exclusive section when the inner lock has no
+// optimistic path.
+func (i *Instrumented) OptimisticRead(f func()) {
+	o := i.opt
+	if o == nil {
+		i.Lock()
+		f()
+		i.Unlock()
+		return
+	}
+	s := i.stats
+	if s == nil {
+		o.OptimisticRead(f)
+		return
+	}
+	var calls uint64
+	t0 := nanotime()
+	o.OptimisticRead(func() { calls++; f() })
+	d := time.Duration(nanotime() - t0)
+	var retries uint64
+	if calls > 0 {
+		retries = calls - 1
+	}
+	s.RecordOptimisticRead(retries, d)
 }
 
 // WrapFactory lifts Wrap over a lock constructor: every lock the

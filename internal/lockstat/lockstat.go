@@ -63,9 +63,13 @@ type Stats struct {
 	spins        counter // hot spin iterations (waiter policy layer)
 	yields       counter // scheduler yields (waiter policy layer)
 	parks        counter // blocking waits: policy sleeps + futex parks
+	rlocks       counter // shared-read acquisitions (RLock)
+	optReads     counter // completed optimistic read sections (OptimisticRead)
+	optRetries   counter // optimistic validations that failed (manual or in-section)
 
 	acquire Hist // acquire latency, ns
 	hold    Hist // hold time (Lock return to Unlock entry), ns
+	readAcq Hist // read-path latency (RLock acquire / OptimisticRead total), ns
 }
 
 // New returns a fresh Stats.
@@ -107,6 +111,27 @@ func (s *Stats) RecordTryFail() { s.tryFails.inc() }
 // runs read this column as the degradation rate.
 func (s *Stats) RecordAbandon() { s.abandons.inc() }
 
+// RecordRLock records one shared-read acquisition with its latency.
+func (s *Stats) RecordRLock(d time.Duration) {
+	s.rlocks.inc()
+	s.readAcq.Observe(d.Nanoseconds())
+}
+
+// RecordOptimisticRead records one completed optimistic read section:
+// its end-to-end latency and how many validation failures (retries) it
+// absorbed before succeeding.
+func (s *Stats) RecordOptimisticRead(retries uint64, d time.Duration) {
+	s.optReads.inc()
+	if retries > 0 {
+		s.optRetries.add(retries)
+	}
+	s.readAcq.Observe(d.Nanoseconds())
+}
+
+// RecordOptRetry records one failed optimistic validation observed on
+// the manual ReadBegin/ReadValidate surface.
+func (s *Stats) RecordOptRetry() { s.optRetries.inc() }
+
 // Snapshot returns a consistent-enough point-in-time copy for
 // reporting. Individual counters are loaded independently; between
 // loads other goroutines may progress, so cross-counter invariants
@@ -122,8 +147,12 @@ func (s *Stats) Snapshot() Snapshot {
 		Spins:        s.spins.load(),
 		Yields:       s.yields.load(),
 		Parks:        s.parks.load(),
+		RLocks:       s.rlocks.load(),
+		OptReads:     s.optReads.load(),
+		OptRetries:   s.optRetries.load(),
 		Acquire:      s.acquire.Snapshot(),
 		Hold:         s.hold.Snapshot(),
+		ReadAcq:      s.readAcq.Snapshot(),
 	}
 }
 
@@ -139,8 +168,12 @@ type Snapshot struct {
 	Spins        uint64       `json:"spins"`
 	Yields       uint64       `json:"yields"`
 	Parks        uint64       `json:"parks"`
+	RLocks       uint64       `json:"rlocks"`
+	OptReads     uint64       `json:"opt_reads"`
+	OptRetries   uint64       `json:"opt_retries"`
 	Acquire      HistSnapshot `json:"acquire_ns"`
 	Hold         HistSnapshot `json:"hold_ns"`
+	ReadAcq      HistSnapshot `json:"read_acquire_ns"`
 }
 
 // ContendedFraction returns contended/acquisitions in [0,1], or 0 for

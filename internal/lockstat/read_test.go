@@ -1,0 +1,90 @@
+package lockstat
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rwlock"
+)
+
+func TestInstrumentedReadPathCounters(t *testing.T) {
+	s := New()
+	i := Wrap(rwlock.NewRW(&sync.Mutex{}), s)
+
+	for n := 0; n < 3; n++ {
+		i.RLock()
+		i.RUnlock()
+	}
+	snap := s.Snapshot()
+	if snap.RLocks != 3 {
+		t.Fatalf("RLocks = %d, want 3", snap.RLocks)
+	}
+	if snap.ReadAcq.Count() != 3 {
+		t.Fatalf("read-acquire histogram count = %d, want 3", snap.ReadAcq.Count())
+	}
+	if snap.Acquisitions != 0 {
+		t.Fatalf("RLock leaked into exclusive acquisitions (%d)", snap.Acquisitions)
+	}
+}
+
+func TestInstrumentedOptimisticCounters(t *testing.T) {
+	s := New()
+	seq := rwlock.NewSeqlock(&sync.Mutex{})
+	i := Wrap(seq, s)
+
+	i.OptimisticRead(func() {})
+	snap := s.Snapshot()
+	if snap.OptReads != 1 || snap.OptRetries != 0 {
+		t.Fatalf("quiescent OptimisticRead: reads=%d retries=%d, want 1/0", snap.OptReads, snap.OptRetries)
+	}
+	if snap.ReadAcq.Count() != 1 {
+		t.Fatalf("read-acquire histogram count = %d, want 1", snap.ReadAcq.Count())
+	}
+
+	// A failed manual validation counts one optimistic retry.
+	stamp := i.ReadBegin()
+	i.Lock()
+	if i.ReadValidate(stamp) {
+		t.Fatal("validated across a held writer")
+	}
+	i.Unlock()
+	if got := s.Snapshot().OptRetries; got != 1 {
+		t.Fatalf("OptRetries = %d after failed validation, want 1", got)
+	}
+}
+
+// An inner lock with no read path degrades the wrapper's read surface
+// to exclusive sections — correct, recorded as exclusive acquisitions.
+func TestInstrumentedReadFallbackIsExclusive(t *testing.T) {
+	s := New()
+	i := Wrap(&sync.Mutex{}, s)
+
+	i.RLock()
+	i.RUnlock()
+	ran := false
+	i.OptimisticRead(func() { ran = true })
+	if !ran {
+		t.Fatal("fallback OptimisticRead never ran its section")
+	}
+	if i.ReadBegin() != 0 || i.ReadValidate(0) {
+		t.Fatal("read-path-less inner lock must report permanently conflicted stamps")
+	}
+	snap := s.Snapshot()
+	if snap.RLocks != 0 || snap.OptReads != 0 {
+		t.Fatalf("fallback paths recorded as read acquisitions: rlocks=%d optReads=%d", snap.RLocks, snap.OptReads)
+	}
+	if snap.Acquisitions != 2 {
+		t.Fatalf("fallback paths recorded %d exclusive acquisitions, want 2", snap.Acquisitions)
+	}
+}
+
+func TestInstrumentedNilStatsReadPath(t *testing.T) {
+	i := Wrap(rwlock.NewSeqlock(&sync.Mutex{}), nil)
+	var x uint64
+	f := func() { x++ }
+	if n := testing.AllocsPerRun(2000, func() {
+		i.OptimisticRead(f)
+	}); n != 0 {
+		t.Fatalf("nil-Stats OptimisticRead allocates %.1f/op, want 0", n)
+	}
+}

@@ -21,12 +21,16 @@
 package mutexbench
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/pad"
 	"repro/internal/registry"
+	"repro/internal/rwlock"
 	"repro/internal/xrand"
 )
 
@@ -50,6 +54,15 @@ type Config struct {
 	// in the non-critical section (0 = empty NCS = maximal
 	// contention; the paper's moderate configuration uses 250).
 	NCSMaxSteps int
+	// ReadFrac, when in (0,1], switches the kernel to the read-mostly
+	// workload: each iteration is a read section with this probability
+	// and a write (exclusive critical section over a guarded pair)
+	// otherwise. Read sections go through the lock's strongest read
+	// surface — RLock when it actually shares, OptimisticRead when the
+	// lock is optimistic, and a plain exclusive section for everything
+	// else, which is exactly the baseline the read-path combinators are
+	// measured against.
+	ReadFrac float64
 	// Runs is the number of independent runs medianed (paper: 7).
 	Runs int
 	// Seed differentiates private PRNG streams.
@@ -80,10 +93,88 @@ func engineConfig(cfg Config) harness.Config {
 	}
 }
 
+// guardedPair is the read-mostly workload's shared state: two counters
+// a writer advances in lockstep under the exclusive lock, placed on
+// separate cache lines so reader traffic on one word does not
+// false-share with the other. The words are atomic so optimistic
+// (seqlock) read sections stay race-detector-clean.
+type guardedPair struct {
+	x atomic.Uint64
+	_ [pad.CacheLineSize - 8]byte
+	y atomic.Uint64
+}
+
+// readMostlyWorkload is the ReadFrac > 0 kernel: mostly read sections
+// over the guarded pair, occasionally an exclusive write advancing it.
+func readMostlyWorkload(lf registry.Entry, cfg Config) harness.Workload {
+	var (
+		l    sync.Locker
+		p    *guardedPair
+		seed uint32
+	)
+	readPct := int(cfg.ReadFrac*100 + 0.5)
+	if readPct > 100 {
+		readPct = 100
+	}
+	return &harness.WorkloadFunc{
+		SetupFn: func(run harness.RunInfo) {
+			seed = uint32(run.Seed)
+			l = lf.New()
+			p = &guardedPair{}
+		},
+		WorkerFn: func(id int) func() {
+			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + uint64(seed) + 1)
+			private := xrand.NewMT19937Seeded(uint32(id)*2654435761 + seed + 1)
+			lk, gp := l, p
+			ncs := cfg.NCSMaxSteps
+			// Resolve the strongest real read surface once per worker:
+			// a structural interface alone is not enough, decorators
+			// expose fallback read methods (see rwlock.IsReadShared).
+			var rw rwlock.RWLocker
+			var opt rwlock.OptimisticLocker
+			if r, ok := lk.(rwlock.RWLocker); ok && rwlock.IsReadShared(lk) {
+				rw = r
+			} else if o, ok := lk.(rwlock.OptimisticLocker); ok && rwlock.IsOptimistic(lk) {
+				opt = o
+			}
+			var sink uint64
+			readBody := func() { sink += gp.x.Load() + gp.y.Load() }
+			return func() {
+				if rng.Intn(100) < readPct {
+					switch {
+					case rw != nil:
+						rw.RLock()
+						readBody()
+						rw.RUnlock()
+					case opt != nil:
+						opt.OptimisticRead(readBody)
+					default:
+						lk.Lock()
+						readBody()
+						lk.Unlock()
+					}
+				} else {
+					lk.Lock()
+					gp.x.Add(1)
+					gp.y.Add(1)
+					lk.Unlock()
+				}
+				if ncs > 0 {
+					private.Skip(int(private.Uint32n(uint32(ncs))))
+				}
+			}
+		},
+	}
+}
+
 // Workload returns the §7.1 MutexBench kernel over one catalog entry
 // as a harness workload: each run instantiates a fresh lock and a
 // fresh shared generator; each worker captures a private generator.
+// With cfg.ReadFrac > 0 the kernel is the read-mostly variant instead.
 func Workload(lf registry.Entry, cfg Config) harness.Workload {
+	if cfg.ReadFrac > 0 {
+		return readMostlyWorkload(lf, cfg)
+	}
 	var (
 		l      sync.Locker
 		shared *xrand.MT19937
@@ -153,18 +244,35 @@ func Sweep(lfs []registry.Entry, threadCounts []int, cfg Config) []Result {
 	return out
 }
 
-// SweepResult runs the sweep and renders it directly as the versioned
-// harness result schema (workload "max" or "moderate" by NCS).
-func SweepResult(lfs []registry.Entry, threadCounts []int, cfg Config) *harness.Result {
-	workload := "max"
-	if cfg.NCSMaxSteps > 0 {
-		workload = "moderate"
+// WorkloadName renders cfg's workload cell label: "max" or "moderate"
+// by NCS for the exclusive kernel, "readmostly/rNN" (NN = read
+// percentage) for the read-mostly one.
+func WorkloadName(cfg Config) string {
+	if cfg.ReadFrac > 0 {
+		pct := int(cfg.ReadFrac*100 + 0.5)
+		if pct > 100 {
+			pct = 100
+		}
+		return fmt.Sprintf("readmostly/r%d", pct)
 	}
+	if cfg.NCSMaxSteps > 0 {
+		return "moderate"
+	}
+	return "max"
+}
+
+// SweepResult runs the sweep and renders it directly as the versioned
+// harness result schema (workload per WorkloadName).
+func SweepResult(lfs []registry.Entry, threadCounts []int, cfg Config) *harness.Result {
+	workload := WorkloadName(cfg)
 	res := harness.NewResult("mutexbench", "A", uint64(cfg.Seed))
 	res.SetConfig("duration", cfg.Duration.String())
 	res.SetConfig("runs", strconv.Itoa(cfg.Runs))
 	res.SetConfig("cs_steps", strconv.Itoa(cfg.CSSteps))
 	res.SetConfig("ncs_max_steps", strconv.Itoa(cfg.NCSMaxSteps))
+	if cfg.ReadFrac > 0 {
+		res.SetConfig("read_frac", strconv.FormatFloat(cfg.ReadFrac, 'g', -1, 64))
+	}
 	for _, lf := range lfs {
 		for _, tc := range threadCounts {
 			c := cfg

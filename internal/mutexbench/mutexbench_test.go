@@ -85,6 +85,61 @@ func TestSweepShape(t *testing.T) {
 	}
 }
 
+// The read-mostly kernel must run to completion on every read surface:
+// a sharing wrapper (RLock path), an optimistic wrapper (OptimisticRead
+// path), and a plain exclusive lock (the baseline fallback).
+func TestReadMostlyAllSurfaces(t *testing.T) {
+	for _, name := range []string{"rw:Recipro", "seq:Recipro", "occ:Recipro", "Recipro", "GoRWMutex"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			lf, ok := registry.Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed", name)
+			}
+			res := Run(lf, Config{Threads: 4, Iterations: 500, ReadFrac: 0.9, Runs: 1})
+			var total uint64
+			for _, v := range res.PerThread {
+				total += v
+			}
+			if total != 4*500 {
+				t.Fatalf("total ops = %d, want %d", total, 4*500)
+			}
+			if res.Mops <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+		})
+	}
+}
+
+// ReadFrac controls the cell label and is recorded in the result
+// config, so readmostly sweeps land in bench_baseline.json as their
+// own workload rather than overwriting max/moderate cells.
+func TestReadMostlyWorkloadNaming(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{}, "max"},
+		{Config{NCSMaxSteps: 250}, "moderate"},
+		{Config{ReadFrac: 0.9}, "readmostly/r90"},
+		{Config{ReadFrac: 0.99, NCSMaxSteps: 250}, "readmostly/r99"},
+		{Config{ReadFrac: 1}, "readmostly/r100"},
+	} {
+		if got := WorkloadName(tc.cfg); got != tc.want {
+			t.Errorf("WorkloadName(%+v) = %q, want %q", tc.cfg, got, tc.want)
+		}
+	}
+
+	lf, _ := registry.Lookup("rw:Recipro")
+	res := SweepResult([]registry.Entry{lf}, []int{2}, Config{Iterations: 200, ReadFrac: 0.9, Runs: 1})
+	if res.Config["read_frac"] != "0.9" {
+		t.Fatalf("read_frac config = %q", res.Config["read_frac"])
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Workload != "readmostly/r90" {
+		t.Fatalf("cells = %+v", res.Cells)
+	}
+}
+
 // NCS work must actually vary workload: moderate contention performs
 // fewer lock acquisitions per second than maximal contention under
 // identical everything else.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bounded"
 	"repro/internal/chaos"
 	"repro/internal/lockstat"
+	"repro/internal/rwlock"
 )
 
 // The canonical decorator pipeline. Every harness used to stack the
@@ -134,12 +135,27 @@ func vetoPoint(name string) *chaos.Point {
 // vetoWrap shields l behind a chaos veto shim matching l's strongest
 // non-blocking surface, so no capability is gained or lost: a
 // bounded.Locker stays natively bounded, a plain TryLocker stays a
-// TryLocker, and a lock with no doorway is returned unchanged.
+// TryLocker, and a lock with no doorway is returned unchanged. Read
+// paths are preserved: a shared read path (RWLocker) passes through
+// unvetoed (RLock has no failure mode to inject), and an optimistic
+// read path keeps ReadBegin/OptimisticRead while ReadValidate gains a
+// spurious-failure veto — a failed validation is always a legal
+// outcome, so the shim exercises reader retry loops without being
+// able to fabricate a torn read.
 func vetoWrap(l sync.Locker, pt *chaos.Point) sync.Locker {
 	if b, ok := l.(bounded.Locker); ok {
+		// No catalog lock offers both native bounding and a read path
+		// (the rwlock combinators bound via TryLock polling), so the
+		// bounded shim carries no read surface.
 		return &vetoBounded{inner: b, pt: pt}
 	}
 	if t, ok := l.(bounded.TryLocker); ok {
+		if rw, ok := l.(rwlock.RWLocker); ok {
+			return &vetoTryRW{vetoTry: vetoTry{inner: t, pt: pt}, rw: rw}
+		}
+		if opt, ok := l.(rwlock.OptimisticLocker); ok {
+			return &vetoTryOpt{vetoTry: vetoTry{inner: t, pt: pt}, opt: opt}
+		}
 		return &vetoTry{inner: t, pt: pt}
 	}
 	return l
@@ -162,6 +178,39 @@ func (v *vetoTry) TryLock() bool {
 	}
 	return v.inner.TryLock()
 }
+
+// vetoTryRW is vetoTry plus an unvetoed shared read path: RLock has no
+// spurious-failure mode in its contract, so there is nothing legal to
+// inject.
+type vetoTryRW struct {
+	vetoTry
+	rw rwlock.RWLocker
+}
+
+func (v *vetoTryRW) RLock()   { v.rw.RLock() }
+func (v *vetoTryRW) RUnlock() { v.rw.RUnlock() }
+
+// vetoTryOpt is vetoTry plus the optimistic read path, with a
+// spurious-failure veto on ReadValidate (a failed validation is always
+// legal and forces the caller's retry/fallback path). OptimisticRead
+// passes through: its termination contract is the inner combinator's
+// bounded retry policy, which the conformance conflict-storm check
+// stresses with real writers instead.
+type vetoTryOpt struct {
+	vetoTry
+	opt rwlock.OptimisticLocker
+}
+
+func (v *vetoTryOpt) ReadBegin() uint64 { return v.opt.ReadBegin() }
+
+func (v *vetoTryOpt) ReadValidate(s uint64) bool {
+	if v.pt.Fail() {
+		return false
+	}
+	return v.opt.ReadValidate(s)
+}
+
+func (v *vetoTryOpt) OptimisticRead(f func()) { v.opt.OptimisticRead(f) }
 
 // vetoBounded vetoes TryLock and LockFor on a natively bounded lock.
 // LockCtx is deliberately not vetoed: its contract ties a false return

@@ -69,7 +69,7 @@ func (f *LocksFlag) Resolve(list io.Writer) (entries []Entry, listed bool, err e
 // the output of "-locks list".
 func FprintCatalog(w io.Writer) {
 	t := table.New("Lock catalog — capability matrix",
-		"Lock", "Aliases", "Family", "Paper", "TryLock", "Bounded", "Park", "AllocFree", "SimTwin", "Description")
+		"Lock", "Aliases", "Family", "Paper", "TryLock", "Bounded", "Park", "AllocFree", "SimTwin", "ReadShared", "OptRead", "Description")
 	for _, e := range All() {
 		twin := e.SimTwin
 		if twin == "" {
@@ -84,11 +84,14 @@ func FprintCatalog(w io.Writer) {
 			yn(e.Caps.Has(CapPark)),
 			yn(e.Caps.Has(CapAllocFree)),
 			twin,
+			yn(e.Caps.Has(CapReadShared)),
+			yn(e.Caps.Has(CapOptimisticRead)),
 			e.Doc)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "\nBounded: native = abandonable in-algorithm LockFor/LockCtx; polling = TryLock retry fallback (barges).")
 	fmt.Fprintln(w, "SimTwin: the internal/simlocks model checked against this lock by the differential conformance harness.")
+	fmt.Fprintln(w, "ReadShared/OptRead: RLock shared readers / version-stamped optimistic reads; derive over any TryLock base with rw:<lock>, seq:<lock>, occ:<lock>.")
 	fmt.Fprintln(w, "Select with -locks=<name,...|paper|all>; names and aliases are case-insensitive.")
 }
 

@@ -57,7 +57,7 @@ func TestLocksFlagList(t *testing.T) {
 			t.Errorf("list output missing entry %s", e.Name)
 		}
 	}
-	for _, h := range []string{"TryLock", "Bounded", "Park", "AllocFree", "Family", "Paper", "SimTwin"} {
+	for _, h := range []string{"TryLock", "Bounded", "Park", "AllocFree", "Family", "Paper", "SimTwin", "ReadShared", "OptRead"} {
 		if !strings.Contains(out, h) {
 			t.Errorf("list output missing column %s", h)
 		}
@@ -108,6 +108,7 @@ func TestDocsMatrixMatchesCatalog(t *testing.T) {
 			yn(e.Caps.Has(CapTryLock)), e.BoundedTier(),
 			yn(e.Caps.Has(CapPark)), yn(e.Caps.Has(CapAllocFree)),
 			twin(e),
+			yn(e.Caps.Has(CapReadShared)), yn(e.Caps.Has(CapOptimisticRead)),
 		}, " | ") + " |"
 		if rows[k] != want {
 			t.Errorf("ALGORITHMS.md matrix row %d:\n  doc:     %s\n  catalog: %s", k, rows[k], want)

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/rwlock"
 )
 
 // Capability is a bit set of mechanically verifiable lock properties.
@@ -64,6 +65,16 @@ const (
 	// a resolvable SimTwin name (or vice versa) fails the registry
 	// tests.
 	CapSimTwin
+	// CapReadShared: the lock exposes the rwlock.RWLocker read path
+	// (RLock/RUnlock) and admits concurrent readers while a writer
+	// excludes them all — verified by conformance CheckReadSharing.
+	CapReadShared
+	// CapOptimisticRead: the lock exposes the rwlock.OptimisticLocker
+	// read path (ReadBegin/ReadValidate/OptimisticRead): version-
+	// stamped sections that acquire nothing and retry on conflict,
+	// never returning a torn validated read — verified by conformance
+	// CheckReadSharing.
+	CapOptimisticRead
 )
 
 // Has reports whether c includes every bit of x.
@@ -82,6 +93,8 @@ func (c Capability) String() string {
 		{CapPark, "Park"},
 		{CapAllocFree, "AllocFree"},
 		{CapSimTwin, "SimTwin"},
+		{CapReadShared, "ReadShared"},
+		{CapOptimisticRead, "OptimisticRead"},
 	} {
 		if c.Has(b.bit) {
 			parts = append(parts, b.name)
@@ -104,6 +117,7 @@ const (
 	FamilySpin          Family = "spin"          // centralized test-and-set spinning
 	FamilyFutex         Family = "futex"         // three-state futex mutex
 	FamilyRuntime       Family = "runtime"       // Go runtime's own mutex
+	FamilyCombinator    Family = "combinator"    // read-path wrappers over a base lock (internal/rwlock)
 )
 
 // Entry is one catalog row: an identity, a constructor, and a set of
@@ -259,11 +273,32 @@ func catalog() []Entry {
 			Doc: "Listing 2 with §8 futex parking",
 			New: func() sync.Locker { return &core.SimplifiedLock{Park: true} }},
 
+		// --- read-path combinators (internal/rwlock) ---
+		// Registered over the canonical Reciprocating base; any other
+		// TryLock-capable base is reachable through the dynamic
+		// "rw:<lock>" / "seq:<lock>" / "occ:<lock>" selection prefixes.
+		{Name: "RW-Recipro", Aliases: []string{"RW"}, Family: FamilyCombinator,
+			Caps: CapTryLock | CapReadShared,
+			Doc:  "writer-preference reader/writer adapter over Recipro",
+			New:  func() sync.Locker { return rwlock.NewRW(new(core.Lock)) }},
+		{Name: "Seq-Recipro", Aliases: []string{"Seqlock", "Seq"}, Family: FamilyCombinator,
+			Caps: CapTryLock | CapOptimisticRead,
+			Doc:  "version-stamped seqlock (retry-on-conflict reads) over Recipro",
+			New:  func() sync.Locker { return rwlock.NewSeqlock(new(core.Lock)) }},
+		{Name: "OCC-Recipro", Aliases: []string{"OCC"}, Family: FamilyCombinator,
+			Caps: CapTryLock | CapOptimisticRead,
+			Doc:  "optimistic reads with bounded retries, then the real lock",
+			New:  func() sync.Locker { return rwlock.NewOCC(new(core.Lock)) }},
+
 		// --- real-world defaults for context ---
 		{Name: "GoMutex", Aliases: []string{"Mutex", "sync.Mutex"}, Family: FamilyRuntime,
 			Caps: CapTryLock | CapPark,
 			Doc:  "Go runtime sync.Mutex (parks in the runtime)",
 			New:  func() sync.Locker { return new(sync.Mutex) }},
+		{Name: "GoRWMutex", Aliases: []string{"RWMutex", "sync.RWMutex"}, Family: FamilyRuntime,
+			Caps: CapTryLock | CapPark | CapReadShared,
+			Doc:  "Go runtime sync.RWMutex (native shared read path)",
+			New:  func() sync.Locker { return new(sync.RWMutex) }},
 		{Name: "FutexMutex", Aliases: []string{"Futex"}, Family: FamilyFutex,
 			Caps: CapTryLock | CapPark,
 			Doc:  "three-state futex mutex, the pthread default shape",
@@ -286,9 +321,22 @@ func Paper() []Entry {
 	return out
 }
 
-// Lookup resolves a canonical name or alias, case-insensitively.
+// Lookup resolves a canonical name or alias, case-insensitively. The
+// prefixes "rw:", "seq:" and "occ:" derive a read-path combinator over
+// any TryLock-capable entry — "rw:MCS" is the reader/writer adapter
+// over the MCS lock — producing an Entry that behaves like a catalog
+// row (Build pipeline, capability claims) but is not listed by All.
 func Lookup(name string) (Entry, bool) {
 	want := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range []string{"rw:", "seq:", "occ:"} {
+		if strings.HasPrefix(want, p) {
+			base, ok := Lookup(want[len(p):])
+			if !ok || !base.Caps.Has(CapTryLock) {
+				return Entry{}, false
+			}
+			return deriveCombinator(p, base), true
+		}
+	}
 	for _, e := range catalog() {
 		if strings.ToLower(e.Name) == want {
 			return e, true
@@ -350,6 +398,39 @@ func Select(spec string) ([]Entry, error) {
 		return nil, &UnknownLockError{Name: spec}
 	}
 	return out, nil
+}
+
+// deriveCombinator builds the dynamic catalog row for a read-path
+// combinator over base. The derived entry keeps base's SimTwin out (a
+// twin models the base's admission order, not the wrapper's read
+// protocol) and claims only what the wrapper itself promises: TryLock
+// plus the read capability.
+func deriveCombinator(prefix string, base Entry) Entry {
+	inner := base.New
+	switch prefix {
+	case "rw:":
+		return Entry{
+			Name: "RW:" + base.Name, Family: FamilyCombinator,
+			Caps: CapTryLock | CapReadShared,
+			Doc:  "writer-preference reader/writer adapter over " + base.Name,
+			New:  func() sync.Locker { return rwlock.NewRW(inner()) },
+		}
+	case "seq:":
+		return Entry{
+			Name: "Seq:" + base.Name, Family: FamilyCombinator,
+			Caps: CapTryLock | CapOptimisticRead,
+			Doc:  "version-stamped seqlock over " + base.Name,
+			New:  func() sync.Locker { return rwlock.NewSeqlock(inner()) },
+		}
+	case "occ:":
+		return Entry{
+			Name: "OCC:" + base.Name, Family: FamilyCombinator,
+			Caps: CapTryLock | CapOptimisticRead,
+			Doc:  "optimistic-then-fallback reads over " + base.Name,
+			New:  func() sync.Locker { return rwlock.NewOCC(inner()) },
+		}
+	}
+	panic("registry: unknown combinator prefix " + prefix)
 }
 
 // UnknownLockError reports a selection token that resolves to no

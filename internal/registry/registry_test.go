@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/core"
+	"repro/internal/rwlock"
 	"repro/internal/waiter"
 )
 
@@ -182,6 +183,44 @@ func TestCapabilityClaims(t *testing.T) {
 				t.Fatalf("Boundable() = %v but bounded.Boundable = %v", e.Boundable(), got)
 			}
 
+			// ReadShared claim ⟺ the rwlock.RWLocker surface, with a
+			// working RLock round-trip.
+			rw, isRW := l.(rwlock.RWLocker)
+			if isRW != e.Caps.Has(CapReadShared) {
+				t.Fatalf("CapReadShared declared %v but RWLocker assertion is %v",
+					e.Caps.Has(CapReadShared), isRW)
+			}
+			if isRW {
+				rw.RLock()
+				rw.RUnlock()
+				rw.Lock()
+				rw.Unlock()
+			}
+
+			// OptimisticRead claim ⟺ the rwlock.OptimisticLocker
+			// surface, with working stamp and section round-trips.
+			opt, isOpt := l.(rwlock.OptimisticLocker)
+			if isOpt != e.Caps.Has(CapOptimisticRead) {
+				t.Fatalf("CapOptimisticRead declared %v but OptimisticLocker assertion is %v",
+					e.Caps.Has(CapOptimisticRead), isOpt)
+			}
+			if isOpt {
+				s := opt.ReadBegin()
+				if !opt.ReadValidate(s) {
+					t.Fatal("quiescent optimistic section failed to validate")
+				}
+				opt.Lock()
+				if opt.ReadValidate(s) {
+					t.Fatal("stamp validated while a writer holds the lock")
+				}
+				opt.Unlock()
+				ran := false
+				opt.OptimisticRead(func() { ran = true })
+				if !ran {
+					t.Fatal("OptimisticRead never ran its section")
+				}
+			}
+
 			checkAllocFree(t, e)
 		})
 	}
@@ -338,6 +377,92 @@ func exportedLockTypes(t *testing.T, dir string) []string {
 		}
 	}
 	return out
+}
+
+// The rw:/seq:/occ: prefixes derive combinator entries over any
+// TryLock-capable base; bases without the doorway are rejected, and
+// derived entries carry the right capability claims and constructors.
+func TestCombinatorLookup(t *testing.T) {
+	cases := []struct {
+		spec, name string
+		caps       Capability
+	}{
+		{"rw:MCS", "RW:MCS", CapTryLock | CapReadShared},
+		{"seq:tkt", "Seq:TKT", CapTryLock | CapOptimisticRead},
+		{"occ:clh", "OCC:CLH", CapTryLock | CapOptimisticRead},
+		{"RW:GoMutex", "RW:GoMutex", CapTryLock | CapReadShared},
+		// Nesting: the outer combinator sees the inner one's TryLock.
+		{"rw:seq:MCS", "RW:Seq:MCS", CapTryLock | CapReadShared},
+	}
+	for _, c := range cases {
+		e, ok := Lookup(c.spec)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", c.spec)
+		}
+		if e.Name != c.name || e.Caps != c.caps || e.Family != FamilyCombinator {
+			t.Fatalf("Lookup(%q) = {Name:%s Caps:%v Family:%s}, want {%s %v combinator}",
+				c.spec, e.Name, e.Caps, e.Family, c.name, c.caps)
+		}
+		l := e.New()
+		l.Lock()
+		l.Unlock()
+		if _, isRW := l.(rwlock.RWLocker); isRW != e.Caps.Has(CapReadShared) {
+			t.Fatalf("%s: RWLocker surface %v mismatches claim", e.Name, isRW)
+		}
+		if _, isOpt := l.(rwlock.OptimisticLocker); isOpt != e.Caps.Has(CapOptimisticRead) {
+			t.Fatalf("%s: OptimisticLocker surface %v mismatches claim", e.Name, isOpt)
+		}
+	}
+	for _, bad := range []string{"rw:Gated", "seq:TwoLane", "rw:bogus", "rw:", "occ:"} {
+		if _, ok := Lookup(bad); ok {
+			t.Errorf("Lookup(%q) resolved; want rejection", bad)
+		}
+	}
+	// Derived entries flow through Select like catalog rows.
+	es, err := Select("rw:MCS,seq:MCS")
+	if err != nil || len(es) != 2 {
+		t.Fatalf("Select over combinator specs: %v, err %v", es, err)
+	}
+}
+
+// The full decorator pipeline must preserve the read-path surfaces of
+// read-capable entries — a chaos veto, a bounded adapter, or lockstat
+// instrumentation must never cost a lock its RLock/OptimisticRead.
+func TestBuildPreservesReadSurfaces(t *testing.T) {
+	opts := []Option{WithChaosVeto(""), WithBounded(), WithStats(nil)}
+	for _, name := range []string{"RW-Recipro", "GoRWMutex", "rw:MCS"} {
+		l, err := Build(name, opts...)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		rw, ok := l.(rwlock.RWLocker)
+		if !ok {
+			t.Fatalf("built %s lost its RWLocker surface (%T)", name, l)
+		}
+		rw.RLock()
+		rw.RUnlock()
+		rw.Lock()
+		rw.Unlock()
+	}
+	for _, name := range []string{"Seq-Recipro", "OCC-Recipro", "seq:TKT", "occ:CLH"} {
+		l, err := Build(name, opts...)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		opt, ok := l.(rwlock.OptimisticLocker)
+		if !ok {
+			t.Fatalf("built %s lost its OptimisticLocker surface (%T)", name, l)
+		}
+		s := opt.ReadBegin()
+		_ = opt.ReadValidate(s) // may be vetoed; must not panic
+		ran := false
+		opt.OptimisticRead(func() { ran = true })
+		if !ran {
+			t.Fatalf("built %s OptimisticRead never ran its section", name)
+		}
+		opt.Lock()
+		opt.Unlock()
+	}
 }
 
 func TestBoundedTier(t *testing.T) {

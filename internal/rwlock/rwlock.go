@@ -1,0 +1,261 @@
+// Package rwlock generalizes the repository's lock abstraction to the
+// read path: shared (reader/writer) and optimistic (seqlock/OCC)
+// read-side protocols as generic combinators over any catalog lock.
+//
+// The paper's contention analysis — and the OCC-for-Go and
+// coarse-grained-locking papers in PAPERS.md — all locate the real
+// throughput win of read-mostly workloads in the same place: readers
+// that do not serialize through the writer's lock word. This package
+// supplies that capability as composition rather than as new lock
+// algorithms: each combinator wraps an existing exclusive lock (which
+// keeps supplying writer mutual exclusion, fairness, and waiting
+// policy) and adds a read-side protocol around it.
+//
+//   - RW: a writer-preference reader/writer adapter — an atomic reader
+//     count plus a writer-intent flag over the wrapped lock. Readers
+//     share; a pending writer blocks new readers, drains active ones,
+//     then runs exclusively.
+//   - Seqlock: a version-stamped optimistic read path — writers bump
+//     the stamp to odd on entry and even on exit; readers run without
+//     writing any shared state and retry on stamp conflicts, with the
+//     internal/backoff decorrelated-jitter floor bounding the retry
+//     spin.
+//   - OCC: optimistic-then-fallback in the HTM style — a bounded
+//     number of seqlock-optimistic attempts, then the real lock, so
+//     read latency is bounded even under a writer storm.
+//
+// Two interfaces export the read paths; the registry declares them as
+// the capability bits CapReadShared and CapOptimisticRead, and the
+// decorator pipeline (chaos veto → bounded → lockstat) preserves them
+// structurally, so harnesses and stores discover read capability with
+// one interface assertion on the built lock.
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+	"repro/internal/waiter"
+)
+
+// RWLocker is the shared-read contract: RLock admits any number of
+// concurrent readers while excluding writers (Lock) entirely.
+// Writers use the plain sync.Locker surface.
+type RWLocker interface {
+	sync.Locker
+	RLock()
+	RUnlock()
+}
+
+// OptimisticLocker is the optimistic-read contract. A read section
+// runs without acquiring anything: ReadBegin samples the version
+// stamp, the caller performs its reads, and ReadValidate reports
+// whether the section ran unconflicted (stamp even and unchanged).
+// On false the caller observed potentially torn state and must retry
+// or fall back; OptimisticRead packages the full retry policy.
+//
+// Read sections must be side-effect-free on shared state and must
+// tolerate inconsistent (torn) values until validation succeeds; to
+// stay race-detector-clean they should read shared words with atomic
+// loads (see internal/atomicstruct.SeqAtomic for the word-atomic
+// pattern over whole structs).
+type OptimisticLocker interface {
+	sync.Locker
+	// ReadBegin returns the current version stamp. An odd stamp means
+	// a writer is mid-section; validation of that stamp always fails.
+	ReadBegin() uint64
+	// ReadValidate reports whether a read section that began at stamp
+	// s observed no concurrent writer: s is even and still current.
+	ReadValidate(s uint64) bool
+	// OptimisticRead runs f until one execution validates, applying
+	// the combinator's retry policy (bounded hot retries, then
+	// decorrelated-jitter sleeps, then — for OCC — the real lock).
+	OptimisticRead(f func())
+}
+
+// capProber lets decorators that expose read-path methods with an
+// exclusive fallback (bounded.Polling, lockstat.Instrumented) report
+// whether the path underneath them actually shares; IsReadShared and
+// IsOptimistic prefer the probe over a bare interface assertion.
+type capProber interface {
+	ReadSharedCapable() bool
+	OptimisticCapable() bool
+}
+
+// IsReadShared reports whether l's RLock path actually admits
+// concurrent readers — as opposed to a decorator's exclusive-fallback
+// RLock, which satisfies RWLocker structurally but serializes. Stores
+// use this (together with the registry's CapReadShared claim) to
+// decide whether routing reads through RLock buys anything.
+func IsReadShared(l sync.Locker) bool {
+	if p, ok := l.(capProber); ok {
+		return p.ReadSharedCapable()
+	}
+	_, ok := l.(RWLocker)
+	return ok
+}
+
+// IsOptimistic reports whether l's optimistic read path is real (see
+// IsReadShared).
+func IsOptimistic(l sync.Locker) bool {
+	if p, ok := l.(capProber); ok {
+		return p.OptimisticCapable()
+	}
+	_, ok := l.(OptimisticLocker)
+	return ok
+}
+
+// tryLocker is the non-blocking doorway the combinators require of
+// their base lock (for their own TryLock surface and the OCC
+// fallback's bounded acquisition paths).
+type tryLocker interface {
+	sync.Locker
+	TryLock() bool
+}
+
+// requireTry asserts the base lock's TryLock doorway at construction,
+// where a misuse is attributable, instead of failing at first use.
+func requireTry(base sync.Locker, combinator string) tryLocker {
+	t, ok := base.(tryLocker)
+	if !ok {
+		panic("rwlock: " + combinator + " requires a TryLock-capable base lock")
+	}
+	return t
+}
+
+// readRetryPolicy is the shared jitter floor for optimistic-read
+// retries: once a read section has lost its hot retries it sleeps on
+// the capped decorrelated-jitter schedule instead of spinning, so a
+// writer storm degrades readers to bounded sleeping, never to
+// unbounded busy-waiting. The base is deliberately small — a read
+// section is tens of nanoseconds, so even the first sleep all but
+// guarantees the next attempt lands between writes.
+var readRetryPolicy = backoff.Policy{Base: 10 * time.Microsecond, Cap: time.Millisecond}
+
+// optHotRetries is how many failed optimistic attempts a reader makes
+// under the waiter pause policy before escalating to the jitter floor.
+const optHotRetries = 8
+
+// sleep is the retry sleeper, swappable so tests can observe that the
+// escalated retry path draws its delays from the backoff floor.
+var sleep func(time.Duration) = time.Sleep
+
+// retrySeq decorrelates concurrent readers' jitter streams,
+// deterministically per process.
+var retrySeq atomic.Uint64
+
+// RW is the reader/writer adapter: writer mutual exclusion is the
+// wrapped catalog lock, read sharing is an atomic reader count, and
+// writer preference is an intent flag that stops new readers before
+// the writer drains the active ones.
+//
+// The protocol is the classic flag-and-count scheme. A writer takes
+// the inner lock (serializing against other writers and inheriting the
+// inner algorithm's queue discipline), raises the intent flag, and
+// spins — under the repository's waiter policy — until the reader
+// count drains to zero. A reader increments the count and then
+// re-checks the flag: if a writer raised intent concurrently the
+// reader backs out and waits, which is what gives writers preference
+// (a continuous reader stream cannot starve a writer; a continuous
+// writer stream can starve readers, the standard trade-off of this
+// orientation, chosen because the write path is the scarce resource in
+// the read-mostly regime this package targets).
+type RW struct {
+	w    sync.Locker
+	wtry tryLocker
+
+	// readers counts active (admitted) readers; it is the only word
+	// the read fast path writes.
+	readers atomic.Int64
+	_       [pad.CacheLineSize - 8]byte
+
+	// wflag is writer intent: raised between the writer's inner-lock
+	// acquisition and its release. Kept off the readers line so
+	// reader admissions do not false-share with writer polling.
+	wflag atomic.Bool
+}
+
+// NewRW wraps base (which must expose TryLock) in the reader/writer
+// adapter.
+func NewRW(base sync.Locker) *RW {
+	return &RW{w: base, wtry: requireTry(base, "RW")}
+}
+
+// Lock acquires write exclusion: the inner lock, then a drain of the
+// active readers.
+func (l *RW) Lock() {
+	l.w.Lock()
+	l.wflag.Store(true)
+	if l.readers.Load() == 0 {
+		return
+	}
+	w := waiter.New(waiter.Default)
+	for l.readers.Load() != 0 {
+		w.Pause()
+	}
+}
+
+// Unlock releases write exclusion.
+func (l *RW) Unlock() {
+	l.wflag.Store(false)
+	l.w.Unlock()
+}
+
+// TryLock attempts write exclusion without blocking: the inner
+// doorway, then an instantaneous reader-drain check (any active
+// reader fails the attempt — draining would block).
+func (l *RW) TryLock() bool {
+	if !l.wtry.TryLock() {
+		return false
+	}
+	l.wflag.Store(true)
+	if l.readers.Load() != 0 {
+		l.wflag.Store(false)
+		l.wtry.Unlock()
+		return false
+	}
+	return true
+}
+
+// RLock admits a reader: increment, then re-check writer intent and
+// back out if a writer arrived in the window. The uncontended path is
+// two atomic loads and one atomic add.
+func (l *RW) RLock() {
+	if !l.wflag.Load() {
+		l.readers.Add(1)
+		if !l.wflag.Load() {
+			return
+		}
+		l.readers.Add(-1)
+	}
+	l.rlockSlow()
+}
+
+// rlockSlow waits out writer intent under the waiter policy.
+func (l *RW) rlockSlow() {
+	w := waiter.New(waiter.Default)
+	for {
+		for l.wflag.Load() {
+			w.Pause()
+		}
+		l.readers.Add(1)
+		if !l.wflag.Load() {
+			return
+		}
+		l.readers.Add(-1)
+	}
+}
+
+// RUnlock releases one reader admission.
+func (l *RW) RUnlock() {
+	if l.readers.Add(-1) < 0 {
+		panic("rwlock: RUnlock without RLock")
+	}
+}
+
+// Readers reports the current admitted-reader count (diagnostics and
+// conformance).
+func (l *RW) Readers() int64 { return l.readers.Load() }
