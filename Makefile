@@ -33,12 +33,21 @@
 #                      cmd/clustersim (invariant violations exit
 #                      non-zero with a one-command repro), plus the
 #                      cluster package's test suite under -race
+#   make explore     — cluster model-checking tier: the explore package
+#                      and cmd/clusterexplore test suites, exhaustive
+#                      schedule searches over the explore-small preset
+#                      (must exit 0 VERIFIED), and the three mutation
+#                      hunts (-no-fencing, -break-dedup,
+#                      -skip-reconcile), each of which must exit 1 with
+#                      a shrunk repro script that cmd/clustersim then
+#                      replays to the same violation
 #   make fuzz-smoke  — a short fuzz pass (FUZZTIME each) over every fuzz
 #                      target: the registry -locks parser, the admission
 #                      cycle detector, the kvstore differential,
 #                      sharded-batch differential + skiplist targets,
-#                      the seqlock optimistic-read differential, and the
-#                      cluster fault-script interpreter
+#                      the seqlock optimistic-read differential, the
+#                      cluster fault-script interpreter, and the
+#                      schedule shrinker
 
 GO ?= go
 GOFMT ?= gofmt
@@ -47,14 +56,14 @@ CONF_SEED ?= 1
 FUZZTIME ?= 5s
 BENCH_BASELINE ?= results/bench_baseline.json
 
-.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance cluster fuzz-smoke
+.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance cluster explore fuzz-smoke
 
 all: test
 
 build:
 	$(GO) build ./...
 
-check: fmt-check vet test conformance cluster fuzz-smoke benchdiff-check
+check: fmt-check vet test conformance cluster explore fuzz-smoke benchdiff-check
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -94,11 +103,29 @@ conformance: build
 
 cluster: build
 	$(GO) test -race ./internal/cluster ./cmd/clustersim
-	@set -e; for script in lease-expiry-mid-cs thundering-herd asym-partition slow-node crash-during-handoff restart-storm; do \
+	@set -e; for script in lease-expiry-mid-cs thundering-herd asym-partition slow-node crash-during-handoff restart-storm expire-churn; do \
 		for seed in 1 2 3; do \
 			$(GO) run ./cmd/clustersim -quiet -script=$$script -seed=$$seed; \
 		done; \
 		echo "cluster: $$script OK (seeds 1 2 3)"; \
+	done
+
+explore: build
+	$(GO) test ./internal/cluster/explore ./cmd/clusterexplore ./internal/verdict
+	@set -e; for seed in 1 2 3; do \
+		$(GO) run ./cmd/clusterexplore -seed=$$seed; \
+		$(GO) run ./cmd/clusterexplore -seed=$$seed -script=expire-churn-tiny -window=1ms -delays=2; \
+	done
+	@set -e; mkdir -p results; for mut in no-fencing break-dedup skip-reconcile; do \
+		repro=results/.repro-$$mut.script; code=0; \
+		$(GO) run ./cmd/clusterexplore -seed=1 -script=expire-churn-tiny -window=1ms -delays=2 \
+			-$$mut -repro-out=$$repro -quiet || code=$$?; \
+		if [ $$code -ne 1 ]; then echo "explore: -$$mut exited $$code, want 1"; exit 1; fi; \
+		sched="$$(sed -n 's/^# schedule: //p' $$repro)"; code=0; \
+		$(GO) run ./cmd/clustersim -quiet -preset=explore-small -seed=1 -window=1ms -$$mut \
+			-script=$$repro -schedule="$$sched" 2>/dev/null || code=$$?; \
+		if [ $$code -ne 1 ]; then echo "explore: clustersim replay of $$repro exited $$code, want 1"; exit 1; fi; \
+		rm -f $$repro; echo "explore: mutation -$$mut caught, shrunk, and replayed"; \
 	done
 
 fuzz-smoke: build
@@ -109,3 +136,4 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz='^FuzzSkipListOrdering$$' -fuzztime=$(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz='^FuzzSeqlockRead$$' -fuzztime=$(FUZZTIME) ./internal/atomicstruct
 	$(GO) test -run '^$$' -fuzz='^FuzzFaultScript$$' -fuzztime=$(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz='^FuzzShrink$$' -fuzztime=$(FUZZTIME) ./internal/cluster/explore

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/explore"
+	"repro/internal/verdict"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus-flag"},
+		{"-preset=no-such-preset"},
+		{"-script=no-such-script-or-file"},
+		{"-schedule=1,x,2"},
+	} {
+		if code, _, _ := runCmd(t, args...); code != verdict.ExitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, verdict.ExitUsage)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != verdict.ExitVerified {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"explore-small", "explore-wide", "expire-churn-tiny"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExhaustiveVerified pins the headline behavior: the full search
+// over the small preset completes and reports a verification, exit 0.
+func TestExhaustiveVerified(t *testing.T) {
+	code, out, errOut := runCmd(t, "-seed=1")
+	if code != verdict.ExitVerified {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "VERIFIED") || !strings.Contains(out, "exhaustive") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestMutationViolation pins the failure path end to end: the
+// skip-reconcile mutation is detected, shrunk, written to -repro-out,
+// and the printed repro line names that file. The emitted script must
+// itself parse, and its schedule must replay to the same class.
+func TestMutationViolation(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.script")
+	code, out, _ := runCmd(t,
+		"-seed=1", "-script=expire-churn-tiny", "-skip-reconcile",
+		"-repro-out="+repro)
+	if code != verdict.ExitViolation {
+		t.Fatalf("exit %d, want %d; output:\n%s", code, verdict.ExitViolation, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, cluster.ClassReconcile) {
+		t.Errorf("output missing FAIL/%s:\n%s", cluster.ClassReconcile, out)
+	}
+	if !strings.Contains(out, "repro: clustersim -preset=explore-small") ||
+		!strings.Contains(out, "-script="+repro) {
+		t.Errorf("repro line missing or not pointing at the repro file:\n%s", out)
+	}
+
+	text, err := os.ReadFile(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "class="+cluster.ClassReconcile) {
+		t.Errorf("repro file header:\n%s", text)
+	}
+	sc, err := cluster.ParseScript(string(text))
+	if err != nil {
+		t.Fatalf("repro file does not parse as a script: %v", err)
+	}
+
+	// Replay the repro exactly as the printed clustersim line would.
+	cfg, err := cluster.Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	cfg.SkipReconcile = true
+	if len(sc.Steps) > 0 {
+		cfg.Script = sc
+	}
+	res, err := explore.Replay(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		found = found || v.Class == cluster.ClassReconcile
+	}
+	if !found {
+		t.Errorf("repro replay violations: %v", res.Violations)
+	}
+}
+
+// TestTinyBudgetIncomplete pins exit 3: a truncated search must not
+// report verification.
+func TestTinyBudgetIncomplete(t *testing.T) {
+	code, out, _ := runCmd(t, "-seed=3", "-budget=2")
+	if code != verdict.ExitIncomplete {
+		t.Fatalf("exit %d, want %d; output:\n%s", code, verdict.ExitIncomplete, out)
+	}
+	if !strings.Contains(out, "INCOMPLETE") || !strings.Contains(out, "not a verification") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestScheduleReplay pins -schedule: replay-only mode, clean and
+// violating.
+func TestScheduleReplay(t *testing.T) {
+	code, out, _ := runCmd(t, "-seed=1", "-schedule=0,0")
+	if code != verdict.ExitVerified {
+		t.Fatalf("clean replay: exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "replayed clean") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	code, out, errOut := runCmd(t, "-seed=1", "-schedule=", "-skip-reconcile", "-script=expire-churn-tiny")
+	if code != verdict.ExitViolation {
+		t.Fatalf("violating replay: exit %d", code)
+	}
+	if !strings.Contains(out, cluster.ClassReconcile) || !strings.Contains(errOut, "repro:") {
+		t.Errorf("out:\n%s\nerr:\n%s", out, errOut)
+	}
+}
+
+// TestDelayBoundedHunt pins the delay-bounded mode the Makefile tier
+// uses: the break-dedup mutation is invisible canonically but found
+// within two delays once the window is widened.
+func TestDelayBoundedHunt(t *testing.T) {
+	code, out, _ := runCmd(t,
+		"-seed=1", "-script=expire-churn-tiny", "-window=1ms", "-delays=2", "-break-dedup")
+	if code != verdict.ExitViolation {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, cluster.ClassVersionRegres) || !strings.Contains(out, "shrunk:") {
+		t.Errorf("output:\n%s", out)
+	}
+	// And the honest build under the same bound stays clean.
+	code, out, _ = runCmd(t,
+		"-seed=1", "-script=expire-churn-tiny", "-window=1ms", "-delays=2")
+	if code != verdict.ExitVerified {
+		t.Fatalf("honest hunt: exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "delay-bounded") {
+		t.Errorf("verified line should name the bound:\n%s", out)
+	}
+}

@@ -7,12 +7,20 @@
 //	clustersim -list
 //	clustersim [-nodes=5] [-shards=4] [-seed=1] [-script=NAME|FILE]
 //	           [-duration=1.5s] [-heal=2s] [-no-fencing] [-trace] [-quiet]
+//	clustersim -preset=explore-small [-schedule=0,0,1] [-window=1ms]
+//	           [-break-dedup] [-skip-reconcile] ...
 //
 // -script accepts a canonical script name (see -list) or a path to a
 // fault-script file. On an invariant violation the process exits 1
 // after printing a failure report that includes the seed, the script,
 // and the trace suffix — the printed repro line replays the run
 // exactly.
+//
+// -preset starts from a named topology/timing preset (the same ones
+// cmd/clusterexplore searches over); explicitly-set flags still
+// override individual preset fields. -schedule replays a fixed
+// branch-choice schedule found by clusterexplore, which is how a
+// shrunk repro file's header is replayed here.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/explore"
 )
 
 type options struct {
@@ -33,10 +42,17 @@ type options struct {
 	script        string
 	duration      time.Duration
 	heal          time.Duration
+	preset        string
+	window        time.Duration
+	schedule      string
 	noFencing     bool
+	breakDedup    bool
+	skipReconcile bool
 	trace         bool
 	quiet         bool
 	list          bool
+
+	set map[string]bool // flags explicitly present on the command line
 }
 
 func parseFlags(args []string, errOut io.Writer) (*options, error) {
@@ -49,13 +65,20 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.script, "script", "", "fault script: canonical name (see -list) or file path")
 	fs.DurationVar(&o.duration, "duration", 0, "workload horizon (0 = default 1.5s)")
 	fs.DurationVar(&o.heal, "heal", 0, "post-heal drain window (0 = default 2s)")
+	fs.StringVar(&o.preset, "preset", "", "start from a named preset (see clusterexplore -list); other flags override")
+	fs.DurationVar(&o.window, "window", 0, "schedule window for co-ready events (0 = preset/default)")
+	fs.StringVar(&o.schedule, "schedule", "", "fixed branch-choice schedule from clusterexplore (e.g. 0,0,1)")
 	fs.BoolVar(&o.noFencing, "no-fencing", false, "disable the replica fencing gate (negative testing)")
+	fs.BoolVar(&o.breakDedup, "break-dedup", false, "disable replica write dedup (negative testing)")
+	fs.BoolVar(&o.skipReconcile, "skip-reconcile", false, "drop the post-heal reconcile pass (negative testing)")
 	fs.BoolVar(&o.trace, "trace", false, "print the full event trace")
 	fs.BoolVar(&o.quiet, "quiet", false, "print only violations")
 	fs.BoolVar(&o.list, "list", false, "list canonical scripts and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	o.set = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
 	return o, nil
 }
 
@@ -75,24 +98,93 @@ func loadScript(arg string) (*cluster.Script, error) {
 	return cluster.ParseScript(string(text))
 }
 
+// buildConfig assembles the run Config. With -preset, the preset
+// supplies every field and explicitly-set flags override one at a
+// time; without it, the classic flag set applies directly.
+func (o *options) buildConfig() (cluster.Config, error) {
+	var cfg cluster.Config
+	if o.preset != "" {
+		p, err := cluster.Preset(o.preset)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg = p
+		if o.set["nodes"] {
+			cfg.Nodes = o.nodes
+		}
+		if o.set["shards"] {
+			cfg.Shards = o.shards
+		}
+		if o.set["duration"] {
+			cfg.Duration = o.duration
+		}
+		if o.set["heal"] {
+			cfg.Heal = o.heal
+		}
+	} else {
+		cfg = cluster.Config{
+			Nodes: o.nodes, Shards: o.shards,
+			Duration: o.duration, Heal: o.heal,
+		}
+	}
+	cfg.Seed = o.seed
+	if o.set["window"] && o.window > 0 {
+		cfg.ScheduleWindow = o.window
+	}
+	cfg.DisableFencing = o.noFencing
+	cfg.BreakDedup = o.breakDedup
+	cfg.SkipReconcile = o.skipReconcile
+
+	script, err := loadScript(o.script)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	cfg.Script = script
+
+	if o.set["schedule"] {
+		sched, err := explore.ParseSchedule(o.schedule)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg.Scheduler = explore.FixedSchedule(sched)
+	}
+	return cfg, nil
+}
+
 // reproLine renders the exact invocation that replays this run.
 func reproLine(o *options) string {
-	parts := []string{"clustersim",
-		fmt.Sprintf("-nodes=%d", o.nodes),
-		fmt.Sprintf("-shards=%d", o.shards),
-		fmt.Sprintf("-seed=%d", o.seed),
+	parts := []string{"clustersim"}
+	if o.preset != "" {
+		parts = append(parts, fmt.Sprintf("-preset=%s", o.preset))
+	} else {
+		parts = append(parts,
+			fmt.Sprintf("-nodes=%d", o.nodes),
+			fmt.Sprintf("-shards=%d", o.shards))
 	}
+	parts = append(parts, fmt.Sprintf("-seed=%d", o.seed))
 	if o.script != "" {
 		parts = append(parts, fmt.Sprintf("-script=%s", o.script))
 	}
-	if o.duration != 0 {
+	if o.set["duration"] && o.duration != 0 {
 		parts = append(parts, fmt.Sprintf("-duration=%v", o.duration))
 	}
-	if o.heal != 0 {
+	if o.set["heal"] && o.heal != 0 {
 		parts = append(parts, fmt.Sprintf("-heal=%v", o.heal))
+	}
+	if o.set["window"] && o.window != 0 {
+		parts = append(parts, fmt.Sprintf("-window=%v", o.window))
 	}
 	if o.noFencing {
 		parts = append(parts, "-no-fencing")
+	}
+	if o.breakDedup {
+		parts = append(parts, "-break-dedup")
+	}
+	if o.skipReconcile {
+		parts = append(parts, "-skip-reconcile")
+	}
+	if o.set["schedule"] {
+		parts = append(parts, fmt.Sprintf("-schedule=%s", o.schedule))
 	}
 	return strings.Join(parts, " ")
 }
@@ -120,16 +212,12 @@ func run(args []string, out, errOut io.Writer) int {
 		listScripts(out)
 		return 0
 	}
-	script, err := loadScript(o.script)
+	cfg, err := o.buildConfig()
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 2
 	}
-	res, err := cluster.Run(cluster.Config{
-		Nodes: o.nodes, Shards: o.shards, Seed: o.seed,
-		Script: script, Duration: o.duration, Heal: o.heal,
-		DisableFencing: o.noFencing,
-	})
+	res, err := cluster.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 2
@@ -157,7 +245,7 @@ func printSummary(out io.Writer, o *options, res *cluster.Result) {
 	}
 	c := res.Counters
 	fmt.Fprintf(out, "clustersim: OK  nodes=%d shards=%d seed=%d script=%s\n",
-		o.nodes, o.shards, o.seed, scriptName)
+		res.Config.Nodes, res.Config.Shards, o.seed, scriptName)
 	fmt.Fprintf(out, "  simulated %v in %d events; all invariants held\n", res.End, res.Events)
 	fmt.Fprintf(out, "  leases: %d grants, %d denies\n", c.Grants, c.Denies)
 	fmt.Fprintf(out, "  writes: %d issued, %d committed, %d stale-fenced at replicas, %d fenced at origin\n",

@@ -102,3 +102,85 @@ func TestViolationExitsOne(t *testing.T) {
 	}
 	t.Fatal("no seed in 1..20 tripped a violation with fencing disabled")
 }
+
+// TestPresetRun pins -preset: topology and timing come from the named
+// preset, and the repro line carries -preset instead of -nodes/-shards.
+func TestPresetRun(t *testing.T) {
+	code, out, errOut := runCLI(t, "-preset=explore-small", "-seed=2")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "nodes=2 shards=1") {
+		t.Errorf("preset topology not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "repro: clustersim -preset=explore-small -seed=2") ||
+		strings.Contains(out, "-nodes=") {
+		t.Errorf("repro line should carry the preset, not raw topology:\n%s", out)
+	}
+
+	if code, _, _ := runCLI(t, "-preset=nope"); code != 2 {
+		t.Error("unknown preset should exit 2")
+	}
+}
+
+// TestPresetFlagOverride pins the override rule: an explicitly-set
+// flag beats the preset field it shadows.
+func TestPresetFlagOverride(t *testing.T) {
+	code, out, errOut := runCLI(t, "-preset=explore-small", "-nodes=3", "-seed=2")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "nodes=3 shards=1") {
+		t.Errorf("-nodes should override the preset:\n%s", out)
+	}
+}
+
+// TestScheduleFlag pins -schedule: a fixed branch-choice schedule from
+// clusterexplore replays here, and a violating one exits 1 with the
+// schedule preserved in the repro line.
+func TestScheduleFlag(t *testing.T) {
+	code, out, errOut := runCLI(t, "-preset=explore-small", "-seed=1", "-schedule=0,0")
+	if code != 0 {
+		t.Fatalf("clean schedule replay: exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "-schedule=0,0") {
+		t.Errorf("repro line should carry the schedule:\n%s", out)
+	}
+	if code, _, _ := runCLI(t, "-preset=explore-small", "-schedule=1,bad"); code != 2 {
+		t.Error("malformed -schedule should exit 2")
+	}
+
+	// The break-dedup mutation is clean in canonical order but fails on
+	// the reordered schedule clusterexplore finds — the exact pair a
+	// shrunk repro file's header encodes.
+	sched := "0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1"
+	code, _, errOut = runCLI(t, "-preset=explore-small", "-seed=1",
+		"-script=expire-churn-tiny", "-window=1ms", "-break-dedup", "-schedule="+sched)
+	if code != 1 {
+		t.Fatalf("violating schedule replay: exit %d\n%s", code, errOut)
+	}
+	for _, want := range []string{"version-regress", "-break-dedup", "-schedule=" + sched} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("failure report missing %q:\n%s", want, errOut)
+		}
+	}
+	// Same run in canonical order is clean: the violation needs the
+	// reordering, which is why searching matters.
+	code, _, errOut = runCLI(t, "-preset=explore-small", "-seed=1",
+		"-script=expire-churn-tiny", "-window=1ms", "-break-dedup")
+	if code != 0 {
+		t.Fatalf("canonical break-dedup run should pass: exit %d\n%s", code, errOut)
+	}
+}
+
+// TestSkipReconcileFlag pins the third mutation flag end to end.
+func TestSkipReconcileFlag(t *testing.T) {
+	code, _, errOut := runCLI(t, "-preset=explore-small", "-seed=1",
+		"-script=expire-churn-tiny", "-skip-reconcile")
+	if code != 1 {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "reconcile") || !strings.Contains(errOut, "-skip-reconcile") {
+		t.Errorf("failure report:\n%s", errOut)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/simlocks"
+	"repro/internal/verdict"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func run(args []string, out, errOut io.Writer) int {
 	episodes := fs.Int("episodes", 1, "episodes per thread")
 	budget := fs.Int("budget", 500_000, "maximum schedules to explore")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return verdict.ExitUsage
 	}
 
 	var targets []simlocks.Factory
@@ -53,12 +54,12 @@ func run(args []string, out, errOut io.Writer) int {
 		mk := simlocks.ByName(*lockName)
 		if mk == nil {
 			fmt.Fprintf(errOut, "unknown lock %q; known: %v + variants\n", *lockName, simlocks.Names())
-			return 2
+			return verdict.ExitUsage
 		}
 		targets = []simlocks.Factory{mk}
 	}
 
-	fail, incomplete := false, false
+	var statuses []verdict.Status
 	for _, mk := range targets {
 		name := mk().Name()
 		var counterAddr coherence.Addr
@@ -84,23 +85,18 @@ func run(args []string, out, errOut io.Writer) int {
 		})
 		switch {
 		case res.Violation != nil:
-			fail = true
-			fmt.Fprintf(out, "%-14s FAIL after %d schedules: %v\n    schedule: %v\n",
-				name, res.Schedules, res.Violation, res.FailingSchedule)
+			statuses = append(statuses, verdict.Violation)
+			fmt.Fprintln(out, verdict.Line(name, verdict.Violation,
+				fmt.Sprintf("after %d schedules: %v\nschedule: %v", res.Schedules, res.Violation, res.FailingSchedule)))
 		case res.Exhausted:
-			fmt.Fprintf(out, "%-14s VERIFIED: all %d interleavings pass (%d threads × %d episodes)\n",
-				name, res.Schedules, *threads, *episodes)
+			statuses = append(statuses, verdict.Verified)
+			fmt.Fprintln(out, verdict.Line(name, verdict.Verified,
+				fmt.Sprintf("all %d interleavings pass (%d threads × %d episodes)", res.Schedules, *threads, *episodes)))
 		default:
-			incomplete = true
-			fmt.Fprintf(out, "%-14s INCOMPLETE: %d-schedule budget exhausted before the tree was; no violation found, but this is not a verification — raise -budget\n",
-				name, res.Schedules)
+			statuses = append(statuses, verdict.Incomplete)
+			fmt.Fprintln(out, verdict.Line(name, verdict.Incomplete,
+				fmt.Sprintf("%d-schedule budget exhausted before the tree was; no violation found, but this is not a verification — raise -budget", res.Schedules)))
 		}
 	}
-	switch {
-	case fail:
-		return 1
-	case incomplete:
-		return 3
-	}
-	return 0
+	return verdict.Exit(statuses...)
 }

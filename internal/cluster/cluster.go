@@ -22,7 +22,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,7 +63,11 @@ type Config struct {
 	WriteGap      time.Duration
 	KeysPerShard  int
 
-	// Network timing.
+	// Network timing. NetJitter zero selects the default; a negative
+	// value disables jitter entirely (fixed latency, no PRNG draw per
+	// send) — the explorer presets use that, since under a Scheduler
+	// the schedule window models jitter as an enumerated choice rather
+	// than a seeded draw.
 	NetDelay  time.Duration
 	NetJitter time.Duration
 
@@ -85,6 +88,41 @@ type Config struct {
 	// so stale-fenced writes land — and the no-stale-apply checker
 	// must catch them. For the negative test only.
 	DisableFencing bool
+
+	// BreakDedup disables the replica-side (epoch, seq) duplicate
+	// check on the write path: redelivered writes are re-applied and
+	// the version-monotonicity checker must catch the regression. For
+	// mutation tests only (the explorer must find the interleaving —
+	// a retransmit racing its own ack — that exposes it).
+	BreakDedup bool
+
+	// SkipReconcile drops the post-heal reconcile acquisitions, so the
+	// final anti-entropy pass never runs and the reconciliation (and
+	// usually convergence) invariants must fire. For mutation tests.
+	SkipReconcile bool
+
+	// Scheduler, when non-nil, turns the simulator into a controlled-
+	// schedule machine: it is consulted on every dispatch with the
+	// ready set (see popNext for the window semantics) and, when two
+	// or more events are ready, its return value picks which one runs
+	// next. internal/cluster/explore drives this to enumerate delivery
+	// and timer orders exhaustively.
+	Scheduler func(ready []ReadyEvent) int
+
+	// ScheduleWindow is how far apart two pending normal-band events'
+	// nominal times may be while still counting as racing (reorderable)
+	// under a Scheduler. Zero defaults to NetDelay. Ignored without a
+	// Scheduler.
+	ScheduleWindow time.Duration
+
+	// SplitRNG gives every node its own seeded PRNG stream (and leaves
+	// the shared stream to the network) instead of the single global
+	// stream. Under a Scheduler this is what makes events on distinct
+	// endpoints genuinely commute — with one shared stream, dispatch
+	// order decides which draws each handler sees, and no two events
+	// are independent. Changes traces, so it is opt-in; the explorer
+	// and its presets set it.
+	SplitRNG bool
 
 	// NewLock builds each replica's per-shard store lock (the cluster
 	// runs single-threaded, so any sync.Locker is safe; conformance
@@ -121,7 +159,11 @@ func (c Config) withDefaults() Config {
 		c.KeysPerShard = 4
 	}
 	def(&c.NetDelay, time.Millisecond)
-	def(&c.NetJitter, 500*time.Microsecond)
+	if c.NetJitter == 0 {
+		c.NetJitter = 500 * time.Microsecond
+	} else if c.NetJitter < 0 {
+		c.NetJitter = 0
+	}
 	def(&c.RetransTick, 15*time.Millisecond)
 	def(&c.SyncTimeout, 30*time.Millisecond)
 	def(&c.AcquireTimeout, 60*time.Millisecond)
@@ -132,6 +174,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 2_000_000
+	}
+	if c.Scheduler != nil {
+		def(&c.ScheduleWindow, c.NetDelay)
 	}
 	if c.NewLock == nil {
 		c.NewLock = func() sync.Locker { return &sync.Mutex{} }
@@ -209,6 +254,9 @@ func (r *Result) FailureReport(reproCmd string) string {
 type sim struct {
 	cfg Config
 	rng *xrand.XorShift64
+	// nodeRngs holds the per-node streams under Config.SplitRNG; nil
+	// means every draw comes from the shared rng (the classic mode).
+	nodeRngs []*xrand.XorShift64
 
 	queue    eventQueue
 	seq      uint64
@@ -247,6 +295,16 @@ func Run(cfg Config) (*Result, error) {
 		reconciled: make([]bool, cfg.Shards),
 		lastStep:   -1,
 	}
+	if cfg.SplitRNG {
+		// Derive independent streams: the shared rng keeps the first
+		// SplitMix word (network draws), each node gets its own.
+		sm := xrand.NewSplitMix64(cfg.Seed)
+		s.rng = xrand.NewXorShift64(sm.Uint64())
+		s.nodeRngs = make([]*xrand.XorShift64, cfg.Nodes)
+		for i := range s.nodeRngs {
+			s.nodeRngs[i] = xrand.NewXorShift64(sm.Uint64())
+		}
+	}
 	s.check = newChecker(s, cfg.Shards)
 	s.service = newLockService(s, cfg.Shards)
 
@@ -270,7 +328,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Initial workload ticks, staggered per node.
 	for _, n := range s.nodes {
-		jitter := time.Duration(s.rng.Uint64() % uint64(cfg.WorkloadEvery+1))
+		jitter := time.Duration(n.rng().Uint64() % uint64(cfg.WorkloadEvery+1))
 		n.timer(jitter, tWorkload, 0, 0)
 	}
 	// Script steps and the heal, in the fault band.
@@ -283,17 +341,22 @@ func Run(cfg Config) (*Result, error) {
 
 	deadline := cfg.Duration + cfg.Heal
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.popNext()
 		if e.at > deadline {
 			s.now = deadline
-			s.check.fail("failed to quiesce: events still pending %v after the heal window (next at %v)",
+			s.check.fail(ClassQuiesce, "failed to quiesce: events still pending %v after the heal window (next at %v)",
 				cfg.Heal, e.at)
 			break
 		}
-		s.now = e.at
+		// Under a Scheduler a chosen event may be dispatched after a
+		// later-stamped one already ran (a late delivery); the clock
+		// only ever moves forward.
+		if e.at > s.now {
+			s.now = e.at
+		}
 		s.events++
 		if s.events > cfg.MaxEvents {
-			s.check.fail("livelock: exceeded %d events at %v", cfg.MaxEvents, s.now)
+			s.check.fail(ClassLivelock, "livelock: exceeded %d events at %v", cfg.MaxEvents, s.now)
 			break
 		}
 		s.dispatch(e)
@@ -393,6 +456,10 @@ func (s *sim) heal() {
 		n.skew = 0
 	}
 	s.rules = nil
+	if s.cfg.SkipReconcile {
+		s.tracef("heal: reconcile skipped (mutation)")
+		return
+	}
 	for shard := 0; shard < s.cfg.Shards; shard++ {
 		target := s.nodes[shard%s.cfg.Nodes]
 		delay := s.cfg.ReconcileDelay + time.Duration(shard)*5*time.Millisecond

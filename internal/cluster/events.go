@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"container/heap"
+	"fmt"
+	"sort"
 	"time"
 )
 
@@ -45,6 +47,9 @@ const (
 	tReconcile                   // post-heal reconcile acquire for one shard
 )
 
+var timerNames = [...]string{"workload", "retry", "acquire-to", "renew",
+	"sync-to", "write", "release", "retransmit", "reconcile"}
+
 type event struct {
 	at   time.Duration
 	band int
@@ -84,6 +89,115 @@ func (q *eventQueue) Pop() any {
 	old[n-1] = nil
 	*q = old[:n-1]
 	return e
+}
+
+// ReadyEvent describes one dispatch candidate offered to a schedule
+// controller (Config.Scheduler). Desc is a canonical one-line identity:
+// for a fixed choice prefix it is byte-identical across replays, which
+// is what lets a controller recognize "the same pending event" across
+// sibling schedules (the sleep-set bookkeeping the explorer relies on).
+type ReadyEvent struct {
+	At      time.Duration
+	Fault   bool // fault-band event: forced, dependent with everything
+	Deliver bool // message delivery (vs a node-local timer)
+	// Endpoint is the state the dispatch mutates: the target node id,
+	// ServiceEndpoint, or AnyEndpoint for global events (the heal).
+	Endpoint int
+	Shard    int // -1 when not shard-specific (workload ticks, faults)
+	Desc     string
+}
+
+// describeEvent renders the stable descriptor for one pending event.
+func describeEvent(e *event) ReadyEvent {
+	r := ReadyEvent{At: e.at, Fault: e.band == bandFault, Shard: -1}
+	switch e.kind {
+	case evDeliver:
+		r.Deliver = true
+		r.Endpoint = e.msg.to
+		r.Shard = e.msg.shard
+		r.Desc = fmt.Sprintf("deliver@%v %s", e.at, e.msg)
+	case evTimer:
+		r.Endpoint = e.node
+		r.Shard = e.shard
+		r.Desc = fmt.Sprintf("timer@%v %s %s s%d g%d w%d",
+			e.at, epName(e.node), timerNames[e.tk], e.shard, e.gen, e.wid)
+	case evFault:
+		r.Endpoint = AnyEndpoint
+		r.Desc = fmt.Sprintf("fault@%v step %d", e.at, e.step)
+	case evUnpause:
+		r.Endpoint = e.node
+		r.Desc = fmt.Sprintf("unpause@%v %s", e.at, epName(e.node))
+	case evHeal:
+		r.Endpoint = AnyEndpoint
+		r.Desc = fmt.Sprintf("heal@%v", e.at)
+	}
+	return r
+}
+
+// popNext removes and returns the next event to dispatch.
+//
+// Without a Scheduler this is exactly heap order — (time, band, seq) —
+// and the run is byte-identical to the pre-explorer simulator. With a
+// Scheduler, the fault band still runs strictly on time (scripted
+// faults are the experiment, not the nondeterminism under test), but
+// normal-band events race: every pending normal event due within
+// ScheduleWindow of the earliest one (clipped at the next fault) is
+// "ready", and the controller picks which is delivered first. The
+// simulation clock then advances to the maximum dispatched time rather
+// than tracking each event, so choosing a later event first models the
+// earlier one arriving late — bounded network/timer jitter made into an
+// enumerable choice instead of a seeded draw.
+//
+// The Scheduler is invoked for every dispatch, including forced ones
+// (singleton ready sets and fault-band events), so a controller can
+// observe the full action sequence; its return value is honored only
+// when the ready set has at least two candidates.
+func (s *sim) popNext() *event {
+	if s.cfg.Scheduler == nil {
+		return heap.Pop(&s.queue).(*event)
+	}
+	min := s.queue[0]
+	if min.band == bandFault {
+		s.cfg.Scheduler([]ReadyEvent{describeEvent(min)})
+		return heap.Pop(&s.queue).(*event)
+	}
+	horizon := min.at + s.cfg.ScheduleWindow
+	if s.now > horizon {
+		horizon = s.now
+	}
+	for _, e := range s.queue {
+		if e.band == bandFault && e.at < horizon {
+			horizon = e.at
+		}
+	}
+	var cands []*event
+	for _, e := range s.queue {
+		if e.band == bandNormal && e.at <= horizon {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].at != cands[j].at {
+			return cands[i].at < cands[j].at
+		}
+		return cands[i].seq < cands[j].seq
+	})
+	ready := make([]ReadyEvent, len(cands))
+	for i, e := range cands {
+		ready[i] = describeEvent(e)
+	}
+	pick := 0
+	if got := s.cfg.Scheduler(ready); len(cands) > 1 && got > 0 && got < len(cands) {
+		pick = got
+	}
+	chosen := cands[pick]
+	for i, e := range s.queue {
+		if e == chosen {
+			heap.Remove(&s.queue, i)
+			break
+		}
+	}
+	return chosen
 }
 
 // schedule enqueues e in the normal band at time at.

@@ -1,0 +1,260 @@
+package explore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// smallCfg returns the explore-small preset with the given seed and
+// optional canonical script.
+func smallCfg(t *testing.T, seed uint64, scriptName string) cluster.Config {
+	t.Helper()
+	cfg, err := cluster.Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = seed
+	if scriptName != "" {
+		sc, err := cluster.LoadScript(scriptName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Script = sc
+	}
+	return cfg
+}
+
+// huntCfg is the mutation-hunt configuration: the expire-churn-tiny
+// script with the schedule window widened to one network delay, so
+// retransmit-versus-ack reorders are in scope (see the preset comment).
+func huntCfg(t *testing.T, seed uint64) cluster.Config {
+	cfg := smallCfg(t, seed, "expire-churn-tiny")
+	cfg.ScheduleWindow = time.Millisecond
+	return cfg
+}
+
+// TestExploreSmallVerified pins the tentpole's clean half: the honest
+// protocol survives exhaustive schedule enumeration on the small
+// preset — bare and under the tiny churn script — and the wider
+// delay-bounded hunt, all VERIFIED (complete, uncapped, no violation).
+func TestExploreSmallVerified(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		res, err := Search(DefaultOptions(smallCfg(t, seed, "")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified() {
+			t.Errorf("seed %d bare: not verified: %+v", seed, res.Stats)
+		}
+		if !res.Pruning {
+			t.Errorf("seed %d: preset should be prunable", seed)
+		}
+	}
+	res, err := Search(DefaultOptions(smallCfg(t, 1, "expire-churn-tiny")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified() {
+		t.Errorf("script exhaustive: not verified: %+v", res.Stats)
+	}
+
+	opts := DefaultOptions(huntCfg(t, 1))
+	opts.Delays = 2
+	hres, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Violation != nil {
+		t.Errorf("honest hunt found a violation:\n%s", hres.Violation.FailureReport(""))
+	}
+	if !hres.Complete {
+		t.Errorf("honest hunt did not exhaust its bound: %+v", hres.Stats)
+	}
+}
+
+// TestExploreDeterministic pins that the search is a pure function of
+// its options: identical stats on a clean tree, identical violating
+// schedule on a mutated one.
+func TestExploreDeterministic(t *testing.T) {
+	a, err := Search(DefaultOptions(smallCfg(t, 3, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(DefaultOptions(smallCfg(t, 3, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ across identical searches:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+
+	mut := func() *Result {
+		cfg := huntCfg(t, 1)
+		cfg.BreakDedup = true
+		opts := DefaultOptions(cfg)
+		opts.Delays = 2
+		r, err := Search(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := mut(), mut()
+	if r1.Violation == nil || r2.Violation == nil {
+		t.Fatal("mutation search found nothing")
+	}
+	if !reflect.DeepEqual(r1.Schedule, r2.Schedule) {
+		t.Errorf("violating schedules differ: %v vs %v", r1.Schedule, r2.Schedule)
+	}
+	if r1.Violation.Violations[0].String() != r2.Violation.Violations[0].String() {
+		t.Errorf("violations differ: %s vs %s", r1.Violation.Violations[0], r2.Violation.Violations[0])
+	}
+}
+
+// TestExploreCanonicalEquivalence pins the scheduler-hook contract: a
+// controller that always defers to the canonical choice produces a
+// byte-identical trace to running with no Scheduler at all.
+func TestExploreCanonicalEquivalence(t *testing.T) {
+	for _, script := range []string{"", "expire-churn-tiny"} {
+		plain, err := cluster.Run(smallCfg(t, 1, script))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheduled, err := Replay(smallCfg(t, 1, script), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.Trace, scheduled.Trace) {
+			t.Errorf("script=%q: canonical scheduler diverged from plain run", script)
+		}
+		if plain.FinalState != scheduled.FinalState {
+			t.Errorf("script=%q: final states differ", script)
+		}
+	}
+}
+
+// TestExploreDelayZero pins the delay-bound floor: a budget of zero
+// delays explores exactly the canonical schedule.
+func TestExploreDelayZero(t *testing.T) {
+	opts := DefaultOptions(smallCfg(t, 3, ""))
+	opts.Delays = 0
+	res, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Schedules != 1 {
+		t.Errorf("Delays=0 ran %d schedules, want exactly 1", res.Stats.Schedules)
+	}
+	if !res.Complete || res.Violation != nil {
+		t.Errorf("Delays=0 should complete cleanly: %+v", res)
+	}
+}
+
+// TestExploreBudgetIncomplete pins budget exhaustion: a tree larger
+// than the budget reports an incomplete (unverified) clean search.
+func TestExploreBudgetIncomplete(t *testing.T) {
+	opts := DefaultOptions(smallCfg(t, 3, ""))
+	opts.Budget = 5
+	res, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation.FailureReport(""))
+	}
+	if res.Complete || res.Verified() {
+		t.Errorf("budget-capped search must be incomplete: %+v", res.Stats)
+	}
+	if res.Stats.Schedules > 5 {
+		t.Errorf("ran %d schedules past a budget of 5", res.Stats.Schedules)
+	}
+}
+
+// TestExploreMaxBranch pins depth capping: truncating the tree keeps
+// the search from claiming VERIFIED.
+func TestExploreMaxBranch(t *testing.T) {
+	opts := DefaultOptions(smallCfg(t, 3, ""))
+	opts.MaxBranch = 2
+	res, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation:\n%s", res.Violation.FailureReport(""))
+	}
+	if !res.DepthCapped {
+		t.Error("MaxBranch=2 search should report DepthCapped")
+	}
+	if res.Verified() {
+		t.Error("depth-capped search must not verify")
+	}
+	if res.Stats.MaxDepth > 2 {
+		t.Errorf("stack grew to %d past MaxBranch=2", res.Stats.MaxDepth)
+	}
+}
+
+// TestPrunable pins the soundness guard for sleep-set pruning.
+func TestPrunable(t *testing.T) {
+	base := smallCfg(t, 1, "")
+	if !Prunable(base) {
+		t.Error("preset should be prunable")
+	}
+	c := base
+	c.SplitRNG = false
+	if Prunable(c) {
+		t.Error("shared RNG must not be prunable")
+	}
+	c = base
+	c.NetJitter = 0 // zero selects the jittered default
+	if Prunable(c) {
+		t.Error("defaulted jitter must not be prunable")
+	}
+	for _, tc := range []struct {
+		script string
+		want   bool
+	}{
+		{"at 1ms drop n0->n1 p=0.5 for 5ms", false},
+		{"at 1ms dup n0->n1 p=0.1 for 5ms", false},
+		{"at 1ms delay n0->n1 1ms..2ms for 5ms", false},
+		{"at 1ms drop n0->n1 p=1 for 5ms", true},
+		{"at 1ms cut n0->n1 for 5ms\nat 2ms expire shard 0\nat 3ms crash n0", true},
+	} {
+		sc, err := cluster.ParseScript(tc.script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c = base
+		c.Script = sc
+		if got := Prunable(c); got != tc.want {
+			t.Errorf("Prunable(%q) = %v, want %v", strings.TrimSpace(tc.script), got, tc.want)
+		}
+	}
+}
+
+// TestScheduleRoundTrip pins the textual schedule form used on repro
+// lines.
+func TestScheduleRoundTrip(t *testing.T) {
+	for _, sched := range [][]int{nil, {0}, {2, 0, 1}, {0, 0, 0, 5}} {
+		got, err := ParseSchedule(FormatSchedule(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(sched) {
+			t.Fatalf("round-trip %v -> %v", sched, got)
+		}
+		for i := range got {
+			if got[i] != sched[i] {
+				t.Fatalf("round-trip %v -> %v", sched, got)
+			}
+		}
+	}
+	for _, bad := range []string{"1,-2", "a", "1,,2"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// FixedSchedule is a Config.Scheduler that replays a branch-choice
+// sequence: at the i-th branch point (a call with two or more ready
+// candidates) it picks choices[i], and past the end of the list — or
+// for out-of-range entries — it falls back to the canonical choice.
+// Calls with fewer than two candidates never consume a choice, which
+// keeps search and replay aligned on what counts as a branch.
+func FixedSchedule(choices []int) func([]cluster.ReadyEvent) int {
+	i := 0
+	return func(ready []cluster.ReadyEvent) int {
+		if len(ready) < 2 {
+			return 0
+		}
+		if i >= len(choices) {
+			return 0
+		}
+		c := choices[i]
+		i++
+		if c < 0 || c >= len(ready) {
+			return 0
+		}
+		return c
+	}
+}
+
+// Replay runs cfg once under the given branch-choice schedule. An
+// empty (or nil) schedule is the canonical order.
+func Replay(cfg cluster.Config, schedule []int) (*cluster.Result, error) {
+	cfg.Scheduler = FixedSchedule(schedule)
+	return cluster.Run(cfg)
+}
+
+// FormatSchedule renders a schedule as a comma-joined list ("2,0,1");
+// the empty schedule renders as "" and means canonical order.
+func FormatSchedule(schedule []int) string {
+	parts := make([]string, len(schedule))
+	for i, c := range schedule {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses FormatSchedule's output.
+func ParseSchedule(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		c, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("explore: bad schedule entry %q", p)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

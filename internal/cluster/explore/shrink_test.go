@@ -1,0 +1,150 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestShrinkDeterministic pins that shrinking is a pure function: the
+// same failing input always reduces to the identical repro.
+func TestShrinkDeterministic(t *testing.T) {
+	cfg := huntCfg(t, 1)
+	cfg.BreakDedup = true
+	opts := DefaultOptions(cfg)
+	opts.Delays = 2
+	res, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("hunt found nothing")
+	}
+	a, err := Shrink(cfg, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shrink(cfg, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != b.Class || !reflect.DeepEqual(a.Schedule, b.Schedule) {
+		t.Errorf("shrink not deterministic: (%s, %v) vs (%s, %v)", a.Class, a.Schedule, b.Class, b.Schedule)
+	}
+	af, bf := "", ""
+	if a.Script != nil {
+		af = a.Script.Format()
+	}
+	if b.Script != nil {
+		bf = b.Script.Format()
+	}
+	if af != bf {
+		t.Errorf("shrunk scripts differ:\n%s\nvs\n%s", af, bf)
+	}
+}
+
+// TestShrinkCanonicalFailure pins the easy path: a mutation that fails
+// on every schedule shrinks to the empty schedule, and script steps
+// irrelevant to the class are dropped entirely.
+func TestShrinkCanonicalFailure(t *testing.T) {
+	cfg := huntCfg(t, 1)
+	cfg.SkipReconcile = true
+	sh, err := Shrink(cfg, []int{0, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Class != cluster.ClassReconcile {
+		t.Fatalf("class %s, want %s", sh.Class, cluster.ClassReconcile)
+	}
+	if len(sh.Schedule) != 0 {
+		t.Errorf("schedule should shrink to empty, got %v", sh.Schedule)
+	}
+	if sh.Script != nil {
+		t.Errorf("script should shrink away entirely, kept %d steps", len(sh.Script.Steps))
+	}
+}
+
+// TestShrinkCleanInput pins the error contract: shrinking a passing
+// run is refused rather than returning a vacuous repro.
+func TestShrinkCleanInput(t *testing.T) {
+	if _, err := Shrink(smallCfg(t, 1, ""), nil); err == nil {
+		t.Fatal("Shrink of a clean run should error")
+	}
+}
+
+// FuzzShrink drives the shrinker over arbitrary scripts, schedules,
+// and mutation combinations: whenever the input replays to a failure,
+// the shrunk repro must preserve the class, be replayable, and be
+// 1-minimal in its schedule entries.
+func FuzzShrink(f *testing.F) {
+	// The seed corpus encodes the three mutation hunts' found
+	// schedules (2 bits per branch choice, little-endian): stale-apply
+	// needs flips at branches 4 and 9, version-regress one flip at
+	// branch 20, reconcile none.
+	f.Add("at 8ms expire shard 0\nat 16ms expire shard 0", uint64(0), uint64(1<<8|1<<18), byte(1))
+	f.Add("at 8ms expire shard 0\nat 16ms expire shard 0", uint64(0), uint64(1)<<40, byte(2))
+	f.Add("", uint64(1), uint64(9), byte(4))
+	f.Add("at 5ms crash n0\nat 9ms restart n0", uint64(2), uint64(2), byte(3))
+	f.Fuzz(func(t *testing.T, scriptText string, seed, schedBits uint64, muts byte) {
+		cfg, err := cluster.Preset("explore-small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = seed%8 + 1
+		cfg.ScheduleWindow = time.Millisecond
+		cfg.DisableFencing = muts&1 != 0
+		cfg.BreakDedup = muts&2 != 0
+		cfg.SkipReconcile = muts&4 != 0
+		if scriptText != "" {
+			sc, err := cluster.ParseScript(scriptText)
+			if err != nil || len(sc.Steps) > 6 {
+				t.Skip()
+			}
+			if sc.Validate(cfg.Nodes, cfg.Shards) != nil {
+				t.Skip()
+			}
+			for _, st := range sc.Steps {
+				if st.At > cfg.Duration || st.For > cfg.Heal/2 {
+					t.Skip() // keep runs short and inside the horizon
+				}
+			}
+			cfg.Script = sc
+		}
+		// Decode up to twenty-four 2-bit schedule choices from
+		// schedBits; trailing zeros are canonical no-ops.
+		var sched []int
+		for i := 0; i < 24; i++ {
+			sched = append(sched, int(schedBits>>(2*i))&3)
+		}
+
+		probe, err := Replay(cfg, sched)
+		if err != nil || len(probe.Violations) == 0 {
+			t.Skip() // clean or invalid input: nothing to shrink
+		}
+		sh, err := Shrink(cfg, sched)
+		if err != nil {
+			t.Fatalf("shrink of a failing input errored: %v", err)
+		}
+		if sh.Class != probe.Violations[0].Class {
+			t.Fatalf("shrunk class %s, input failed with %s", sh.Class, probe.Violations[0].Class)
+		}
+		c := cfg
+		c.Script = sh.Script
+		rep, err := Replay(c, sh.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasClass(rep, sh.Class) {
+			t.Fatal("shrunk repro does not replay")
+		}
+		for i := range sh.Schedule {
+			trial := append(append([]int(nil), sh.Schedule[:i]...), sh.Schedule[i+1:]...)
+			r, err := Replay(c, trial)
+			if err == nil && hasClass(r, sh.Class) {
+				t.Fatalf("not 1-minimal: schedule entry %d removable", i)
+			}
+		}
+	})
+}

@@ -8,17 +8,37 @@ import (
 	"repro/internal/kvstore"
 )
 
+// Violation classes: which invariant family a breach belongs to. The
+// class is the label the fault-script shrinker preserves while
+// minimizing a repro — a shrunk script must fail the same way, not
+// merely fail.
+const (
+	ClassExclusivity   = "lease-exclusivity"
+	ClassEpochRegress  = "epoch-regress"
+	ClassStaleApply    = "stale-apply"
+	ClassVersionRegres = "version-regress"
+	ClassBackoffFloor  = "backoff-floor"
+	ClassQuiesce       = "quiesce"
+	ClassLivelock      = "livelock"
+	ClassReconcile     = "reconcile"
+	ClassNoProgress    = "no-progress"
+	ClassDivergence    = "divergence"
+	ClassFenceLag      = "fence-lag"
+	ClassDurability    = "durability"
+)
+
 // Violation is one invariant breach, stamped with the simulated time
 // and the last fault-script step that had been applied when it was
 // detected (the step most likely to have provoked it).
 type Violation struct {
-	At   time.Duration
-	Msg  string
-	Step string // canonical text of the last applied script step, or "<none>"
+	At    time.Duration
+	Class string // one of the Class* constants
+	Msg   string
+	Step  string // canonical text of the last applied script step, or "<none>"
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("[%v] %s (last fault: %s)", v.At, v.Msg, v.Step)
+	return fmt.Sprintf("[%v] %s: %s (last fault: %s)", v.At, v.Class, v.Msg, v.Step)
 }
 
 // grantWindow is the checker's view of one shard's active lease.
@@ -68,10 +88,10 @@ func newChecker(s *sim, shards int) *checker {
 	}
 }
 
-func (c *checker) fail(format string, args ...any) {
-	v := Violation{At: c.s.now, Msg: fmt.Sprintf(format, args...), Step: c.s.lastStepText()}
+func (c *checker) fail(class, format string, args ...any) {
+	v := Violation{At: c.s.now, Class: class, Msg: fmt.Sprintf(format, args...), Step: c.s.lastStepText()}
 	c.violations = append(c.violations, v)
-	c.s.tracef("VIOLATION: %s", v.Msg)
+	c.s.tracef("VIOLATION(%s): %s", v.Class, v.Msg)
 }
 
 // onGrant checks lease exclusivity and epoch monotonicity at the
@@ -79,11 +99,11 @@ func (c *checker) fail(format string, args ...any) {
 func (c *checker) onGrant(shard int, epoch uint64, holder int, now, expiry time.Duration) {
 	w := &c.windows[shard]
 	if w.open && now < w.expiry {
-		c.fail("shard %d granted to n%d (e%d) while n%d still holds e%d until %v",
+		c.fail(ClassExclusivity, "shard %d granted to n%d (e%d) while n%d still holds e%d until %v",
 			shard, holder, epoch, w.holder, w.epoch, w.expiry)
 	}
 	if epoch <= c.maxEpoch[shard] {
-		c.fail("shard %d epoch regressed: granted e%d after e%d", shard, epoch, c.maxEpoch[shard])
+		c.fail(ClassEpochRegress, "shard %d epoch regressed: granted e%d after e%d", shard, epoch, c.maxEpoch[shard])
 	}
 	c.maxEpoch[shard] = epoch
 	c.windows[shard] = grantWindow{holder: holder, epoch: epoch, expiry: expiry, open: true}
@@ -110,7 +130,7 @@ func (c *checker) onGrantSeen(node, shard int) {
 // onApply consumes every kvstore.Fenced apply record from every node.
 func (c *checker) onApply(node int, rec kvstore.ApplyRecord) {
 	if rec.Stale && rec.Applied {
-		c.fail("n%d applied stale-fenced write: key %s epoch %d below fence %d (shard %d)",
+		c.fail(ClassStaleApply, "n%d applied stale-fenced write: key %s epoch %d below fence %d (shard %d)",
 			node, rec.Key, rec.Epoch, rec.Fence, rec.Shard)
 	}
 }
@@ -123,7 +143,7 @@ func (c *checker) onVersion(node int, key string, v versioned) {
 		c.versions[node] = m
 	}
 	if cur, ok := m[key]; ok && !cur.less(v) {
-		c.fail("n%d version regressed on %s: applied e%d.w%d over e%d.w%d",
+		c.fail(ClassVersionRegres, "n%d version regressed on %s: applied e%d.w%d over e%d.w%d",
 			node, key, v.epoch, v.seq, cur.epoch, cur.seq)
 	}
 	m[key] = v
@@ -136,7 +156,7 @@ func (c *checker) onDeny(node, shard int, now time.Duration) {
 func (c *checker) onAcquireSend(node, shard int, now time.Duration) {
 	if last, ok := c.lastDeny[[2]int{node, shard}]; ok {
 		if gap := now - last; gap < c.s.cfg.Backoff.Base {
-			c.fail("n%d retried shard %d only %v after a denial (backoff base %v)",
+			c.fail(ClassBackoffFloor, "n%d retried shard %d only %v after a denial (backoff base %v)",
 				node, shard, gap, c.s.cfg.Backoff.Base)
 		}
 	}
@@ -149,7 +169,7 @@ func (c *checker) onAcquireSend(node, shard int, now time.Duration) {
 func (c *checker) finish() {
 	for shard, done := range c.s.reconciled {
 		if !done {
-			c.fail("shard %d never completed post-heal reconciliation", shard)
+			c.fail(ClassReconcile, "shard %d never completed post-heal reconciliation", shard)
 		}
 	}
 	var grants uint64
@@ -157,7 +177,7 @@ func (c *checker) finish() {
 		grants += e
 	}
 	if int(grants) < c.s.cfg.Shards {
-		c.fail("no progress: %d grants across %d shards", grants, c.s.cfg.Shards)
+		c.fail(ClassNoProgress, "no progress: %d grants across %d shards", grants, c.s.cfg.Shards)
 	}
 
 	dumps := make([]string, len(c.s.nodes))
@@ -166,14 +186,14 @@ func (c *checker) finish() {
 	}
 	for i := 1; i < len(dumps); i++ {
 		if dumps[i] != dumps[0] {
-			c.fail("replicas diverged after heal: n0 and n%d disagree\nn0: %s\nn%d: %s",
+			c.fail(ClassDivergence, "replicas diverged after heal: n0 and n%d disagree\nn0: %s\nn%d: %s",
 				i, dumps[0], i, dumps[i])
 		}
 	}
 	for _, n := range c.s.nodes {
 		for shard := 0; shard < c.s.cfg.Shards; shard++ {
 			if got := n.store.Fence(shard); got != c.maxEpoch[shard] {
-				c.fail("n%d fence for shard %d is %d, want max issued epoch %d",
+				c.fail(ClassFenceLag, "n%d fence for shard %d is %d, want max issued epoch %d",
 					n.id, shard, got, c.maxEpoch[shard])
 			}
 		}
@@ -186,9 +206,9 @@ func (c *checker) finish() {
 		v := versioned{epoch: rec.epoch, seq: rec.seq, val: rec.val}
 		cur, ok := final[rec.key]
 		if !ok || cur.less(v) {
-			c.fail("committed write lost: %s=e%d.w%d absent from the final state", rec.key, rec.epoch, rec.seq)
+			c.fail(ClassDurability, "committed write lost: %s=e%d.w%d absent from the final state", rec.key, rec.epoch, rec.seq)
 		} else if cur.epoch == v.epoch && cur.seq == v.seq && cur.val != rec.val {
-			c.fail("committed write corrupted: %s final value %q, wrote %q", rec.key, cur.val, rec.val)
+			c.fail(ClassDurability, "committed write corrupted: %s final value %q, wrote %q", rec.key, cur.val, rec.val)
 		}
 	}
 }

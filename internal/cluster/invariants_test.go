@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// bareSim builds the minimal sim a checker needs for white-box tests:
+// a config with defaults applied, a working trace sink, and (when
+// nodes > 0) real fenced stores so finish() can walk them.
+func bareSim(t *testing.T, nodes, shards int) *sim {
+	t.Helper()
+	cfg := Config{Nodes: nodes, Shards: shards}.withDefaults()
+	s := &sim{cfg: cfg, reconciled: make([]bool, shards), lastStep: -1}
+	for i := 0; i < nodes; i++ {
+		n := &node{s: s, id: i, versions: make(map[string]versioned)}
+		n.store = kvstore.NewFenced(kvstore.OpenSharded(kvstore.ShardedOptions{Shards: shards}))
+		s.nodes = append(s.nodes, n)
+	}
+	s.check = newChecker(s, shards)
+	return s
+}
+
+func classes(c *checker) []string {
+	var out []string
+	for _, v := range c.violations {
+		out = append(out, v.Class)
+	}
+	return out
+}
+
+func hasViolation(c *checker, class string) bool {
+	for _, v := range c.violations {
+		if v.Class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBackoffFloorBoundary pins the exact boundary of the graceful-
+// degradation invariant: a retry one instant before the backoff base
+// elapses is a violation; a retry at exactly the base is legal; and a
+// grant clears the denial so an immediate next acquire is also legal.
+func TestBackoffFloorBoundary(t *testing.T) {
+	s := bareSim(t, 0, 1)
+	base := s.cfg.Backoff.Base
+	if base <= 0 {
+		t.Fatalf("defaults gave non-positive backoff base %v", base)
+	}
+
+	deny := 10 * time.Millisecond
+	s.check.onDeny(0, 0, deny)
+
+	s.now = deny + base - time.Nanosecond
+	s.check.onAcquireSend(0, 0, s.now)
+	if !hasViolation(s.check, ClassBackoffFloor) {
+		t.Errorf("retry %v before the base should violate; got %v", time.Nanosecond, classes(s.check))
+	}
+
+	s.check.violations = nil
+	s.check.onDeny(0, 0, deny)
+	s.now = deny + base
+	s.check.onAcquireSend(0, 0, s.now)
+	if len(s.check.violations) != 0 {
+		t.Errorf("retry at exactly the base should be legal; got %v", classes(s.check))
+	}
+
+	// A grant wipes the denial record: the next acquire has no floor.
+	s.check.onDeny(0, 0, deny)
+	s.check.onGrantSeen(0, 0)
+	s.check.onAcquireSend(0, 0, deny+time.Nanosecond)
+	if len(s.check.violations) != 0 {
+		t.Errorf("acquire after a grant should be legal; got %v", classes(s.check))
+	}
+
+	// The floor is per (node, shard): a denial on one pair never
+	// constrains another.
+	s.check.onDeny(1, 0, deny)
+	s.check.onAcquireSend(1, 1, deny)
+	s.check.onAcquireSend(2, 0, deny)
+	if len(s.check.violations) != 0 {
+		t.Errorf("floor leaked across (node, shard) pairs; got %v", classes(s.check))
+	}
+}
+
+// TestQuiesceCap pins the quiescence invariant end to end: with a heal
+// window far too short for the post-heal reconcile pass, the run must
+// fail with ClassQuiesce instead of silently truncating.
+func TestQuiesceCap(t *testing.T) {
+	cfg, err := Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	cfg.Heal = 2 * time.Millisecond // reconcile starts at +25ms: unreachable
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Class == ClassQuiesce {
+			found = true
+			if !strings.Contains(v.Msg, "still pending") {
+				t.Errorf("quiesce message: %q", v.Msg)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s violation with a 2ms heal window: %v", ClassQuiesce, res.Violations)
+	}
+}
+
+// TestLivelockCap pins the runaway backstop: an event budget smaller
+// than any honest run must trip ClassLivelock, and the run must stop
+// near the cap instead of burning the full horizon.
+func TestLivelockCap(t *testing.T) {
+	cfg, err := Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	cfg.MaxEvents = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		found = found || v.Class == ClassLivelock
+	}
+	if !found {
+		t.Fatalf("no %s violation with MaxEvents=5: %v", ClassLivelock, res.Violations)
+	}
+	if res.Events != cfg.MaxEvents+1 {
+		t.Errorf("run dispatched %d events past a cap of %d", res.Events, cfg.MaxEvents)
+	}
+}
+
+// TestDurabilityZeroCommitted pins the vacuous case of the durability
+// check: writes that never committed (e.g. lost to a crash before the
+// ack) impose nothing on the final state, even when the final state is
+// empty.
+func TestDurabilityZeroCommitted(t *testing.T) {
+	s := bareSim(t, 2, 1)
+	for i := range s.reconciled {
+		s.reconciled[i] = true
+	}
+	s.allWrites = []*writeRec{
+		{key: "key-000", epoch: 1, seq: 1, val: "lost", committed: false},
+		{key: "key-001", epoch: 1, seq: 2, val: "lost too", committed: false},
+	}
+	s.check.finish()
+	if hasViolation(s.check, ClassDurability) {
+		t.Errorf("uncommitted writes must not trigger durability: %v", classes(s.check))
+	}
+
+	// Control: the same write marked committed but absent from every
+	// replica is exactly what the check exists to catch.
+	s2 := bareSim(t, 2, 1)
+	for i := range s2.reconciled {
+		s2.reconciled[i] = true
+	}
+	s2.allWrites = []*writeRec{{key: "key-000", epoch: 1, seq: 1, val: "v", committed: true}}
+	s2.check.finish()
+	if !hasViolation(s2.check, ClassDurability) {
+		t.Errorf("committed-but-absent write must trigger durability: %v", classes(s2.check))
+	}
+}
+
+// TestDurabilityCrashRestartNoCommits runs a full crash-restart
+// simulation whose horizon is too short for any write to commit: the
+// durability check must stay quiet (no committed writes, nothing owed)
+// and the run must otherwise be clean.
+func TestDurabilityCrashRestartNoCommits(t *testing.T) {
+	cfg, err := Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes start flowing only after acquire+sync+write+ack round
+	// trips; a short horizon with a crash outage in the middle leaves
+	// none committed for most seeds — scan for one, since the workload
+	// jitter is seed-dependent.
+	cfg.Duration = 8 * time.Millisecond
+	sc, err := ParseScript("at 1ms crash n0\nat 2ms crash n1\nat 5ms restart n0\nat 6ms restart n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Script = sc
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Committed != 0 {
+			continue
+		}
+		for _, v := range res.Violations {
+			if v.Class == ClassDurability {
+				t.Errorf("seed %d: durability violation with zero committed writes: %v", seed, v)
+			}
+		}
+		return
+	}
+	t.Fatal("no seed in 1..10 produced a zero-commit crash-restart run")
+}

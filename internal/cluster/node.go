@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/kvstore"
+	"repro/internal/xrand"
 )
 
 // leaseState is one node's view of its lease FSM for one shard.
@@ -81,6 +82,18 @@ type node struct {
 
 func (n *node) localNow() time.Duration { return n.s.now + n.skew }
 
+// rng is the stream this node's own draws come from: the shared
+// simulation stream classically, or the node's private stream under
+// Config.SplitRNG (so that reordering events on other endpoints cannot
+// change what this node draws — the commutativity the explorer's
+// independence relation needs).
+func (n *node) rng() *xrand.XorShift64 {
+	if n.s.nodeRngs != nil {
+		return n.s.nodeRngs[n.id]
+	}
+	return n.s.rng
+}
+
 // timer schedules a node-local timer guarded by the current generation.
 func (n *node) timer(delay time.Duration, tk timerKind, shard, wid int) {
 	n.s.schedule(n.s.now+delay, &event{
@@ -117,7 +130,7 @@ func (n *node) tryAcquire(shard int, reconcile bool) {
 func (n *node) backoffRetry(shard int) {
 	ls := &n.leases[shard]
 	if ls.bo == nil {
-		ls.bo = backoff.New(n.s.cfg.Backoff, n.s.rng.Uint64())
+		ls.bo = backoff.New(n.s.cfg.Backoff, n.rng().Uint64())
 	}
 	d := ls.bo.Next()
 	n.s.check.onDeny(n.id, shard, n.s.now)
@@ -252,7 +265,7 @@ func (n *node) applyVersion(key string, v versioned) {
 func (n *node) onWrite(m *message) {
 	v := versioned{epoch: m.epoch, seq: m.seq, val: m.val}
 	ack := &message{kind: mAck, from: n.id, to: m.from, shard: m.shard, epoch: m.epoch, seq: m.seq}
-	if cur, ok := n.versions[m.key]; ok && !cur.less(v) {
+	if cur, ok := n.versions[m.key]; ok && !cur.less(v) && !n.s.cfg.BreakDedup {
 		// Duplicate or superseded: already at this version or newer.
 		n.s.send(ack)
 		return
@@ -380,11 +393,11 @@ func (n *node) onTimer(e *event) {
 	switch e.tk {
 	case tWorkload:
 		if n.s.now < n.s.cfg.Duration {
-			shard := n.s.rng.Intn(n.s.cfg.Shards)
+			shard := n.rng().Intn(n.s.cfg.Shards)
 			if n.leases[shard].state == lsIdle {
 				n.tryAcquire(shard, false)
 			}
-			jitter := time.Duration(n.s.rng.Uint64() % uint64(n.s.cfg.WorkloadEvery/2+1))
+			jitter := time.Duration(n.rng().Uint64() % uint64(n.s.cfg.WorkloadEvery/2+1))
 			n.timer(n.s.cfg.WorkloadEvery+jitter, tWorkload, 0, 0)
 		}
 	case tRetry:
@@ -415,7 +428,7 @@ func (n *node) onTimer(e *event) {
 			return
 		}
 		keys := n.s.shardKeys[e.shard]
-		key := keys[n.s.rng.Intn(len(keys))]
+		key := keys[n.rng().Intn(len(keys))]
 		val := fmt.Sprintf("n%d.e%d.w%d", n.id, ls.epoch, n.wseq+1)
 		if !n.issueWrite(e.shard, key, val) {
 			return
@@ -520,7 +533,7 @@ func (n *node) restart() {
 	n.alive = true
 	n.gen++
 	if n.s.now < n.s.cfg.Duration {
-		jitter := time.Duration(n.s.rng.Uint64() % uint64(n.s.cfg.WorkloadEvery+1))
+		jitter := time.Duration(n.rng().Uint64() % uint64(n.s.cfg.WorkloadEvery+1))
 		n.timer(jitter, tWorkload, 0, 0)
 	}
 }

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Presets are named Config bundles shared between the schedule
+// explorer (internal/cluster/explore, cmd/clusterexplore) and the
+// replayer (cmd/clustersim -preset). A repro line emitted by the
+// explorer names its preset, so replaying it reconstructs the exact
+// same topology and timing without copying a dozen flags.
+//
+// Explorer presets are deliberately tiny and draw-free outside the
+// node streams: topologies of 2–3 nodes over 1–2 shards, short
+// horizons so a single schedule replays in well under a millisecond,
+// NetJitter disabled (the schedule window is the jitter model), and
+// SplitRNG on so events on distinct endpoints commute and sleep-set
+// pruning is sound.
+var presets = map[string]Config{
+	// The exhaustive-search workhorse: 2 nodes contending for 1 shard
+	// over a horizon of roughly one workload round, kept small enough
+	// that the bare schedule tree exhausts in seconds. RetransTick
+	// (3ms) exceeds the write round-trip (2×NetDelay = 2ms), so in
+	// canonical order every ack lands before its write's retransmit
+	// fires and the retransmit is cancelled; the explorer can reorder
+	// the retransmit ahead of the ack within the 1ms window, which is
+	// exactly the race the BreakDedup mutation needs exposed.
+	"explore-small": {
+		Nodes:          2,
+		Shards:         1,
+		Duration:       24 * time.Millisecond,
+		Heal:           200 * time.Millisecond,
+		TTL:            40 * time.Millisecond,
+		GuardBand:      8 * time.Millisecond,
+		Hold:           10 * time.Millisecond,
+		WorkloadEvery:  16 * time.Millisecond,
+		WritesPerCS:    1,
+		WriteGap:       3 * time.Millisecond,
+		KeysPerShard:   2,
+		NetDelay:       time.Millisecond,
+		NetJitter:      -1,
+		RetransTick:    3 * time.Millisecond,
+		SyncTimeout:    6 * time.Millisecond,
+		AcquireTimeout: 6 * time.Millisecond,
+		ReconcileDelay: 25 * time.Millisecond,
+		ScheduleWindow: 100 * time.Microsecond,
+		SplitRNG:       true,
+	},
+	// The wider topology: 3 nodes over 2 shards with a longer horizon.
+	// Too big for exhaustive search at useful depth; meant for
+	// delay-bounded exploration (-delays) and budgeted sampling.
+	"explore-wide": {
+		Nodes:          3,
+		Shards:         2,
+		Duration:       60 * time.Millisecond,
+		Heal:           300 * time.Millisecond,
+		TTL:            40 * time.Millisecond,
+		GuardBand:      8 * time.Millisecond,
+		Hold:           10 * time.Millisecond,
+		WorkloadEvery:  16 * time.Millisecond,
+		WritesPerCS:    1,
+		WriteGap:       3 * time.Millisecond,
+		KeysPerShard:   2,
+		NetDelay:       time.Millisecond,
+		NetJitter:      -1,
+		RetransTick:    3 * time.Millisecond,
+		SyncTimeout:    6 * time.Millisecond,
+		AcquireTimeout: 6 * time.Millisecond,
+		ReconcileDelay: 25 * time.Millisecond,
+		ScheduleWindow: time.Millisecond,
+		SplitRNG:       true,
+	},
+}
+
+// PresetNames returns the preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a copy of the named preset Config. Callers fill in
+// Seed, Script, and (for controlled runs) Scheduler.
+func Preset(name string) (Config, error) {
+	c, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("cluster: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return c, nil
+}

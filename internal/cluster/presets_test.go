@@ -1,0 +1,43 @@
+package cluster
+
+import "testing"
+
+// TestPresetsHonestPass pins the contract the explorer relies on: every
+// preset, run canonically (no Scheduler) with an honest protocol, has
+// zero violations — bare and under the expire-churn script, across a
+// few seeds. If a preset's timing drifts out of tune, the exhaustive
+// search would report canonical-order "violations" that are really
+// configuration bugs; this catches that directly.
+func TestPresetsHonestPass(t *testing.T) {
+	script, err := LoadScript("expire-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PresetNames() {
+		for _, sc := range []*Script{nil, script} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				cfg, err := Preset(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Seed = seed
+				cfg.Script = sc
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", name, seed, err)
+				}
+				if len(res.Violations) != 0 {
+					t.Errorf("%s seed %d script=%v: canonical run not clean:\n%s",
+						name, seed, sc != nil, res.FailureReport(""))
+				}
+			}
+		}
+	}
+}
+
+// TestPresetUnknown pins the error path.
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Fatal("want error for unknown preset")
+	}
+}

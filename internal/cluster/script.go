@@ -53,8 +53,12 @@ var stepVerbs = map[StepKind]string{
 // AnyEndpoint is the wildcard link endpoint.
 const AnyEndpoint = -2
 
-// svcID is the lock service's endpoint id (nodes are 0..N-1).
-const svcID = -1
+// ServiceEndpoint is the lock service's endpoint id (nodes are
+// 0..N-1); schedule controllers see it as a ReadyEvent.Endpoint.
+const ServiceEndpoint = -1
+
+// svcID is the lock service's endpoint id, package-internal alias.
+const svcID = ServiceEndpoint
 
 // Step is one fault. Which fields are meaningful depends on Kind:
 // Node for pause/crash/restart/skew; Shard for expire; From/To, P and

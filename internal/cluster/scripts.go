@@ -66,6 +66,25 @@ at 900ms crash n2
 at 950ms expire shard 2
 at 1300ms restart n2
 `,
+	// Forced expiries in quick succession on one shard: every few tens
+	// of milliseconds the current lease is cut short, so epochs churn
+	// while writes from the deposed holder are still in flight. Small
+	// enough to validate against the explorer's 2-node/1-shard preset;
+	// also runs (shard 0 only) on the default topology.
+	"expire-churn": `
+at 50ms expire shard 0
+at 90ms expire shard 0
+at 130ms expire shard 0
+`,
+	// The same churn compressed to the explorer presets' short horizon
+	// (see internal/cluster/presets.go): expiries land while a holder
+	// is mid-critical-section, so old-epoch writes are still in flight
+	// when the next epoch's fence spreads. This is the script the
+	// schedule explorer's mutation hunts run under.
+	"expire-churn-tiny": `
+at 8ms expire shard 0
+at 16ms expire shard 0
+`,
 	// Restart storm with duplicate delivery: nodes bounce while the
 	// network double-delivers, so replicas see every write many times
 	// across incarnations. Version dedup must keep applies monotone.

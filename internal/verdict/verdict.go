@@ -1,0 +1,71 @@
+// Package verdict is the shared exit-code and report convention for
+// the model-checking commands (cmd/modelcheck, cmd/clusterexplore):
+// a checker's outcome is exactly one of VERIFIED, FAIL, or INCOMPLETE,
+// and the process exit code keeps the three distinguishable so a CI
+// gate keying on exit 0 can never mistake a truncated search for a
+// proof.
+package verdict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status is one check target's outcome.
+type Status int
+
+const (
+	// Verified: the full (bounded) search space was explored and no
+	// invariant failed — a proof relative to the stated bounds.
+	Verified Status = iota
+	// Violation: a failing schedule was found.
+	Violation
+	// Incomplete: no violation, but the search was truncated (budget
+	// or depth); explicitly not a verification result.
+	Incomplete
+)
+
+func (s Status) String() string {
+	switch s {
+	case Verified:
+		return "VERIFIED"
+	case Violation:
+		return "FAIL"
+	case Incomplete:
+		return "INCOMPLETE"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Process exit codes. ExitUsage is reserved for flag and argument
+// errors, which is why Incomplete maps to 3, not 2.
+const (
+	ExitVerified   = 0
+	ExitViolation  = 1
+	ExitUsage      = 2
+	ExitIncomplete = 3
+)
+
+// Exit folds per-target statuses into the process exit code: any
+// violation dominates, then any incomplete, else verified. No
+// statuses folds to ExitVerified (vacuously checked).
+func Exit(statuses ...Status) int {
+	code := ExitVerified
+	for _, s := range statuses {
+		switch s {
+		case Violation:
+			return ExitViolation
+		case Incomplete:
+			code = ExitIncomplete
+		}
+	}
+	return code
+}
+
+// Line renders the conventional one-line report: a padded target name,
+// the status word, and the detail. Multi-line details are indented
+// under the first line.
+func Line(name string, s Status, detail string) string {
+	text := fmt.Sprintf("%-14s %s: %s", name, s, detail)
+	return strings.ReplaceAll(text, "\n", "\n    ")
+}

@@ -1,0 +1,51 @@
+package verdict
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Verified: "VERIFIED", Violation: "FAIL", Incomplete: "INCOMPLETE",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s, want)
+		}
+	}
+}
+
+// TestExitFolding pins the dominance order: a violation anywhere beats
+// incompleteness anywhere beats verified, and the codes match the
+// documented CLI contract (0/1/3; 2 is reserved for usage errors).
+func TestExitFolding(t *testing.T) {
+	cases := []struct {
+		in   []Status
+		want int
+	}{
+		{nil, ExitVerified},
+		{[]Status{Verified, Verified}, 0},
+		{[]Status{Verified, Incomplete}, 3},
+		{[]Status{Incomplete, Violation, Verified}, 1},
+		{[]Status{Violation}, 1},
+	}
+	for _, c := range cases {
+		if got := Exit(c.in...); got != c.want {
+			t.Errorf("Exit(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if ExitVerified != 0 || ExitViolation != 1 || ExitUsage != 2 || ExitIncomplete != 3 {
+		t.Error("exit code constants drifted from the documented convention")
+	}
+}
+
+func TestLine(t *testing.T) {
+	got := Line("TKT", Verified, "all 100 interleavings pass")
+	if !strings.HasPrefix(got, "TKT") || !strings.Contains(got, "VERIFIED: all 100") {
+		t.Errorf("Line = %q", got)
+	}
+	multi := Line("x", Violation, "first\nsecond")
+	if !strings.Contains(multi, "\n    second") {
+		t.Errorf("multi-line detail not indented: %q", multi)
+	}
+}
