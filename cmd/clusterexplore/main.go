@@ -23,6 +23,10 @@
 // Exit codes follow the shared model-checking convention
 // (internal/verdict): 0 VERIFIED, 1 violation found, 2 usage error,
 // 3 INCOMPLETE (search truncated by budget or depth; not a proof).
+// Exit 2 is reserved for flag/argument mistakes; a checker runtime
+// failure (e.g. a broken determinism contract) also exits 3 — no
+// verdict was reached, and a CI gate must never read a checker crash
+// as a usage error.
 package main
 
 import (
@@ -117,8 +121,27 @@ func (o *options) buildConfig() (cluster.Config, error) {
 	if err != nil {
 		return cluster.Config{}, err
 	}
+	// Validate here so a script that parses but names out-of-range
+	// endpoints is a usage error (exit 2), not a runtime failure deep
+	// inside the search.
+	if script != nil {
+		if err := script.Validate(cfg.Nodes, cfg.Shards); err != nil {
+			return cluster.Config{}, fmt.Errorf("-script %q: %w", o.script, err)
+		}
+	}
 	cfg.Script = script
 	return cfg, nil
+}
+
+// runtimeFailure reports a checker malfunction (nondeterministic
+// replay, a simulation error that slipped past flag validation): no
+// verdict was reached, so the run is INCOMPLETE — exit 2 stays
+// reserved for flag/argument errors.
+func runtimeFailure(preset, what string, err error, out, errOut io.Writer) int {
+	fmt.Fprintln(errOut, err)
+	fmt.Fprintln(out, verdict.Line(preset, verdict.Incomplete,
+		fmt.Sprintf("%s aborted: %v", what, err)))
+	return verdict.ExitIncomplete
 }
 
 // mutationFlags renders the active mutation flags, for repro lines and
@@ -203,8 +226,7 @@ func (o *options) runReplay(cfg cluster.Config, out, errOut io.Writer) int {
 	}
 	res, err := explore.Replay(cfg, sched)
 	if err != nil {
-		fmt.Fprintln(errOut, err)
-		return verdict.ExitUsage
+		return runtimeFailure(o.preset, "replay", err, out, errOut)
 	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintln(out, verdict.Line(o.preset, verdict.Violation,
@@ -231,8 +253,7 @@ func (o *options) runSearch(cfg cluster.Config, out, errOut io.Writer) int {
 	}
 	res, err := explore.Search(opts)
 	if err != nil {
-		fmt.Fprintln(errOut, err)
-		return verdict.ExitUsage
+		return runtimeFailure(o.preset, "search", err, out, errOut)
 	}
 
 	bound := "exhaustive"

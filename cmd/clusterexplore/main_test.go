@@ -20,15 +20,59 @@ func runCmd(t *testing.T, args ...string) (int, string, string) {
 }
 
 func TestUsageErrors(t *testing.T) {
+	// A script that parses but names an out-of-range endpoint is still
+	// a usage mistake: buildConfig validates it against the preset, so
+	// the error surfaces as exit 2 rather than a runtime failure.
+	badScript := filepath.Join(t.TempDir(), "bad.script")
+	if err := os.WriteFile(badScript, []byte("at 1ms crash n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	for _, args := range [][]string{
 		{"-bogus-flag"},
 		{"-preset=no-such-preset"},
 		{"-script=no-such-script-or-file"},
+		{"-script=" + badScript},
 		{"-schedule=1,x,2"},
 	} {
 		if code, _, _ := runCmd(t, args...); code != verdict.ExitUsage {
 			t.Errorf("args %v: exit %d, want %d", args, code, verdict.ExitUsage)
 		}
+	}
+}
+
+// TestRuntimeFailureIncomplete pins the exit-code reservation the
+// convention promises: a checker malfunction at runtime exits 3
+// (INCOMPLETE — no verdict reached), never the usage code a CI gate
+// would read as a flag mistake. Driven by handing runSearch and
+// runReplay a config that fails inside cluster.Run (an out-of-range
+// script endpoint that bypassed buildConfig's validation).
+func TestRuntimeFailureIncomplete(t *testing.T) {
+	cfg, err := cluster.Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cluster.ParseScript("at 1ms crash n9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Script = sc
+	o := &options{preset: "explore-small"}
+
+	var out, errOut bytes.Buffer
+	if code := o.runSearch(cfg, &out, &errOut); code != verdict.ExitIncomplete {
+		t.Errorf("runSearch: exit %d, want %d (stderr: %s)", code, verdict.ExitIncomplete, errOut.String())
+	}
+	if !strings.Contains(out.String(), "INCOMPLETE") {
+		t.Errorf("runSearch verdict line:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := o.runReplay(cfg, &out, &errOut); code != verdict.ExitIncomplete {
+		t.Errorf("runReplay: exit %d, want %d (stderr: %s)", code, verdict.ExitIncomplete, errOut.String())
+	}
+	if !strings.Contains(out.String(), "INCOMPLETE") {
+		t.Errorf("runReplay verdict line:\n%s", out.String())
 	}
 }
 

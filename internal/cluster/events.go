@@ -96,6 +96,10 @@ func (q *eventQueue) Pop() any {
 // for a fixed choice prefix it is byte-identical across replays, which
 // is what lets a controller recognize "the same pending event" across
 // sibling schedules (the sleep-set bookkeeping the explorer relies on).
+// Within one ready set descriptors are unique: when two in-flight
+// events render identically (a dup-rule extra copy whose drawn delay
+// is zero, next to the original), later occurrences carry a " #n"
+// suffix so Desc-keyed controller maps never conflate them.
 type ReadyEvent struct {
 	At      time.Duration
 	Fault   bool // fault-band event: forced, dependent with everything
@@ -186,6 +190,7 @@ func (s *sim) popNext() *event {
 	for i, e := range cands {
 		ready[i] = describeEvent(e)
 	}
+	disambiguate(ready)
 	pick := 0
 	if got := s.cfg.Scheduler(ready); len(cands) > 1 && got > 0 && got < len(cands) {
 		pick = got
@@ -198,6 +203,26 @@ func (s *sim) popNext() *event {
 		}
 	}
 	return chosen
+}
+
+// disambiguate suffixes repeated descriptors in one ready set with a
+// replay-stable occurrence ordinal (" #2", " #3", …). Two distinct
+// pending events can render identically — same payload, same due time —
+// and a controller keying tried/sleep maps on Desc would silently
+// conflate them, under-exploring. The ordinal follows the candidates'
+// (time, seq) sort order, which is deterministic for a fixed choice
+// prefix, so suffixed descriptors are as replay-stable as plain ones.
+func disambiguate(ready []ReadyEvent) {
+	if len(ready) < 2 {
+		return
+	}
+	seen := make(map[string]int, len(ready))
+	for i := range ready {
+		seen[ready[i].Desc]++
+		if n := seen[ready[i].Desc]; n > 1 {
+			ready[i].Desc = fmt.Sprintf("%s #%d", ready[i].Desc, n)
+		}
+	}
 }
 
 // schedule enqueues e in the normal band at time at.

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisambiguateReadySet pins the uniqueness contract ReadyEvent.Desc
+// documents: identical descriptors in one ready set (two in-flight
+// events with the same payload due at the same instant, e.g. a dup-rule
+// copy whose drawn extra delay was zero) get replay-stable " #n"
+// suffixes by occurrence order, so a Desc-keyed controller map never
+// conflates distinct candidates.
+func TestDisambiguateReadySet(t *testing.T) {
+	mk := func(d string) ReadyEvent { return ReadyEvent{Desc: d} }
+
+	ready := []ReadyEvent{mk("a"), mk("b"), mk("a"), mk("a"), mk("b")}
+	disambiguate(ready)
+	want := []string{"a", "b", "a #2", "a #3", "b #2"}
+	for i := range ready {
+		if ready[i].Desc != want[i] {
+			t.Errorf("ready[%d].Desc = %q, want %q", i, ready[i].Desc, want[i])
+		}
+	}
+
+	// No duplicates: untouched.
+	clean := []ReadyEvent{mk("x"), mk("y")}
+	disambiguate(clean)
+	if clean[0].Desc != "x" || clean[1].Desc != "y" {
+		t.Errorf("distinct descs rewritten: %q %q", clean[0].Desc, clean[1].Desc)
+	}
+
+	// Singletons are forced dispatches; never suffixed.
+	single := []ReadyEvent{mk("a")}
+	disambiguate(single)
+	if single[0].Desc != "a" {
+		t.Errorf("singleton suffixed: %q", single[0].Desc)
+	}
+}
+
+// TestReadySetDescsUnique runs a duplicate-heavy simulation (every
+// message double-delivered, widened schedule window) under a recording
+// scheduler and asserts every offered ready set carries pairwise
+// distinct descriptors — the invariant the explorer's tried/sleep
+// bookkeeping is keyed on.
+func TestReadySetDescsUnique(t *testing.T) {
+	cfg, err := Preset("explore-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseScript("at 1ms dup *->* p=1 for 30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Script = sc
+	cfg.ScheduleWindow = time.Millisecond
+
+	branches := 0
+	cfg.Scheduler = func(ready []ReadyEvent) int {
+		seen := make(map[string]bool, len(ready))
+		for _, r := range ready {
+			if seen[r.Desc] {
+				t.Fatalf("duplicate desc %q in a %d-candidate ready set", r.Desc, len(ready))
+			}
+			seen[r.Desc] = true
+		}
+		if len(ready) > 1 {
+			branches++
+		}
+		return 0
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if branches == 0 {
+		t.Fatal("no multi-candidate ready sets offered — the run exercised nothing")
+	}
+}

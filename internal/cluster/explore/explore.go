@@ -241,14 +241,22 @@ func (s *search) runOne() (res *cluster.Result, pruned bool, err error) {
 	cfg := s.opts.Config
 	cfg.Scheduler = func(ready []cluster.ReadyEvent) int {
 		if len(ready) < 2 {
-			// Forced dispatch. A forced event that is itself slept means
-			// this whole continuation is covered elsewhere.
-			if len(ready) == 1 && !ready[0].Fault {
-				if s.prunable {
+			// Forced dispatch. A forced normal event that is itself
+			// slept means this whole continuation is covered elsewhere
+			// (faults never enter sleep sets — Independent rejects
+			// them — so the prune check stays gated on non-fault).
+			if len(ready) == 1 {
+				if s.prunable && !ready[0].Fault {
 					if _, ok := pend[ready[0].Desc]; ok {
 						panic(errPruned)
 					}
 				}
+				// Executing ANY event wakes every sleeping event
+				// dependent with it — including fault/heal dispatches,
+				// which are dependent with everything and so empty the
+				// set. Skipping this for faults would let events sleep
+				// across a dispatch that does not commute with them,
+				// wrongly pruning schedules near fault timestamps.
 				pend = filterIndependent(pend, ready[0])
 			}
 			return 0

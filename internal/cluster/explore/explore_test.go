@@ -197,6 +197,84 @@ func TestExploreMaxBranch(t *testing.T) {
 	}
 }
 
+// TestFaultDispatchWakesSleepers pins the wake-up rule the forced
+// dispatch path relies on: a fault-band event is dependent with
+// everything (Independent rejects faults outright), so filtering a
+// sleep set through a fault or heal dispatch must empty it. Leaving
+// events asleep across a fault would wrongly prune schedules that
+// reorder normal events around the fault's timestamp — exactly where
+// violations live.
+func TestFaultDispatchWakesSleepers(t *testing.T) {
+	a := cluster.ReadyEvent{At: time.Millisecond, Endpoint: 0, Desc: "timer@1ms n0 write s0 g1 w0"}
+	b := cluster.ReadyEvent{At: time.Millisecond, Endpoint: 1, Deliver: true, Desc: "deliver@1ms x"}
+	sleep := map[string]cluster.ReadyEvent{a.Desc: a, b.Desc: b}
+	for _, forced := range []cluster.ReadyEvent{
+		{At: time.Millisecond, Fault: true, Endpoint: cluster.AnyEndpoint, Desc: "fault@1ms step 0"},
+		{At: time.Millisecond, Fault: true, Endpoint: cluster.AnyEndpoint, Desc: "heal@1ms"},
+	} {
+		if got := filterIndependent(sleep, forced); len(got) != 0 {
+			t.Errorf("sleep set survived %q: %v", forced.Desc, got)
+		}
+	}
+	// Sanity: a dispatch independent of both sleepers keeps them.
+	other := cluster.ReadyEvent{At: time.Millisecond, Endpoint: 2, Desc: "timer@1ms n2 x"}
+	if got := filterIndependent(sleep, other); len(got) != 2 {
+		t.Errorf("independent sleepers woken: %v", got)
+	}
+}
+
+// TestPruningAgreesWithUnpruned is the sleep-set soundness net over
+// fault scripts: on hunts whose schedules cross fault-band dispatches
+// (expire-churn-tiny fires twice inside the horizon), the pruned and
+// unpruned searches must reach the same verdict — same completeness
+// on the honest build, same violation class under every planted
+// mutation. A pruning bug that silently skips schedules near fault
+// timestamps shows up here as a verdict mismatch.
+func TestPruningAgreesWithUnpruned(t *testing.T) {
+	run := func(mutate func(*cluster.Config), noPrune bool) *Result {
+		cfg := huntCfg(t, 1)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		opts := DefaultOptions(cfg)
+		opts.Delays = 2
+		opts.NoPrune = noPrune
+		res, err := Search(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	honest, honestFull := run(nil, false), run(nil, true)
+	if !honest.Pruning || honestFull.Pruning {
+		t.Fatalf("pruning flags: pruned=%v unpruned=%v", honest.Pruning, honestFull.Pruning)
+	}
+	if honest.Violation != nil || honestFull.Violation != nil {
+		t.Fatal("honest hunt found a violation")
+	}
+	if honest.Complete != honestFull.Complete {
+		t.Errorf("completeness disagrees: pruned=%v unpruned=%v", honest.Complete, honestFull.Complete)
+	}
+	if honest.Stats.Schedules > honestFull.Stats.Schedules {
+		t.Errorf("pruned search ran MORE schedules (%d) than unpruned (%d)",
+			honest.Stats.Schedules, honestFull.Stats.Schedules)
+	}
+
+	for _, m := range mutations {
+		pruned, full := run(m.apply, false), run(m.apply, true)
+		if pruned.Violation == nil || full.Violation == nil {
+			t.Fatalf("%s: violation missed (pruned=%v unpruned=%v)",
+				m.name, pruned.Violation != nil, full.Violation != nil)
+		}
+		pc := pruned.Violation.Violations[0].Class
+		fc := full.Violation.Violations[0].Class
+		if pc != m.class || fc != m.class {
+			t.Errorf("%s: classes pruned=%s unpruned=%s, want %s", m.name, pc, fc, m.class)
+		}
+	}
+}
+
 // TestPrunable pins the soundness guard for sleep-set pruning.
 func TestPrunable(t *testing.T) {
 	base := smallCfg(t, 1, "")
