@@ -28,6 +28,13 @@
 #   make conformance — cross-track tier: the full property suite and the
 #                      100-schedule sim/real differential checker over
 #                      every catalog lock (cmd/conformance)
+#   make vtime       — deterministic-time tier: the clock package and
+#                      virtual-time conformance tests under -race, then
+#                      the real-lock bounded-acquisition + backoff
+#                      schedules (Recipro/MCS/CLH) replayed under
+#                      clock.Virtual for seeds 1–3, each required to be
+#                      byte-identical across runs (cmd/conformance
+#                      -vtime)
 #   make cluster     — deterministic cluster-simulation tier: every
 #                      canonical fault script × seeds {1,2,3} through
 #                      cmd/clustersim (invariant violations exit
@@ -56,14 +63,14 @@ CONF_SEED ?= 1
 FUZZTIME ?= 5s
 BENCH_BASELINE ?= results/bench_baseline.json
 
-.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance cluster explore fuzz-smoke
+.PHONY: all build check fmt-check test vet race bench bench-json benchdiff-check chaos conformance vtime cluster explore fuzz-smoke
 
 all: test
 
 build:
 	$(GO) build ./...
 
-check: fmt-check vet test conformance cluster explore fuzz-smoke benchdiff-check
+check: fmt-check vet test conformance vtime cluster explore fuzz-smoke benchdiff-check
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -100,6 +107,10 @@ chaos: build
 
 conformance: build
 	$(GO) run ./cmd/conformance -locks=all -seed=$(CONF_SEED) -schedules=100
+
+vtime: build
+	$(GO) test -race -count=1 -run 'Wall|Virtual|Deadline|NoDirectWallClock|VTime' ./internal/clock ./internal/conformance
+	$(GO) run ./cmd/conformance -vtime -seed=1 -vtime-seeds=3
 
 cluster: build
 	$(GO) test -race ./internal/cluster ./cmd/clustersim

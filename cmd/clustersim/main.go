@@ -45,6 +45,7 @@ type options struct {
 	preset        string
 	window        time.Duration
 	schedule      string
+	realLock      string
 	noFencing     bool
 	breakDedup    bool
 	skipReconcile bool
@@ -68,6 +69,7 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.preset, "preset", "", "start from a named preset (see clusterexplore -list); other flags override")
 	fs.DurationVar(&o.window, "window", 0, "schedule window for co-ready events (0 = preset/default)")
 	fs.StringVar(&o.schedule, "schedule", "", "fixed branch-choice schedule from clusterexplore (e.g. 0,0,1)")
+	fs.StringVar(&o.realLock, "real-lock", "", "back every shard lease with a real registry-built lock of this name (preset real-lock-small sets Recipro)")
 	fs.BoolVar(&o.noFencing, "no-fencing", false, "disable the replica fencing gate (negative testing)")
 	fs.BoolVar(&o.breakDedup, "break-dedup", false, "disable replica write dedup (negative testing)")
 	fs.BoolVar(&o.skipReconcile, "skip-reconcile", false, "drop the post-heal reconcile pass (negative testing)")
@@ -131,6 +133,9 @@ func (o *options) buildConfig() (cluster.Config, error) {
 	if o.set["window"] && o.window > 0 {
 		cfg.ScheduleWindow = o.window
 	}
+	if o.set["real-lock"] {
+		cfg.RealLockName = o.realLock
+	}
 	cfg.DisableFencing = o.noFencing
 	cfg.BreakDedup = o.breakDedup
 	cfg.SkipReconcile = o.skipReconcile
@@ -164,6 +169,9 @@ func reproLine(o *options) string {
 	parts = append(parts, fmt.Sprintf("-seed=%d", o.seed))
 	if o.script != "" {
 		parts = append(parts, fmt.Sprintf("-script=%s", o.script))
+	}
+	if o.set["real-lock"] && o.realLock != "" {
+		parts = append(parts, fmt.Sprintf("-real-lock=%s", o.realLock))
 	}
 	if o.set["duration"] && o.duration != 0 {
 		parts = append(parts, fmt.Sprintf("-duration=%v", o.duration))

@@ -13,12 +13,17 @@
 // Usage:
 //
 //	conformance [-locks=all|paper|...|list] [-seed=1] [-schedules=100]
-//	            [-duration=0]
+//	            [-duration=0] [-vtime] [-vtime-seeds=3]
 //
 // With -duration > 0 the suite soaks: it repeats with derived seeds
 // until the budget elapses, reporting each pass. Exit status is 0 only
 // if every check of every selected lock passes (skips are not
 // failures).
+//
+// With -vtime the wall-clock suite is replaced by the deterministic
+// virtual-time mode: real Reciprocating/MCS/CLH bounded-acquisition
+// and backoff schedules run under clock.Virtual, each (lock, seed)
+// executed twice and required to produce byte-identical traces.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/conformance"
 	"repro/internal/registry"
 )
@@ -44,8 +50,13 @@ func run(args []string, out *os.File) int {
 	seed := fs.Uint64("seed", 1, "base seed for all randomized schedules")
 	schedules := fs.Int("schedules", 100, "differential schedules per twin-declaring lock")
 	duration := fs.Duration("duration", 0, "soak budget: repeat the suite with derived seeds until elapsed (0 = one pass)")
+	vtime := fs.Bool("vtime", false, "run the deterministic virtual-time schedules instead of the wall-clock suite")
+	vtimeSeeds := fs.Int("vtime-seeds", 3, "with -vtime: number of consecutive seeds (starting at -seed) per lock")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *vtime {
+		return runVTime(*seed, *vtimeSeeds, out)
 	}
 	entries, listed, err := locksF.Resolve(out)
 	if err != nil {
@@ -56,9 +67,9 @@ func run(args []string, out *os.File) int {
 		return 0
 	}
 
-	deadline := time.Time{}
+	deadline := time.Duration(0)
 	if *duration > 0 {
-		deadline = time.Now().Add(*duration)
+		deadline = clock.Wall.Now() + *duration
 	}
 
 	fail := false
@@ -70,13 +81,42 @@ func run(args []string, out *os.File) int {
 		if !runPass(entries, o, out) {
 			fail = true
 		}
-		if deadline.IsZero() || !time.Now().Before(deadline) || fail {
+		if deadline == 0 || clock.Wall.Now() >= deadline || fail {
 			break
 		}
 	}
 	if fail {
 		return 1
 	}
+	return 0
+}
+
+// runVTime executes the deterministic virtual-time schedules: each
+// (lock, seed) pair runs twice under clock.Virtual and the traces must
+// match byte for byte.
+func runVTime(seed uint64, nSeeds int, out *os.File) int {
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	traces, err := conformance.CheckVTime(conformance.VTimeLocks, seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformance -vtime: %v\n", err)
+		return 1
+	}
+	w := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "Lock\tseed\tevents\tbytes\tdeterministic\n")
+	for _, name := range conformance.VTimeLocks {
+		for _, s := range seeds {
+			tr := traces[fmt.Sprintf("%s/%d", name, s)]
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\tyes\n", name, s, strings.Count(tr, "\n"), len(tr))
+		}
+	}
+	w.Flush()
+	fmt.Fprintf(out, "\nconformance -vtime: %d lock×seed schedules replayed byte-identically\n", len(traces))
 	return 0
 }
 

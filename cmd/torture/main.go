@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/lockstat"
 	"repro/internal/registry"
 	"repro/internal/rwlock"
@@ -174,22 +175,22 @@ func watchdog(name string, heartbeat *atomic.Uint64, window time.Duration, st *l
 		poll = 10 * time.Millisecond
 	}
 	last := heartbeat.Load()
-	lastChange := time.Now()
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	lastChange := clock.Wall.Now()
 	for {
+		t := clock.Wall.NewTimer(poll)
 		select {
 		case <-stop:
+			t.Stop()
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		cur := heartbeat.Load()
 		if cur != last {
 			last = cur
-			lastChange = time.Now()
+			lastChange = clock.Wall.Now()
 			continue
 		}
-		if time.Since(lastChange) < window {
+		if clock.Wall.Now()-lastChange < window {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "\nWATCHDOG STALL: %s made no progress for %v (seed %d)\n", name, window, runSeed)
@@ -421,7 +422,7 @@ func torture(lf registry.Entry, d time.Duration, workers, tableSize int, st *loc
 		}
 	}()
 
-	time.Sleep(d)
+	clock.Wall.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
 	<-churnDone

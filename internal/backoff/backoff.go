@@ -31,17 +31,33 @@ import (
 )
 
 // Policy bounds a backoff sequence. The zero value selects defaults.
+//
+// Boundary behavior, pinned by tests because the virtual-time
+// conformance schedules depend on it:
+//
+//   - The first Next() is exactly Base — no jitter on the first retry,
+//     so livelock checkers have a guaranteed lower bound and the first
+//     delay of a seeded schedule is seed-independent.
+//   - Cap == Base degenerates sanely: every delay is exactly Base
+//     (the draw span collapses to zero; the PRNG is never consulted).
+//   - Mult < 0 is the zero-jitter sentinel, mirroring the cluster
+//     sim's NetJitter < 0 convention: every delay is exactly Base and
+//     the PRNG is never consulted, so the sequence is a pure constant
+//     schedule independent of seed. Distinct from Mult == 0 (a zero
+//     field), which selects the default multiplier.
 type Policy struct {
 	// Base is the minimum (and first) delay. Default 4ms.
 	Base time.Duration
 	// Cap bounds every delay. Default 64ms.
 	Cap time.Duration
 	// Mult is the decorrelation multiplier: delay k+1 is drawn
-	// uniformly from [Base, delay_k · Mult]. Default 3.
+	// uniformly from [Base, delay_k · Mult]. Default 3. Negative
+	// values select the zero-jitter sentinel (every delay == Base).
 	Mult int
 }
 
-// WithDefaults fills zero fields with the package defaults.
+// WithDefaults fills zero fields with the package defaults. Negative
+// Mult (the zero-jitter sentinel) is preserved, not defaulted.
 func (p Policy) WithDefaults() Policy {
 	if p.Base <= 0 {
 		p.Base = 4 * time.Millisecond
@@ -52,7 +68,7 @@ func (p Policy) WithDefaults() Policy {
 	if p.Cap < p.Base {
 		p.Cap = p.Base
 	}
-	if p.Mult < 2 {
+	if p.Mult >= 0 && p.Mult < 2 {
 		p.Mult = 3
 	}
 	return p
@@ -98,7 +114,7 @@ func New(p Policy, seed uint64) *Backoff {
 // against); call k+1 draws uniformly from [Base, min(Cap, delay_k·Mult)].
 func (b *Backoff) Next() time.Duration {
 	b.attempts++
-	if b.prev == 0 {
+	if b.prev == 0 || b.p.Mult < 0 {
 		b.prev = b.p.Base
 		return b.prev
 	}

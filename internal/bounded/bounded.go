@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/clock"
 	"repro/internal/waiter"
 )
 
@@ -93,6 +94,22 @@ type Polling struct {
 	// Backoff overrides the sleep schedule used once an episode
 	// escalates past the hot phase; zero fields select pollDefaults.
 	Backoff backoff.Policy
+	// Clk is the time source for deadlines and escalated sleeps; nil
+	// selects clock.Wall.
+	Clk clock.Clock
+	// Seed, when nonzero, pins the jitter stream of every polling
+	// episode instead of drawing per-episode seeds from the process
+	// counter — the deterministic mode virtual-time schedules need.
+	Seed uint64
+}
+
+// SetClock injects the time source (registry.WithClock threads through
+// here when the polling adapter wraps a try-only lock).
+func (p *Polling) SetClock(c clock.Clock) {
+	p.Clk = c
+	if cl, ok := p.L.(clock.Clocked); ok {
+		cl.SetClock(c)
+	}
 }
 
 // pollSpinBudget is how many waiter pauses a polling episode spends in
@@ -110,16 +127,12 @@ var pollDefaults = backoff.Policy{Base: 20 * time.Microsecond, Cap: time.Millise
 // jitter stream from a distinct seed, deterministically per process.
 var pollSeq atomic.Uint64
 
-// wait is the shared LockFor/LockCtx retry loop.
-func (p *Polling) wait(deadline time.Time, done <-chan struct{}) bool {
-	w := waiter.New(p.Policy)
+// wait is the shared LockFor/LockCtx retry loop. The deadline is an
+// absolute instant on the adapter's clock; zero means unbounded.
+func (p *Polling) wait(deadline time.Duration, done <-chan struct{}) bool {
+	c := clock.Or(p.Clk)
+	w := waiter.NewClocked(p.Policy, p.Clk)
 	var bo *backoff.Backoff
-	var timer *time.Timer
-	defer func() {
-		if timer != nil {
-			timer.Stop()
-		}
-	}()
 	for {
 		if p.L.TryLock() {
 			return true
@@ -138,11 +151,15 @@ func (p *Polling) wait(deadline time.Time, done <-chan struct{}) bool {
 			if policy == (backoff.Policy{}) {
 				policy = pollDefaults
 			}
-			bo = backoff.New(policy, pollSeq.Add(1))
+			seed := p.Seed
+			if seed == 0 {
+				seed = pollSeq.Add(1)
+			}
+			bo = backoff.New(policy, seed)
 		}
 		d := bo.Next()
-		if !deadline.IsZero() {
-			rem := time.Until(deadline)
+		if deadline != 0 {
+			rem := deadline - c.Now()
 			if rem <= 0 {
 				return false
 			}
@@ -153,19 +170,8 @@ func (p *Polling) wait(deadline time.Time, done <-chan struct{}) bool {
 		if s := w.Sink(); s != nil {
 			s.CountPark()
 		}
-		if done == nil {
-			time.Sleep(d)
-			continue
-		}
-		if timer == nil {
-			timer = time.NewTimer(d)
-		} else {
-			timer.Reset(d)
-		}
-		select {
-		case <-done:
+		if !c.ParkFor(d, done) {
 			return false
-		case <-timer.C:
 		}
 	}
 }
@@ -187,7 +193,7 @@ func (p *Polling) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	return p.wait(time.Now().Add(d), nil)
+	return p.wait(clock.Or(p.Clk).Now()+d, nil)
 }
 
 // readShared and optimistic mirror rwlock.RWLocker/OptimisticLocker
@@ -287,31 +293,22 @@ func (p *Polling) OptimisticRead(f func()) {
 
 // LockCtx implements Locker by polling TryLock until ctx is done.
 func (p *Polling) LockCtx(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	var deadline time.Time
-	if t, ok := ctx.Deadline(); ok {
-		deadline = t
-	}
-	if p.wait(deadline, ctx.Done()) {
-		return nil
-	}
-	return ctxError(ctx)
+	return CtxFrom(p.Clk, ctx, p.wait)
 }
 
 // CtxFrom adapts a lock's deadline/done-aware bounded acquire into the
-// LockCtx surface: it maps the context onto (deadline, done), runs the
-// acquire, and converts a false return into the context's error. The
-// native implementations in internal/core and internal/locks share
-// this glue.
-func CtxFrom(ctx context.Context, lockBounded func(deadline time.Time, done <-chan struct{}) bool) error {
+// LockCtx surface: it maps the context onto (deadline, done) — the
+// deadline re-anchored as an absolute instant on c (nil = Wall) via
+// clock.Deadline — runs the acquire, and converts a false return into
+// the context's error. The native implementations in internal/core and
+// internal/locks share this glue.
+func CtxFrom(c clock.Clock, ctx context.Context, lockBounded func(deadline time.Duration, done <-chan struct{}) bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	var deadline time.Time
+	var deadline time.Duration
 	if t, ok := ctx.Deadline(); ok {
-		deadline = t
+		deadline = clock.Deadline(clock.Or(c), t)
 	}
 	if lockBounded(deadline, ctx.Done()) {
 		return nil

@@ -1,0 +1,149 @@
+package clock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The wall-clock lint: every timing layer must go through an injected
+// clock.Clock (or clock.Wall explicitly), so direct use of the time
+// package's clock-reading and sleeping functions is forbidden outside
+// this package. One call site left on the raw wall clock is one layer
+// a virtual-time harness cannot control — exactly the class of bug the
+// clock extraction exists to make impossible.
+//
+// Scope: non-test Go files under internal/ and cmd/. Test files may
+// use wall timeouts freely (they guard against hangs, not pace
+// algorithms), and examples/ (if any) are documentation.
+
+// forbidden are the selectors of time-package functions that read or
+// wait on the wall clock. Pure conversions and constructors
+// (time.Duration, time.Since is NOT here because it reads the clock —
+// it is forbidden) stay allowed.
+var forbidden = map[string]bool{
+	"time.Now":       true,
+	"time.Sleep":     true,
+	"time.After":     true,
+	"time.Since":     true,
+	"time.Until":     true,
+	"time.Tick":      true,
+	"time.NewTimer":  true,
+	"time.NewTicker": true,
+	"time.AfterFunc": true,
+}
+
+// allowed lists the packages (by repo-relative directory) that may
+// touch the wall clock directly: this package implements clock.Wall,
+// and the harness's watchdog/reporting layer deliberately runs on
+// wall time (it measures the real world, including virtual-time runs
+// that wedge).
+var allowed = map[string]bool{
+	"internal/clock":   true,
+	"internal/harness": true,
+}
+
+func TestNoDirectWallClockOutsideAllowlist(t *testing.T) {
+	root := repoRoot(t)
+	var violations []string
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			if allowed[filepath.ToSlash(filepath.Dir(rel))] {
+				return nil
+			}
+			violations = append(violations, lintFile(t, path, rel)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if len(violations) > 0 {
+		t.Errorf("%d direct wall-clock call(s); route them through an injected clock.Clock (or clock.Wall explicitly)", len(violations))
+	}
+}
+
+// lintFile parses one file and reports every forbidden selector call.
+// The match is AST-based on the imported package's local name, so
+// aliased imports (tm "time") are caught and unrelated identifiers
+// named "time" are not.
+func lintFile(t *testing.T, path, rel string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("%s: %v", rel, err)
+	}
+	// Resolve the local name(s) the time package is imported under.
+	timeNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "time" {
+			continue
+		}
+		name := "time"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		timeNames[name] = true
+	}
+	if len(timeNames) == 0 {
+		return nil
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !timeNames[id.Name] || id.Obj != nil {
+			return true
+		}
+		if forbidden["time."+sel.Sel.Name] {
+			pos := fset.Position(sel.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: time.%s reads the wall clock directly", rel, pos.Line, sel.Sel.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// repoRoot walks up from this package's directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the clock package")
+		}
+		dir = parent
+	}
+}

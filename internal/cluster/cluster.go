@@ -128,6 +128,17 @@ type Config struct {
 	// runs single-threaded, so any sync.Locker is safe; conformance
 	// plugs in each registry entry here). Nil selects sync.Mutex.
 	NewLock func() sync.Locker
+
+	// RealLockName, when non-empty, backs every shard's lease at the
+	// lock service with a real registry-built lock of that name
+	// (constructed through the full decorator pipeline on a virtual
+	// clock slaved to the simulation clock). Every grant, deny, lapse,
+	// and release transition of the abstract lease bookkeeping then
+	// drives the real lock's TryLock/Unlock doorway, and any
+	// disagreement between the two admissions is a ClassRealLock
+	// violation — the abstract FSM and the actual lock implementation
+	// are required to agree on every admission decision of the run.
+	RealLockName string
 }
 
 func (c Config) withDefaults() Config {
@@ -306,7 +317,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	s.check = newChecker(s, cfg.Shards)
-	s.service = newLockService(s, cfg.Shards)
+	svc, err := newLockService(s, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s.service = svc
 
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{

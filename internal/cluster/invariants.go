@@ -25,6 +25,7 @@ const (
 	ClassDivergence    = "divergence"
 	ClassFenceLag      = "fence-lag"
 	ClassDurability    = "durability"
+	ClassRealLock      = "real-lock-divergence"
 )
 
 // Violation is one invariant breach, stamped with the simulated time

@@ -48,6 +48,31 @@ var presets = map[string]Config{
 		ScheduleWindow: 100 * time.Microsecond,
 		SplitRNG:       true,
 	},
+	// The explore-small topology with every shard lease backed by a
+	// real registry-built Reciprocating lock at the service (see
+	// Config.RealLockName): the abstract lease FSM and the actual lock
+	// implementation must agree on every admission of the run. Not an
+	// explorer preset — it keeps jitter and the shared RNG so it runs
+	// as a plain seeded simulation under clustersim.
+	"real-lock-small": {
+		Nodes:          2,
+		Shards:         1,
+		Duration:       200 * time.Millisecond,
+		Heal:           400 * time.Millisecond,
+		TTL:            40 * time.Millisecond,
+		GuardBand:      8 * time.Millisecond,
+		Hold:           10 * time.Millisecond,
+		WorkloadEvery:  16 * time.Millisecond,
+		WritesPerCS:    1,
+		WriteGap:       3 * time.Millisecond,
+		KeysPerShard:   2,
+		NetDelay:       time.Millisecond,
+		RetransTick:    3 * time.Millisecond,
+		SyncTimeout:    6 * time.Millisecond,
+		AcquireTimeout: 6 * time.Millisecond,
+		ReconcileDelay: 25 * time.Millisecond,
+		RealLockName:   "Recipro",
+	},
 	// The wider topology: 3 nodes over 2 shards with a longer horizon.
 	// Too big for exhaustive search at useful depth; meant for
 	// delay-bounded exploration (-delays) and budgeted sampling.

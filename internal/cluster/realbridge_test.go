@@ -1,0 +1,115 @@
+package cluster
+
+import "testing"
+
+// The real-lock bridge must be admission-transparent: backing the lock
+// service's leases with real registry-built locks changes no decision,
+// so the same (seed, script) produces the byte-identical event trace
+// and final state with the bridge on and off — and zero violations,
+// meaning the real lock agreed with the abstract FSM at every grant,
+// deny, lapse, and release of the run.
+func TestRealLockBridgeTransparent(t *testing.T) {
+	script, err := LoadScript("expire-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []*Script{nil, script} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg, err := Preset("real-lock-small")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Seed = seed
+			cfg.Script = sc
+			real, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if len(real.Violations) != 0 {
+				t.Fatalf("seed %d script=%v: real-lock run not clean:\n%s",
+					seed, sc != nil, real.FailureReport(""))
+			}
+			cfg.RealLockName = ""
+			abstract, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if len(real.Trace) != len(abstract.Trace) {
+				t.Fatalf("seed %d: trace lengths diverge with bridge on (%d) vs off (%d)",
+					seed, len(real.Trace), len(abstract.Trace))
+			}
+			for i := range real.Trace {
+				if real.Trace[i] != abstract.Trace[i] {
+					t.Fatalf("seed %d: traces diverge at line %d:\nreal:     %s\nabstract: %s",
+						seed, i, real.Trace[i], abstract.Trace[i])
+				}
+			}
+			if real.FinalState != abstract.FinalState {
+				t.Fatalf("seed %d: final states diverge with the bridge on", seed)
+			}
+		}
+	}
+}
+
+// The bridge's cross-checks are only meaningful if the run actually
+// exercises contended transitions: grants, denials (live-lease
+// TryLock probes), and lapses under the expire-churn script.
+func TestRealLockBridgeExercisesTransitions(t *testing.T) {
+	script, err := LoadScript("expire-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Preset("real-lock-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	cfg.Script = script
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Grants == 0 {
+		t.Error("no grants: the real lock's TryLock admission path never ran")
+	}
+	if res.Counters.Denies == 0 {
+		t.Error("no denies: the real lock's held-probe cross-check never ran")
+	}
+}
+
+// Each natively bounded catalog lock can back the bridge, not just the
+// preset's Reciprocating default: the abstract FSM is algorithm-blind,
+// so every implementation must agree with it.
+func TestRealLockBridgeAcrossLocks(t *testing.T) {
+	for _, name := range []string{"Recipro", "Recipro-L2", "MCS", "CLH", "TKT"} {
+		cfg, err := Preset("real-lock-small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 2
+		cfg.RealLockName = name
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("%s: real-lock run not clean:\n%s", name, res.FailureReport(""))
+		}
+	}
+}
+
+// Config validation: an unknown lock name and a lock that refuses
+// clock injection (the Go runtime baseline) both fail Run up front
+// instead of silently running the abstract service alone.
+func TestRealLockBridgeBadNames(t *testing.T) {
+	for _, name := range []string{"NoSuchLock", "GoMutex"} {
+		cfg, err := Preset("real-lock-small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.RealLockName = name
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("RealLockName=%q: want a build error, got a run", name)
+		}
+	}
+}

@@ -1,6 +1,13 @@
 package cluster
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bounded"
+	"repro/internal/clock"
+	"repro/internal/registry"
+)
 
 // lease is one shard's lease record at the lock service.
 type lease struct {
@@ -15,26 +22,122 @@ type lease struct {
 // carrying monotonically increasing fencing epochs. Expiry is lazy —
 // evaluated against the simulation clock whenever a request arrives —
 // which keeps the service timer-free and the event stream small.
+//
+// With Config.RealLockName set, every shard's lease is additionally
+// backed by a real registry-built lock on a virtual clock slaved to
+// simulated time: the service acquires the real lock at grant,
+// releases it at release and at lazy lapse, and requires the real
+// TryLock doorway to agree with the abstract bookkeeping at every
+// transition. The sim runs on one goroutine, so the service drives
+// the real locks synchronously; uncontended TryLock/Unlock never park,
+// and the injected clock keeps any slow-path or telemetry timestamps
+// on the simulation's time axis rather than the wall's.
 type lockService struct {
 	s      *sim
 	leases []lease
+
+	real     []bounded.TryLocker // per-shard real locks, nil without RealLockName
+	realHeld []bool              // which real locks the service holds for a lease
+	realClk  *clock.Virtual      // time source of the real locks, slaved to s.now
 }
 
-func newLockService(s *sim, shards int) *lockService {
+func newLockService(s *sim, shards int) (*lockService, error) {
 	svc := &lockService{s: s, leases: make([]lease, shards)}
 	for i := range svc.leases {
 		svc.leases[i].holder = -1
 	}
-	return svc
+	if name := s.cfg.RealLockName; name != "" {
+		svc.realClk = clock.NewVirtual()
+		svc.realHeld = make([]bool, shards)
+		svc.real = make([]bounded.TryLocker, shards)
+		for i := range svc.real {
+			l, err := registry.Build(name, registry.WithClock(svc.realClk))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: building real lock for shard %d: %w", i, err)
+			}
+			t, ok := l.(bounded.TryLocker)
+			if !ok {
+				return nil, fmt.Errorf("cluster: real lock %s has no TryLock doorway to bridge", name)
+			}
+			svc.real[i] = t
+		}
+	}
+	return svc, nil
+}
+
+// realSync slaves the real locks' virtual clock to the simulation
+// clock. Called on every service transition so lock-internal
+// timestamps and any escalated waiting advance with simulated time.
+func (svc *lockService) realSync() {
+	if svc.realClk != nil {
+		svc.realClk.AdvanceTo(svc.s.now)
+	}
+}
+
+// realAcquire drives the real lock's TryLock at an abstract grant.
+// The doorway must admit: the abstract bookkeeping says the shard is
+// free (or just lapsed), and the service released the real lock on
+// that path, so a refusal means the two admissions diverged.
+func (svc *lockService) realAcquire(shard int, to int, epoch uint64) {
+	if svc.real == nil {
+		return
+	}
+	if !svc.real[shard].TryLock() {
+		svc.s.check.fail(ClassRealLock,
+			"shard %d: abstract grant e%d to %s but the real %s lock refused TryLock",
+			shard, epoch, epName(to), svc.s.cfg.RealLockName)
+		return
+	}
+	svc.realHeld[shard] = true
+}
+
+// realRelease returns the shard's real lock at an abstract lease end
+// (explicit release or lazy lapse). An abstract lease ending without
+// the service holding the real lock means an earlier divergence.
+func (svc *lockService) realRelease(shard int) {
+	if svc.real == nil {
+		return
+	}
+	if !svc.realHeld[shard] {
+		svc.s.check.fail(ClassRealLock,
+			"shard %d: abstract lease ended but the service holds no real %s lock",
+			shard, svc.s.cfg.RealLockName)
+		return
+	}
+	svc.real[shard].Unlock()
+	svc.realHeld[shard] = false
+}
+
+// realCheckDenied cross-checks an abstract denial: the shard's lease
+// is live, so the service must still hold the real lock — and the real
+// doorway must refuse a probe, exactly as the abstract service does.
+func (svc *lockService) realCheckDenied(shard int) {
+	if svc.real == nil {
+		return
+	}
+	if !svc.realHeld[shard] {
+		svc.s.check.fail(ClassRealLock,
+			"shard %d: abstract deny while the service holds no real %s lock",
+			shard, svc.s.cfg.RealLockName)
+		return
+	}
+	if svc.real[shard].TryLock() {
+		svc.real[shard].Unlock()
+		svc.s.check.fail(ClassRealLock,
+			"shard %d: abstract deny but the real %s lock admitted a probe while held",
+			shard, svc.s.cfg.RealLockName)
+	}
 }
 
 func (svc *lockService) handle(m *message) {
 	s := svc.s
+	svc.realSync()
 	l := &svc.leases[m.shard]
 	expired := l.holder != -1 && s.now >= l.expiry
 	switch m.kind {
 	case mAcquire:
 		if l.holder != -1 && !expired {
+			svc.realCheckDenied(m.shard)
 			s.counters.Denies++
 			s.send(&message{kind: mDeny, from: svcID, to: m.from, shard: m.shard})
 			return
@@ -42,12 +145,14 @@ func (svc *lockService) handle(m *message) {
 		if expired {
 			s.tracef("svc: lease s%d e%d (held by %s) lapsed", m.shard, l.epoch, epName(l.holder))
 			s.check.onLeaseEnd(m.shard, s.now)
+			svc.realRelease(m.shard)
 		}
 		l.epoch++
 		l.holder = m.from
 		l.expiry = s.now + s.cfg.TTL
 		s.counters.Grants++
 		s.check.onGrant(m.shard, l.epoch, m.from, s.now, l.expiry)
+		svc.realAcquire(m.shard, m.from, l.epoch)
 		s.send(&message{kind: mGrant, from: svcID, to: m.from, shard: m.shard, epoch: l.epoch})
 	case mRenew:
 		if l.holder == m.from && l.epoch == m.epoch && !expired {
@@ -61,6 +166,7 @@ func (svc *lockService) handle(m *message) {
 		if l.holder == m.from && l.epoch == m.epoch {
 			l.holder = -1
 			s.check.onLeaseEnd(m.shard, s.now)
+			svc.realRelease(m.shard)
 		}
 	default:
 		s.tracef("svc: unexpected %s", m)
@@ -71,7 +177,9 @@ func (svc *lockService) handle(m *message) {
 // unilaterally lapses the current lease, as a real lock service does
 // when an operator fences a wedged holder. The holder is not told —
 // it discovers the loss at its next renewal, or by having its writes
-// fenced.
+// fenced. The real-lock bridge stays lazy here too: the real lock is
+// released at the next acquire's lapse handling, mirroring when the
+// abstract record is actually overwritten.
 func (svc *lockService) forceExpire(shard int) {
 	l := &svc.leases[shard]
 	if l.holder == -1 {
@@ -81,3 +189,8 @@ func (svc *lockService) forceExpire(shard int) {
 	svc.s.check.onLeaseEnd(shard, svc.s.now)
 	svc.s.tracef("svc: force-expire s%d e%d (held by %s)", shard, l.epoch, epName(l.holder))
 }
+
+// A forceExpire'd lease ends twice in the abstract bookkeeping's eyes
+// (once at the fault, once at lazy lapse); realRelease must therefore
+// only be driven from the lapse/release paths above, where the record
+// transitions, never from forceExpire.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/registry"
 )
@@ -113,9 +114,9 @@ func CheckLeaseReacquire(e registry.Entry, o Options) error {
 		done := make(chan error, 1)
 		go func() {
 			bo := backoff.New(pol, o.Seed+uint64(round))
-			deadline := time.Now().Add(10 * time.Second)
+			deadline := clock.Wall.Now() + 10*time.Second
 			attempts := 0
-			for time.Now().Before(deadline) {
+			for clock.Wall.Now() < deadline {
 				attempts++
 				if useCtx {
 					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
@@ -135,12 +136,12 @@ func CheckLeaseReacquire(e registry.Entry, o Options) error {
 					done <- nil
 					return
 				}
-				time.Sleep(bo.Next())
+				clock.Wall.Sleep(bo.Next())
 			}
 			done <- fmt.Errorf("no re-acquisition within 10s (%d attempts)", attempts)
 		}()
 
-		time.Sleep(3 * time.Millisecond) // hold across a few retry attempts
+		clock.Wall.Sleep(3 * time.Millisecond) // hold across a few retry attempts
 		bl.Unlock()
 
 		if err := <-done; err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bounded"
+	"repro/internal/clock"
 	"repro/internal/registry"
 )
 
@@ -143,13 +144,13 @@ func CheckUnlockDiscipline(e registry.Entry) error {
 func probeUsable(l sync.Locker) bool {
 	const budget = 500 * time.Millisecond
 	if tl, ok := l.(bounded.TryLocker); ok {
-		deadline := time.Now().Add(budget)
-		for time.Now().Before(deadline) {
+		deadline := clock.Wall.Now() + budget
+		for clock.Wall.Now() < deadline {
 			if tl.TryLock() {
 				tl.Unlock()
 				return true
 			}
-			time.Sleep(100 * time.Microsecond)
+			clock.Wall.Sleep(100 * time.Microsecond)
 		}
 		return false
 	}
@@ -159,10 +160,7 @@ func probeUsable(l sync.Locker) bool {
 		l.Unlock()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return true
-	case <-time.After(budget):
-		return false
-	}
+	// ParkFor returns false when done fires before the budget — i.e.
+	// the Lock/Unlock pair completed and the lock is usable.
+	return !clock.Wall.ParkFor(budget, done)
 }

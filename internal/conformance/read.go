@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/lockstat"
 	"repro/internal/registry"
 	"repro/internal/rwlock"
@@ -80,9 +81,7 @@ func checkConcurrentReaders(rw rwlock.RWLocker) error {
 		close(admitted)
 		rw.RUnlock()
 	}()
-	select {
-	case <-admitted:
-	case <-time.After(10 * time.Second):
+	if clock.Wall.ParkFor(10*time.Second, admitted) {
 		rw.RUnlock()
 		return fmt.Errorf("second reader was not admitted while the first held RLock (readers serialize)")
 	}
@@ -172,9 +171,9 @@ func checkOptimisticConsistency(opt rwlock.OptimisticLocker) error {
 	}()
 
 	validated := 0
-	deadline := time.Now().Add(20 * time.Second)
+	deadline := clock.Wall.Now() + 20*time.Second
 	for validated < 200 {
-		if time.Now().After(deadline) {
+		if clock.Wall.Now() > deadline {
 			return fmt.Errorf("optimistic reads starved under a single writer: only %d of 200 sections validated", validated)
 		}
 		s := opt.ReadBegin()
@@ -233,9 +232,7 @@ func checkConflictStormTerminates(opt rwlock.OptimisticLocker, o Options) error 
 		}
 	}()
 	var err error
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
+	if clock.Wall.ParkFor(30*time.Second, done) {
 		err = fmt.Errorf("OptimisticRead livelocked under a writer conflict storm: %d of 50 reads completed", reads.Load())
 	}
 	close(stop)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/lockstat"
 	"repro/internal/waiter"
 )
@@ -54,10 +55,12 @@ func runReal(l sync.Locker, p Program) error {
 	}
 
 	recv := func(ch chan int, what string, evIdx int) (int, error) {
+		t := clock.Wall.NewTimer(eventTimeout)
+		defer t.Stop()
 		select {
 		case v := <-ch:
 			return v, nil
-		case <-time.After(eventTimeout):
+		case <-t.C():
 			return -1, fmt.Errorf("event %d: timed out waiting for %s (admissions so far %v)",
 				evIdx, what, log.Order())
 		}
@@ -78,10 +81,12 @@ func runReal(l sync.Locker, p Program) error {
 			}
 		}
 		for drained < started {
+			t := clock.Wall.NewTimer(eventTimeout)
 			select {
 			case <-unlocked:
+				t.Stop()
 				drained++
-			case <-time.After(eventTimeout):
+			case <-t.C():
 				return err
 			}
 		}
@@ -112,9 +117,7 @@ func runReal(l sync.Locker, p Program) error {
 				// Held lock: wait only for the arrival to become
 				// visible (first waiting transition), not for
 				// admission.
-				select {
-				case <-probe.Published():
-				case <-time.After(eventTimeout):
+				if clock.Wall.ParkFor(eventTimeout, probe.Published()) {
 					return fail(fmt.Errorf("event %d: arrival %d never published (no waiting transition)", evIdx, inst))
 				}
 			}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/lockstat"
 	"repro/internal/registry"
 	"repro/internal/xrand"
@@ -186,32 +187,32 @@ func CheckBounded(e registry.Entry, o Options) error {
 	}
 	bl.Unlock()
 	bl.Lock()
-	start := time.Now()
+	start := clock.Wall.Now()
 	if bl.LockFor(0) {
 		return fmt.Errorf("LockFor(0) succeeded on a held lock")
 	}
-	if el := time.Since(start); el > time.Second {
+	if el := clock.Wall.Now() - start; el > time.Second {
 		return fmt.Errorf("LockFor(0) on a held lock took %v", el)
 	}
 
 	// Deadline respected while held.
-	start = time.Now()
+	start = clock.Wall.Now()
 	if bl.LockFor(25 * time.Millisecond) {
 		return fmt.Errorf("LockFor succeeded on a held lock")
 	}
-	if el := time.Since(start); el < 25*time.Millisecond || el > 5*time.Second {
+	if el := clock.Wall.Now() - start; el < 25*time.Millisecond || el > 5*time.Second {
 		return fmt.Errorf("LockFor(25ms) on a held lock returned after %v", el)
 	}
 
 	// Deadline respected under chaos stalls.
 	chaos.Enable(chaos.DefaultConfig(o.Seed))
-	start = time.Now()
+	start = clock.Wall.Now()
 	got := bl.LockFor(25 * time.Millisecond)
 	chaos.Disable()
 	if got {
 		return fmt.Errorf("LockFor under chaos succeeded on a held lock")
 	}
-	if el := time.Since(start); el > 5*time.Second {
+	if el := clock.Wall.Now() - start; el > 5*time.Second {
 		return fmt.Errorf("LockFor(25ms) under chaos returned after %v", el)
 	}
 	bl.Unlock()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/futex"
 	"repro/internal/waiter"
 )
@@ -93,18 +94,18 @@ func (l *Lock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first. It
 // returns nil exactly when the lock was acquired.
 func (l *Lock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
 // lockBounded is the deadline/cancellation-aware acquire. On success
 // it installs the owner context exactly as Lock does.
-func (l *Lock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
+func (l *Lock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
 	e := getElement()
 	e.gate.Store(nil)
 	var succ *WaitElement
@@ -121,7 +122,7 @@ func (l *Lock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 		succ = tail
 	}
 
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	timedOut := false
 	for {
 		eos = e.gate.Load()
@@ -172,13 +173,13 @@ func (l *SimplifiedLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first. It
 // returns nil exactly when the lock was acquired.
 func (l *SimplifiedLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
 // lockBounded mirrors (*Lock).lockBounded for the Listing 2 layout:
@@ -187,7 +188,7 @@ func (l *SimplifiedLock) LockCtx(ctx context.Context) error {
 // bounded waiter blocks with futex.WaitTimeout in short slices so the
 // deadline and done channel stay honored without a dedicated wakeup
 // from the releaser.
-func (l *SimplifiedLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
+func (l *SimplifiedLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
 	e := getFlagElement()
 	e.gate.Store(0)
 
@@ -203,7 +204,7 @@ func (l *SimplifiedLock) lockBounded(deadline time.Time, done <-chan struct{}) b
 		succ = nil
 	}
 
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	timedOut := false
 	for e.gate.Load() == 0 {
 		if timedOut {
@@ -229,8 +230,8 @@ func (l *SimplifiedLock) lockBounded(deadline time.Time, done <-chan struct{}) b
 			// is observed promptly even though releases only post one
 			// wake per grant.
 			slice := parkSlice
-			if !deadline.IsZero() {
-				if rem := time.Until(deadline); rem <= 0 {
+			if deadline != 0 {
+				if rem := deadline - clock.Or(l.Clk).Now(); rem <= 0 {
 					timedOut = true
 					continue
 				} else if rem < slice {
@@ -245,7 +246,7 @@ func (l *SimplifiedLock) lockBounded(deadline time.Time, done <-chan struct{}) b
 				default:
 				}
 			}
-			futex.WaitTimeout(&e.gate, 0, slice)
+			futex.WaitTimeoutClock(&e.gate, 0, slice, l.Clk)
 			continue
 		}
 		if !w.PauseBounded(deadline, done) {

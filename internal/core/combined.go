@@ -26,6 +26,8 @@ type CombinedLock struct {
 	cur  *flagElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	// races counts swap-swap window races (diagnostics/ablation).
 	races atomic.Uint64
@@ -59,7 +61,7 @@ func (l *CombinedLock) Acquire(e *flagElement) *flagElement {
 	if tail != nemo() {
 		succ = tail
 	}
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for e.gate.Load() == 0 {
 		w.Pause()
 	}

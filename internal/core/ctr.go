@@ -35,6 +35,8 @@ type CTRLock struct {
 	cur  *WaitElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Acquire enters the lock with the supplied element and returns the
@@ -57,7 +59,7 @@ func (l *CTRLock) Acquire(e *WaitElement) Token {
 		}
 		// Wait politely, then consume the grant with an exchange so
 		// the Gate line retires Modified in our cache.
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		for {
 			if e.gate.Load() != nil {
 				eos = e.gate.Swap(nil)

@@ -44,6 +44,8 @@ type FairLock struct {
 	rng atomic.Uint64 // xorshift state for the Bernoulli trial
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	deferrals atomic.Uint64
 }
@@ -96,7 +98,7 @@ func (l *FairLock) Acquire(e *WaitElement) fairToken {
 	}
 
 	deferred := false
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for {
 		// Waiting phase.
 		for {

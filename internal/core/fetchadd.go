@@ -27,6 +27,8 @@ type FetchAddLock struct {
 	cur  *taggedElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	delegations atomic.Uint64
 }
@@ -66,7 +68,7 @@ func (l *FetchAddLock) Acquire(e *taggedElement) *taggedElement {
 }
 
 func (l *FetchAddLock) waitGate(e *taggedElement) {
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for e.gate.Load() == 0 {
 		w.Pause()
 	}

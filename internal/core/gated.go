@@ -53,6 +53,8 @@ type GatedLock struct {
 	cur      *gElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // gToken carries the acquire context for the explicit API.
@@ -69,7 +71,7 @@ func (l *GatedLock) Acquire(e *gElement) gToken {
 	if prv != nil {
 		// Follower within a segment: wait for ownership plus the
 		// end-of-segment address to arrive through our element.
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		var eos *gElement
 		for {
 			eos = e.eos.Load()
@@ -83,7 +85,7 @@ func (l *GatedLock) Acquire(e *gElement) gToken {
 	// Segment leader: wait for the previous generation to depart. At
 	// most one thread waits here at a time (the stack was empty, and
 	// it stays non-empty until this leader detaches it).
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.leaderGate.Load() != 0 {
 		w.Pause()
 	}

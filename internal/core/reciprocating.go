@@ -30,6 +30,8 @@ type Lock struct {
 	// Policy selects the busy-wait strategy; the zero value is the
 	// adaptive spin-then-yield policy.
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	// PoliteRelease conditions the release-path CAS on an immediate
 	// prior load, reducing futile CAS attempts when new arrivals are
@@ -70,7 +72,7 @@ func (l *Lock) Acquire(e *WaitElement) Token {
 		// Waiting phase: local spinning on our own element. The
 		// eventual non-nil Gate value both grants ownership and
 		// conveys the end-of-segment address.
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		for {
 			eos = e.gate.Load()
 			if eos != nil {

@@ -30,6 +30,8 @@ type RelayLock struct {
 	cur  *flagElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	// relays counts arrival-race abdications, which the paper argues
 	// are rare (the window closes as fast as the interconnect can
@@ -62,7 +64,7 @@ func (l *RelayLock) Acquire(e *flagElement) *flagElement {
 	if succ == nemo() {
 		succ = nil
 	}
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for e.gate.Load() == 0 {
 		w.Pause()
 	}

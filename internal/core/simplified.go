@@ -32,6 +32,8 @@ type SimplifiedLock struct {
 	cur  *flagElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	// Park enables futex-style address-based waiting (§8 "polite
 	// waiting"): after a short adaptive spin, waiters block on their
@@ -61,7 +63,7 @@ func (l *SimplifiedLock) Acquire(e *flagElement) *flagElement {
 	if succ == nemo() {
 		succ = nil
 	}
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for e.gate.Load() == 0 {
 		if l.Park && w.Spins() >= parkThreshold {
 			// A futex park bypasses Pause, so report it to the

@@ -25,6 +25,8 @@ type SimplifiedEOSLock struct {
 	cur  *taggedElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 
 	races atomic.Uint64
 }
@@ -56,7 +58,7 @@ func (l *SimplifiedEOSLock) Acquire(e *taggedElement) *taggedElement {
 	}
 
 	succ := annulMarked(prev)
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for e.gate.Load() == 0 {
 		w.Pause()
 	}

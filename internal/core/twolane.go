@@ -42,6 +42,8 @@ type TwoLaneLock struct {
 	cur      *gElement
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // tlToken carries acquire context for the explicit API.
@@ -61,7 +63,7 @@ func (l *TwoLaneLock) Acquire(e *gElement) tlToken {
 	prv := l.lanes[lane].tail.Swap(e)
 	if prv != nil {
 		// Follower within this lane's segment.
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		var eos *gElement
 		for {
 			eos = e.eos.Load()
@@ -76,7 +78,7 @@ func (l *TwoLaneLock) Acquire(e *gElement) tlToken {
 	// most two threads compete here at any time, so a ticket lock
 	// scales fine in this regime.
 	tx := l.ticket.Add(1) - 1
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.grant.Load() != tx {
 		w.Pause()
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/harness"
 	"repro/internal/kvstore"
 	"repro/internal/mutexbench"
@@ -73,16 +74,16 @@ type holdTimer struct {
 	inner  sync.Locker
 	heldNS int64
 	acqs   int64
-	t0     time.Time
+	t0     time.Duration
 }
 
 func (h *holdTimer) Lock() {
 	h.inner.Lock()
-	h.t0 = time.Now()
+	h.t0 = clock.Wall.Now()
 }
 
 func (h *holdTimer) Unlock() {
-	h.heldNS += time.Since(h.t0).Nanoseconds()
+	h.heldNS += (clock.Wall.Now() - h.t0).Nanoseconds()
 	h.acqs++
 	h.inner.Unlock()
 }

@@ -31,6 +31,7 @@ import (
 	"unsafe"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 )
 
 // chWait injects spurious wakeups (kernel futexes are allowed to
@@ -151,6 +152,13 @@ func Wait(addr *atomic.Uint32, val uint32) {
 // Like Wait, it may return true spuriously under chaos fault
 // injection.
 func WaitTimeout(addr *atomic.Uint32, val uint32, d time.Duration) bool {
+	return WaitTimeoutClock(addr, val, d, nil)
+}
+
+// WaitTimeoutClock is WaitTimeout with the timeout measured on c (nil
+// selects clock.Wall) — the variant clocked locks park through so a
+// virtual clock can expire their waits deterministically.
+func WaitTimeoutClock(addr *atomic.Uint32, val uint32, d time.Duration, c clock.Clock) bool {
 	if siteWaitTimeout.Wake() {
 		return true
 	}
@@ -170,29 +178,27 @@ func WaitTimeout(addr *atomic.Uint32, val uint32, d time.Duration) bool {
 	q.push(w)
 	s.mu.Unlock()
 
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-w.ch:
+	// ParkFor parks on the clock's timer racing the wake channel;
+	// d <= 0 would park unboundedly, so treat it as already expired.
+	if d > 0 && !clock.Or(c).ParkFor(d, w.ch) {
 		return true
-	case <-t.C:
-		// Race: a waker may pop us between the timeout firing and
-		// the removal below; in that case report success.
-		s.mu.Lock()
-		removed := false
-		if q2 := s.m[key]; q2 != nil {
-			removed = q2.remove(w)
-			if q2.n == 0 {
-				delete(s.m, key)
-			}
-		}
-		s.mu.Unlock()
-		if !removed {
-			<-w.ch // wake already committed to us
-			return true
-		}
-		return false
 	}
+	// Timed out. Race: a waker may pop us between the timeout firing
+	// and the removal below; in that case report success.
+	s.mu.Lock()
+	removed := false
+	if q2 := s.m[key]; q2 != nil {
+		removed = q2.remove(w)
+		if q2.n == 0 {
+			delete(s.m, key)
+		}
+	}
+	s.mu.Unlock()
+	if !removed {
+		<-w.ch // wake already committed to us
+		return true
+	}
+	return false
 }
 
 // Wake releases up to n waiters queued on addr and returns the number

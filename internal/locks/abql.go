@@ -23,6 +23,8 @@ type ABQLock struct {
 	// owner-owned).
 	self   uint64
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // NewABQL creates a lock supporting at most capacity simultaneous
@@ -45,7 +47,7 @@ func NewABQL(capacity int) *ABQLock {
 func (l *ABQLock) Lock() {
 	tx := l.ticket.Add(1) - 1
 	idx := tx % uint64(len(l.slots))
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.slots[idx].flag.Load() == 0 {
 		w.Pause()
 	}

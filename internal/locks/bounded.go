@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/waiter"
 )
 
@@ -75,16 +76,16 @@ func (l *TASLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first.
 func (l *TASLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
-func (l *TASLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
-	w := waiter.New(l.Policy)
+func (l *TASLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.word.Swap(1) != 0 {
 		if !w.PauseBounded(deadline, done) {
 			return false
@@ -99,16 +100,16 @@ func (l *TTASLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first.
 func (l *TTASLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
-func (l *TTASLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
-	w := waiter.New(l.Policy)
+func (l *TTASLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for {
 		if l.word.Load() == 0 && l.word.Swap(1) == 0 {
 			return true
@@ -126,16 +127,16 @@ func (l *TicketLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first.
 func (l *TicketLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
-func (l *TicketLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
-	w := waiter.New(l.Policy)
+func (l *TicketLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for !l.TryLock() {
 		if !w.PauseBounded(deadline, done) {
 			return false
@@ -150,15 +151,15 @@ func (l *MCSLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first.
 func (l *MCSLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
-func (l *MCSLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
+func (l *MCSLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
 	n := mcsPool.Get().(*mcsNode)
 	n.next.Store(nil)
 	n.locked.Store(mcsWaiting)
@@ -169,7 +170,7 @@ func (l *MCSLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
 		return true
 	}
 	pred.next.Store(n)
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for n.locked.Load() != mcsGranted {
 		if !w.PauseBounded(deadline, done) {
 			siteMcsAbandon.Hit()
@@ -194,18 +195,18 @@ func (l *CLHLock) LockFor(d time.Duration) bool {
 	if d <= 0 {
 		return l.TryLock()
 	}
-	return l.lockBounded(time.Now().Add(d), nil)
+	return l.lockBounded(clock.Or(l.Clk).Now()+d, nil)
 }
 
 // LockCtx acquires l unless ctx is cancelled or expires first.
 func (l *CLHLock) LockCtx(ctx context.Context) error {
-	return bounded.CtxFrom(ctx, l.lockBounded)
+	return bounded.CtxFrom(l.Clk, ctx, l.lockBounded)
 }
 
-func (l *CLHLock) lockBounded(deadline time.Time, done <-chan struct{}) bool {
+func (l *CLHLock) lockBounded(deadline time.Duration, done <-chan struct{}) bool {
 	l.ensureInit()
 	n, pred := l.enqueue()
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for pred.succMustWait.Load() != 0 {
 		if a := pred.aband.Load(); a != nil {
 			pred = hop(pred, a)

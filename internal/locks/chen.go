@@ -46,6 +46,8 @@ type ChenLock struct {
 	cur  *chenNode
 
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
@@ -62,7 +64,7 @@ func (l *ChenLock) Lock() {
 		succ = nil
 	}
 	// Global spinning on the central current word.
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.current.Load() != e {
 		w.Pause()
 	}

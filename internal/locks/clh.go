@@ -44,6 +44,8 @@ type CLHLock struct {
 	// context), making the lock body two words as in Table 1.
 	head   *clhNode
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // ensureInit installs the dummy node on first use.
@@ -84,7 +86,7 @@ func (l *CLHLock) Lock() {
 	l.ensureInit()
 	n, pred := l.enqueue()
 	// Dependent load chain: spin on the predecessor's node.
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for pred.succMustWait.Load() != 0 {
 		if a := pred.aband.Load(); a != nil {
 			pred = hop(pred, a)

@@ -19,6 +19,8 @@ import (
 type FutexMutex struct {
 	state  atomic.Uint32
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires m.
@@ -28,7 +30,7 @@ func (m *FutexMutex) Lock() {
 	}
 	// Short adaptive spin before sleeping, like adaptive pthread
 	// mutexes.
-	w := waiter.New(m.Policy)
+	w := waiter.NewClocked(m.Policy, m.Clk)
 	for i := 0; i < 32; i++ {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
 			return

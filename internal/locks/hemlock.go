@@ -36,6 +36,8 @@ type HemLock struct {
 	// self is the owner's element (owner-owned context).
 	self   *hemNode
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
@@ -46,7 +48,7 @@ func (l *HemLock) Lock() {
 	if pred != nil {
 		// Semi-local spinning on the predecessor's element, waiting
 		// for it to publish this lock's address.
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		for pred.grant.Load() != l {
 			w.Pause()
 		}
@@ -75,7 +77,7 @@ func (l *HemLock) Unlock() {
 	// Contended: publish ownership address-wise, then wait for the
 	// successor's acknowledgement to protect the element lifecycle.
 	n.grant.Store(l)
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for n.grant.Load() != nil {
 		w.Pause()
 	}

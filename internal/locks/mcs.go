@@ -43,6 +43,8 @@ type MCSLock struct {
 	// head is the owner's node (owner-owned context).
 	head   *mcsNode
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
@@ -55,7 +57,7 @@ func (l *MCSLock) Lock() {
 	if pred != nil {
 		// Enqueue behind pred and spin locally on our own node.
 		pred.next.Store(n)
-		w := waiter.New(l.Policy)
+		w := waiter.NewClocked(l.Policy, l.Clk)
 		for n.locked.Load() != mcsGranted {
 			w.Pause()
 		}
@@ -87,7 +89,7 @@ func (l *MCSLock) unlockNode(n *mcsNode) {
 			}
 			// A successor is mid-enqueue: wait for its link to appear.
 			// This is the non-constant-time release path of MCS (§6).
-			w := waiter.New(l.Policy)
+			w := waiter.NewClocked(l.Policy, l.Clk)
 			for n.next.Load() == nil {
 				w.Pause()
 			}

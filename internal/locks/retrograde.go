@@ -26,13 +26,15 @@ type RetrogradeLock struct {
 	top    int64
 	base   int64
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l; the doorway is identical to the classic ticket
 // lock.
 func (l *RetrogradeLock) Lock() {
 	tx := l.ticket.Add(1) - 1
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.grant.Load() != tx {
 		w.Pause()
 	}
@@ -109,12 +111,14 @@ type RetrogradeRandLock struct {
 	// extractions (the Bernoulli bias M). Zero selects 8.
 	TailPeriod int
 	Policy     waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l (classic ticket doorway).
 func (l *RetrogradeRandLock) Lock() {
 	tx := l.ticket.Add(1) - 1
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.grant.Load() != tx {
 		w.Pause()
 	}

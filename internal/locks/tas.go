@@ -14,11 +14,13 @@ import (
 type TASLock struct {
 	word   atomic.Uint32
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
 func (l *TASLock) Lock() {
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.word.Swap(1) != 0 {
 		w.Pause()
 	}
@@ -40,11 +42,13 @@ func (l *TASLock) TryLock() bool {
 type TTASLock struct {
 	word   atomic.Uint32
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
 func (l *TTASLock) Lock() {
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for {
 		if l.word.Load() == 0 && l.word.Swap(1) == 0 {
 			return

@@ -17,12 +17,14 @@ type TicketLock struct {
 	ticket atomic.Uint64
 	grant  atomic.Uint64
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // Lock acquires l.
 func (l *TicketLock) Lock() {
 	tx := l.ticket.Add(1) - 1
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for l.grant.Load() != tx {
 		w.Pause()
 	}

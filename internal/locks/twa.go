@@ -47,6 +47,8 @@ type TWALock struct {
 	grant  atomic.Uint64
 	id     atomic.Uint64
 	Policy waiter.Policy
+	// Clk is the injected time source for waiting (nil = wall clock).
+	Clk Clock
 }
 
 // longTermThreshold is the grant distance at or beyond which a waiter
@@ -68,8 +70,12 @@ func (l *TWALock) lockID() uint64 {
 // Lock acquires l.
 func (l *TWALock) Lock() {
 	tx := l.ticket.Add(1) - 1
+	if tx == l.grant.Load() {
+		// Uncontended: granted immediately, no waiter state needed.
+		return
+	}
 	id := l.lockID()
-	w := waiter.New(l.Policy)
+	w := waiter.NewClocked(l.Policy, l.Clk)
 	for {
 		dist := tx - l.grant.Load()
 		if dist == 0 {

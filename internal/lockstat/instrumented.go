@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bounded"
+	"repro/internal/clock"
 )
 
 // TryLocker is the non-blocking-acquire interface implemented by the
@@ -44,10 +45,10 @@ type optimistic interface {
 // a microsecond; a waiting episode that reaches the scheduler cannot.
 const ContendedThreshold = time.Microsecond
 
-// epoch anchors the wrapper's monotonic timestamps.
-var epoch = time.Now()
-
-func nanotime() int64 { return int64(time.Since(epoch)) }
+// nanotime reads the wrapper's timestamp source: the injected clock
+// when one is set, else the wall clock (whose epoch is process start,
+// preserving the old monotonic-since-init timestamps).
+func (i *Instrumented) nanotime() int64 { return int64(clock.Or(i.clk).Now()) }
 
 // Instrumented wraps an inner lock with telemetry. It implements
 // sync.Locker and TryLock (TryLock reports false when the inner lock
@@ -82,6 +83,19 @@ type Instrumented struct {
 	// Written by the acquiring holder, read by the (same) releasing
 	// holder; atomic so cross-episode accesses are race-clean.
 	holdStart atomic.Int64
+
+	// clk is the timestamp source (nil = wall clock).
+	clk clock.Clock
+}
+
+// SetClock injects the time source for latency timestamps, forwarding
+// to the inner lock when it accepts one, so registry.WithClock reaches
+// both the telemetry layer and the algorithm beneath it.
+func (i *Instrumented) SetClock(c clock.Clock) {
+	i.clk = c
+	if cl, ok := i.inner.(clock.Clocked); ok {
+		cl.SetClock(c)
+	}
 }
 
 // Wrap returns l instrumented with s. A nil s disables recording but
@@ -128,11 +142,11 @@ func (i *Instrumented) Lock() {
 			contended = true
 		}
 	}
-	t0 := nanotime()
+	t0 := i.nanotime()
 	i.waiting.Add(1)
 	i.inner.Lock()
 	i.waiting.Add(-1)
-	t1 := nanotime()
+	t1 := i.nanotime()
 	d := time.Duration(t1 - t0)
 	if d >= ContendedThreshold {
 		contended = true
@@ -149,7 +163,7 @@ func (i *Instrumented) Unlock() {
 		i.inner.Unlock()
 		return
 	}
-	held := time.Duration(nanotime() - i.holdStart.Load())
+	held := time.Duration(i.nanotime() - i.holdStart.Load())
 	s.RecordRelease(i.waiting.Load() > 0, held)
 	i.inner.Unlock()
 }
@@ -167,12 +181,12 @@ func (i *Instrumented) TryLock() bool {
 	if s == nil {
 		return tl.TryLock()
 	}
-	t0 := nanotime()
+	t0 := i.nanotime()
 	if !tl.TryLock() {
 		s.RecordTryFail()
 		return false
 	}
-	t1 := nanotime()
+	t1 := i.nanotime()
 	s.RecordAcquire(false, time.Duration(t1-t0))
 	i.holdStart.Store(t1)
 	return true
@@ -190,11 +204,11 @@ func (i *Instrumented) LockFor(d time.Duration) bool {
 	if s == nil {
 		return b.LockFor(d)
 	}
-	t0 := nanotime()
+	t0 := i.nanotime()
 	i.waiting.Add(1)
 	acquired := b.LockFor(d)
 	i.waiting.Add(-1)
-	t1 := nanotime()
+	t1 := i.nanotime()
 	if !acquired {
 		s.RecordAbandon()
 		return false
@@ -217,11 +231,11 @@ func (i *Instrumented) LockCtx(ctx context.Context) error {
 	if s == nil {
 		return b.LockCtx(ctx)
 	}
-	t0 := nanotime()
+	t0 := i.nanotime()
 	i.waiting.Add(1)
 	err := b.LockCtx(ctx)
 	i.waiting.Add(-1)
-	t1 := nanotime()
+	t1 := i.nanotime()
 	if err != nil {
 		s.RecordAbandon()
 		return err
@@ -278,9 +292,9 @@ func (i *Instrumented) RLock() {
 		r.RLock()
 		return
 	}
-	t0 := nanotime()
+	t0 := i.nanotime()
 	r.RLock()
-	s.RecordRLock(time.Duration(nanotime() - t0))
+	s.RecordRLock(time.Duration(i.nanotime() - t0))
 }
 
 // RUnlock releases a shared-read admission (or the exclusive fallback
@@ -338,9 +352,9 @@ func (i *Instrumented) OptimisticRead(f func()) {
 		return
 	}
 	var calls uint64
-	t0 := nanotime()
+	t0 := i.nanotime()
 	o.OptimisticRead(func() { calls++; f() })
-	d := time.Duration(nanotime() - t0)
+	d := time.Duration(i.nanotime() - t0)
 	var retries uint64
 	if calls > 0 {
 		retries = calls - 1

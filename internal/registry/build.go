@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/lockstat"
 	"repro/internal/rwlock"
 )
@@ -34,6 +35,8 @@ type buildConfig struct {
 	bounded   bool
 	veto      bool
 	vetoPoint string
+	clk       clock.Clock
+	clkSet    bool
 }
 
 // WithStats wraps the built lock in lockstat.Instrumented recording
@@ -49,6 +52,17 @@ func WithStats(st *lockstat.Stats) Option {
 // returned value implements bounded.Locker.
 func WithBounded() Option {
 	return func(c *buildConfig) { c.bounded = true }
+}
+
+// WithClock injects c as the time source for every layer of the built
+// pipeline: the base algorithm's waiting (park pacing, bounded
+// deadlines), the polling fallback's sleeps, and the telemetry
+// wrapper's latency timestamps. Build fails for entries whose base
+// lock accepts no clock (e.g. the sync.Mutex baseline) — silently
+// building a wall-clocked lock under a virtual-time harness would
+// deadlock it. A nil c restores the wall clock.
+func WithClock(c clock.Clock) Option {
+	return func(cfg *buildConfig) { cfg.clk, cfg.clkSet = c, true }
 }
 
 // WithChaosVeto inserts a fault-injection shim that can spuriously
@@ -80,6 +94,13 @@ func (e Entry) Build(opts ...Option) (sync.Locker, error) {
 		o(&cfg)
 	}
 	l := e.New()
+	if cfg.clkSet {
+		cl, ok := l.(clock.Clocked)
+		if !ok {
+			return nil, fmt.Errorf("registry: lock %s accepts no injected clock (its waiting is not clock-paced)", e.Name)
+		}
+		cl.SetClock(cfg.clk)
+	}
 	if cfg.veto {
 		name := cfg.vetoPoint
 		if name == "" {
@@ -96,6 +117,14 @@ func (e Entry) Build(opts ...Option) (sync.Locker, error) {
 	}
 	if cfg.statsSet {
 		l = lockstat.Wrap(l, cfg.stats)
+	}
+	// The outer decorators (Polling fallback, Instrumented) carry their
+	// own clocks for sleeps and timestamps; re-inject at the top so
+	// every Clocked layer of the finished pipeline is on cfg.clk.
+	if cfg.clkSet {
+		if cl, ok := l.(clock.Clocked); ok {
+			cl.SetClock(cfg.clk)
+		}
 	}
 	return l, nil
 }

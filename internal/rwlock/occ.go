@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/clock"
 	"repro/internal/waiter"
 )
 
@@ -26,6 +27,8 @@ type OCC struct {
 	// optimistic fast path writes no shared memory.
 	retries   atomic.Uint64
 	fallbacks atomic.Uint64
+	// clk paces conflict-path retry sleeps (nil = wall clock).
+	clk clock.Clock
 }
 
 // occMaxAttempts is the total optimistic budget (hot pauses, then
@@ -36,6 +39,15 @@ const occMaxAttempts = optHotRetries + 4
 // optimistic-then-fallback combinator.
 func NewOCC(base sync.Locker) *OCC {
 	return &OCC{w: requireTry(base, "OCC")}
+}
+
+// SetClock injects the time source, forwarding to the base lock when it
+// accepts one, so registry.WithClock reaches both layers.
+func (l *OCC) SetClock(c clock.Clock) {
+	l.clk = c
+	if cl, ok := l.w.(clock.Clocked); ok {
+		cl.SetClock(c)
+	}
 }
 
 // Lock enters a write section: the wrapped lock, then stamp → odd.
@@ -85,7 +97,7 @@ func (l *OCC) OptimisticRead(f func()) {
 }
 
 func (l *OCC) optimisticSlow(f func()) {
-	w := waiter.New(waiter.Default)
+	w := waiter.NewClocked(waiter.Default, l.clk)
 	var bo *backoff.Backoff
 	for attempt := 1; attempt < occMaxAttempts; attempt++ {
 		l.retries.Add(1)
@@ -95,7 +107,7 @@ func (l *OCC) optimisticSlow(f func()) {
 			if bo == nil {
 				bo = backoff.New(readRetryPolicy, retrySeq.Add(1))
 			}
-			sleep(bo.Next())
+			clock.Or(l.clk).Sleep(bo.Next())
 		}
 		s := l.seq.Load()
 		if s&1 != 0 {

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/clock"
 	"repro/internal/pad"
 	"repro/internal/waiter"
 )
@@ -139,10 +140,6 @@ var readRetryPolicy = backoff.Policy{Base: 10 * time.Microsecond, Cap: time.Mill
 // under the waiter pause policy before escalating to the jitter floor.
 const optHotRetries = 8
 
-// sleep is the retry sleeper, swappable so tests can observe that the
-// escalated retry path draws its delays from the backoff floor.
-var sleep func(time.Duration) = time.Sleep
-
 // retrySeq decorrelates concurrent readers' jitter streams,
 // deterministically per process.
 var retrySeq atomic.Uint64
@@ -176,12 +173,25 @@ type RW struct {
 	// acquisition and its release. Kept off the readers line so
 	// reader admissions do not false-share with writer polling.
 	wflag atomic.Bool
+
+	// clk paces the writer's reader-drain spin and the slow read path
+	// (nil = wall clock).
+	clk clock.Clock
 }
 
 // NewRW wraps base (which must expose TryLock) in the reader/writer
 // adapter.
 func NewRW(base sync.Locker) *RW {
 	return &RW{w: base, wtry: requireTry(base, "RW")}
+}
+
+// SetClock injects the time source, forwarding to the base lock when it
+// accepts one, so registry.WithClock reaches both layers.
+func (l *RW) SetClock(c clock.Clock) {
+	l.clk = c
+	if cl, ok := l.w.(clock.Clocked); ok {
+		cl.SetClock(c)
+	}
 }
 
 // Lock acquires write exclusion: the inner lock, then a drain of the
@@ -192,7 +202,7 @@ func (l *RW) Lock() {
 	if l.readers.Load() == 0 {
 		return
 	}
-	w := waiter.New(waiter.Default)
+	w := waiter.NewClocked(waiter.Default, l.clk)
 	for l.readers.Load() != 0 {
 		w.Pause()
 	}
@@ -236,7 +246,7 @@ func (l *RW) RLock() {
 
 // rlockSlow waits out writer intent under the waiter policy.
 func (l *RW) rlockSlow() {
-	w := waiter.New(waiter.Default)
+	w := waiter.NewClocked(waiter.Default, l.clk)
 	for {
 		for l.wflag.Load() {
 			w.Pause()

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestRWConcurrentReadersAdmitted(t *testing.T) {
@@ -245,30 +247,41 @@ func TestOCCFallbackTerminatesUnderPersistentConflict(t *testing.T) {
 	}
 }
 
+// recordingClock wraps the wall clock but records (and elides) every
+// Sleep — the injection point the combinators' escalated retry path
+// sleeps through.
+type recordingClock struct {
+	clock.Clock
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (c *recordingClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.delays = append(c.delays, d)
+	c.mu.Unlock()
+}
+
+func (c *recordingClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.delays...)
+}
+
 func TestOptimisticRetrySleepsDrawFromBackoffFloor(t *testing.T) {
-	// Swap the package sleeper and force a conflict storm long enough
+	// Inject a recording clock and force a conflict storm long enough
 	// to escalate past the hot retries; every recorded delay must obey
 	// the decorrelated-jitter floor and cap.
-	var mu sync.Mutex
-	var delays []time.Duration
-	oldSleep := sleep
-	sleep = func(d time.Duration) {
-		mu.Lock()
-		delays = append(delays, d)
-		mu.Unlock()
-	}
-	defer func() { sleep = oldSleep }()
+	rc := &recordingClock{Clock: clock.Wall}
 
 	l := NewSeqlock(&sync.Mutex{})
+	l.SetClock(rc)
 	l.seq.Store(1) // permanently odd: every attempt conflicts
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; ; i++ {
-			mu.Lock()
-			n := len(delays)
-			mu.Unlock()
-			if n >= 5 {
+			if len(rc.recorded()) >= 5 {
 				l.seq.Store(2) // go even: next attempt validates
 				return
 			}
@@ -278,8 +291,7 @@ func TestOptimisticRetrySleepsDrawFromBackoffFloor(t *testing.T) {
 	l.OptimisticRead(func() {})
 	<-done
 
-	mu.Lock()
-	defer mu.Unlock()
+	delays := rc.recorded()
 	if len(delays) == 0 {
 		t.Fatal("conflict storm never escalated to the backoff floor")
 	}

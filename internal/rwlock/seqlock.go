@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/clock"
 	"repro/internal/waiter"
 )
 
@@ -26,12 +27,23 @@ type Seqlock struct {
 	// retries counts optimistic attempts that failed validation —
 	// conflict-path only, so the fast path stays write-free.
 	retries atomic.Uint64
+	// clk paces conflict-path retry sleeps (nil = wall clock).
+	clk clock.Clock
 }
 
 // NewSeqlock wraps base (which must expose TryLock) in the
 // version-stamped combinator.
 func NewSeqlock(base sync.Locker) *Seqlock {
 	return &Seqlock{w: requireTry(base, "Seqlock")}
+}
+
+// SetClock injects the time source, forwarding to the base lock when it
+// accepts one, so registry.WithClock reaches both layers.
+func (l *Seqlock) SetClock(c clock.Clock) {
+	l.clk = c
+	if cl, ok := l.w.(clock.Clocked); ok {
+		cl.SetClock(c)
+	}
 }
 
 // Lock enters a write section: the wrapped lock, then stamp → odd.
@@ -85,7 +97,7 @@ func (l *Seqlock) OptimisticRead(f func()) {
 // optimisticSlow is the conflict path: waiter pauses, then jittered
 // sleeps drawn from readRetryPolicy.
 func (l *Seqlock) optimisticSlow(f func()) {
-	w := waiter.New(waiter.Default)
+	w := waiter.NewClocked(waiter.Default, l.clk)
 	var bo *backoff.Backoff
 	for attempt := 1; ; attempt++ {
 		l.retries.Add(1)
@@ -95,7 +107,7 @@ func (l *Seqlock) optimisticSlow(f func()) {
 			if bo == nil {
 				bo = backoff.New(readRetryPolicy, retrySeq.Add(1))
 			}
-			sleep(bo.Next())
+			clock.Or(l.clk).Sleep(bo.Next())
 		}
 		s := l.seq.Load()
 		if s&1 != 0 {

@@ -3,6 +3,8 @@ package waiter
 import (
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Policies that poll the budget on every call (Yield yields each pause;
@@ -12,7 +14,7 @@ func TestPauseBoundedNegativeDeadlineImmediate(t *testing.T) {
 	for _, p := range []Policy{PolicyYield, PolicyBackoff} {
 		rec := &recordingSink{}
 		w := NewWithSink(p, rec)
-		if w.PauseBounded(time.Now().Add(-time.Hour), nil) {
+		if w.PauseBounded(clock.Wall.Now()-time.Hour, nil) {
 			t.Fatalf("policy %v: expired deadline not detected on first call", p)
 		}
 		if len(rec.events) != 0 {
@@ -30,13 +32,13 @@ func TestPauseBoundedPreClosedDone(t *testing.T) {
 	close(done)
 
 	w := NewWithSink(PolicyYield, nil)
-	if w.PauseBounded(time.Time{}, done) {
+	if w.PauseBounded(0, done) {
 		t.Fatal("PolicyYield: pre-closed done not detected on first call")
 	}
 
 	w = NewWithSink(PolicySpin, nil)
 	for i := 1; i <= deadlineStride; i++ {
-		if !w.PauseBounded(time.Time{}, done) {
+		if !w.PauseBounded(0, done) {
 			return
 		}
 	}
@@ -50,14 +52,14 @@ func TestPauseBoundedCombinedBounds(t *testing.T) {
 	done := make(chan struct{})
 	close(done)
 	w := NewWithSink(PolicyYield, nil)
-	if w.PauseBounded(time.Now().Add(time.Hour), done) {
+	if w.PauseBounded(clock.Wall.Now()+time.Hour, done) {
 		t.Fatal("closed done ignored because the deadline was far away")
 	}
 
 	open := make(chan struct{})
 	defer close(open)
 	w = NewWithSink(PolicyYield, nil)
-	if w.PauseBounded(time.Now().Add(-time.Second), open) {
+	if w.PauseBounded(clock.Wall.Now()-time.Second, open) {
 		t.Fatal("expired deadline ignored because done was open")
 	}
 }
@@ -71,7 +73,7 @@ func TestPauseBoundedSinkTransitionOrdering(t *testing.T) {
 	w := NewWithSink(PolicyAdaptive, rec)
 	const calls = spinBudget + yieldBudget + 10
 	for i := 0; i < calls; i++ {
-		if !w.PauseBounded(time.Time{}, nil) {
+		if !w.PauseBounded(0, nil) {
 			t.Fatal("unbounded episode reported exhaustion")
 		}
 	}
@@ -88,7 +90,7 @@ func TestPauseBoundedSinkTransitionOrdering(t *testing.T) {
 	}
 
 	before := len(rec.events)
-	if w.PauseBounded(time.Now().Add(-time.Minute), nil) {
+	if w.PauseBounded(clock.Wall.Now()-time.Minute, nil) {
 		t.Fatal("escalated waiter missed an expired deadline")
 	}
 	if len(rec.events) != before {
@@ -102,7 +104,7 @@ func TestPauseBoundedSinkTransitionOrdering(t *testing.T) {
 func TestPauseBoundedZeroDeadlineMeansUnbounded(t *testing.T) {
 	w := NewWithSink(PolicyYield, nil)
 	for i := 0; i < 200; i++ {
-		if !w.PauseBounded(time.Time{}, nil) {
+		if !w.PauseBounded(0, nil) {
 			t.Fatal("zero deadline treated as a bound")
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/clock"
 )
 
 // Sink receives one callback per Pause, classified by what the pause
@@ -106,16 +107,24 @@ const yieldBudget = 64
 var backoffSchedule = backoff.Policy{Base: time.Microsecond, Cap: 256 * time.Microsecond}
 
 // Waiter tracks progress of one waiting episode. The zero value is
-// ready to use (and reports to no sink).
+// ready to use (reports to no sink, sleeps on the wall clock).
 type Waiter struct {
 	policy Policy
 	n      int
 	sink   Sink
+	clk    clock.Clock // nil = clock.Wall
 }
 
 // New returns a Waiter implementing the given policy, attached to the
 // process-wide sink installed at construction time (if any).
 func New(p Policy) Waiter { return Waiter{policy: p, sink: ActiveSink()} }
+
+// NewClocked is New with an injected time source: parks sleep on c and
+// bounded deadlines are instants on c. A nil c selects clock.Wall, so
+// locks can pass their (normally nil) clock field straight through.
+func NewClocked(p Policy, c clock.Clock) Waiter {
+	return Waiter{policy: p, sink: ActiveSink(), clk: c}
+}
 
 // NewWithSink returns a Waiter reporting transitions to s, bypassing
 // the global sink. Intended for tests and for callers that already
@@ -196,11 +205,14 @@ const deadlineStride = 16
 // still spinning hot, so bounded waiting stays off the fast path's
 // critical cycle count.
 //
-// A zero deadline means no time bound; a nil done means no
-// cancellation channel. PauseBounded reports false, without pausing,
-// once the budget is exhausted; the caller must then begin
-// abandonment. It never reports false when both bounds are absent.
-func (w *Waiter) PauseBounded(deadline time.Time, done <-chan struct{}) bool {
+// The deadline is an absolute instant on the waiter's clock (see
+// clock.Deadline for mapping a context's wall deadline); zero means no
+// time bound. A nil done means no cancellation channel. PauseBounded
+// reports false once the budget is exhausted — before pausing when the
+// bound is already spent, or mid-park when done fires during a sleep —
+// and the caller must then begin abandonment. It never reports false
+// when both bounds are absent.
+func (w *Waiter) PauseBounded(deadline time.Duration, done <-chan struct{}) bool {
 	w.n++
 	d, yield := w.plan()
 	if d > 0 || yield || w.n%deadlineStride == 0 {
@@ -211,8 +223,8 @@ func (w *Waiter) PauseBounded(deadline time.Time, done <-chan struct{}) bool {
 			default:
 			}
 		}
-		if !deadline.IsZero() {
-			rem := time.Until(deadline)
+		if deadline != 0 {
+			rem := deadline - clock.Or(w.clk).Now()
 			if rem <= 0 {
 				return false
 			}
@@ -223,7 +235,12 @@ func (w *Waiter) PauseBounded(deadline time.Time, done <-chan struct{}) bool {
 	}
 	switch {
 	case d > 0:
-		w.park(d)
+		if w.sink != nil {
+			w.sink.CountPark()
+		}
+		if !clock.Or(w.clk).ParkFor(d, done) {
+			return false
+		}
 	case yield:
 		w.yield()
 	default:
@@ -250,7 +267,7 @@ func (w *Waiter) park(d time.Duration) {
 	if w.sink != nil {
 		w.sink.CountPark()
 	}
-	time.Sleep(d)
+	clock.Or(w.clk).Sleep(d)
 }
 
 // Reset rewinds the waiter so a new waiting episode starts hot. The

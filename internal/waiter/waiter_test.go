@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestBackoffBounded(t *testing.T) {
@@ -212,7 +214,7 @@ func TestGlobalSinkPickup(t *testing.T) {
 func TestPauseBoundedUnbounded(t *testing.T) {
 	w := New(PolicyAdaptive)
 	for i := 0; i < 500; i++ {
-		if !w.PauseBounded(time.Time{}, nil) {
+		if !w.PauseBounded(0, nil) {
 			t.Fatal("PauseBounded with no bounds reported exhaustion")
 		}
 	}
@@ -224,7 +226,7 @@ func TestPauseBoundedUnbounded(t *testing.T) {
 // a large factor.
 func TestPauseBoundedDeadline(t *testing.T) {
 	w := New(PolicyAdaptive)
-	expired := time.Now().Add(-time.Millisecond)
+	expired := clock.Wall.Now() - time.Millisecond
 	for i := 0; i < deadlineStride+1; i++ {
 		if !w.PauseBounded(expired, nil) {
 			if i == 0 {
@@ -238,7 +240,7 @@ detected:
 
 	w.Reset()
 	const budget = 50 * time.Millisecond
-	deadline := time.Now().Add(budget)
+	deadline := clock.Wall.Now() + budget
 	start := time.Now()
 	for w.PauseBounded(deadline, nil) {
 		if time.Since(start) > 10*budget {
@@ -260,7 +262,7 @@ func TestPauseBoundedDoneChannel(t *testing.T) {
 		close(done)
 	}()
 	start := time.Now()
-	for w.PauseBounded(time.Time{}, done) {
+	for w.PauseBounded(0, done) {
 		if time.Since(start) > 10*time.Second {
 			t.Fatal("done-channel close never detected")
 		}
@@ -277,7 +279,7 @@ func TestPauseBoundedClampsSleep(t *testing.T) {
 		w.Pause()
 	}
 	const budget = 5 * time.Millisecond
-	deadline := time.Now().Add(budget)
+	deadline := clock.Wall.Now() + budget
 	start := time.Now()
 	for w.PauseBounded(deadline, nil) {
 	}
